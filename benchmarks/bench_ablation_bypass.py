@@ -1,0 +1,89 @@
+"""A4 — ablation: selective cache replacement (the paper's future work).
+
+"We also plan to explore various methods to implement LPM, including ...
+selective cache replacement" (Section VII).  The stream-bypass policy
+implements the mechanism: fills belonging to confirmed streams skip L1
+allocation so streaming traffic stops evicting the reusable working set.
+
+The ablation sweeps the working-set share of a mixed (hot set + stream)
+workload on a small L1 and checks:
+
+* bypass lowers the conventional miss rate whenever a hot set exists
+  (the stream stops thrashing it);
+* hit concurrency/C-AMAT improve accordingly and the LPM measurement
+  (LPMR1) reflects the gain;
+* on a pure stream there is nothing to protect, and bypass is neutral.
+"""
+
+from repro.core import render_table
+from repro.sim.params import DEFAULT_MACHINE
+from repro.sim.prefetch import BypassConfig
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.generators import KernelSpec
+from repro.workloads.spec import BenchmarkProfile
+
+KB = 1024
+MB = 1024 * 1024
+N_ACCESSES = 20_000
+
+
+def _trace(ws_weight: float):
+    profile = BenchmarkProfile(
+        name=f"bypass-mix-{ws_weight}",
+        kernels=(
+            KernelSpec("working_set", ws_weight, 3 * KB),
+            KernelSpec("strided", 1.0 - ws_weight, 2 * MB, stride_bytes=64),
+        ),
+        compute_per_access=2.0,
+    )
+    return profile.trace(N_ACCESSES, seed=5)
+
+
+def run_ablation():
+    base = DEFAULT_MACHINE.with_knobs(
+        l1_size_bytes=4 * KB, mshr_count=8, iw_size=64, rob_size=64
+    )
+    with_bypass = base.with_(l1_bypass=BypassConfig())
+    rows = []
+    for ws_weight in (0.8, 0.6, 0.4, 0.0):
+        trace = _trace(ws_weight)
+        _, off = simulate_and_measure(base, trace, seed=0)
+        res_on, on = simulate_and_measure(with_bypass, trace, seed=0)
+        rows.append((
+            f"{int(100 * ws_weight)}% hot set",
+            off.mr1_conventional, on.mr1_conventional,
+            off.l1.camat, on.l1.camat,
+            off.lpmr1, on.lpmr1,
+            res_on.component_stats["l1_bypass_rate"],
+        ))
+    return rows
+
+
+def test_ablation_bypass(benchmark, artifact):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    for label, mr_off, mr_on, camat_off, camat_on, lpmr_off, lpmr_on, rate in rows:
+        if label.startswith("0%"):
+            # Pure stream: nothing to protect; neutral within noise.
+            assert abs(camat_on - camat_off) / camat_off < 0.05
+        else:
+            assert mr_on < mr_off
+            assert camat_on <= camat_off * 1.02
+        assert 0.0 <= rate <= 1.0
+    # The more hot set there is to protect, the bigger the MR reduction.
+    reductions = [off - on for _, off, on, *_ in rows[:3]]
+    assert reductions[0] > 0 and reductions[1] > 0
+
+    text = render_table(
+        ["workload", "MR1 off", "MR1 on", "C-AMAT1 off", "C-AMAT1 on",
+         "LPMR1 off", "LPMR1 on", "bypass rate"],
+        rows, float_fmt="{:.3f}",
+        title="A4 — selective replacement (stream bypass) on a 4 KB L1",
+    )
+    text += (
+        "\n\nStream fills stop evicting the reusable working set; the LPM"
+        "\nmeasurement attributes the gain to the locality side (lower MR1)"
+        "\nwith no concurrency cost — a pool technique LPM can deploy when"
+        "\nCase I/II diagnoses a locality-bound mismatch."
+    )
+    artifact("A4_ablation_bypass", text)

@@ -1,0 +1,88 @@
+"""A1 — ablation: MSHR count vs miss overlap and performance.
+
+DESIGN.md calls out MSHR modelling (primary/secondary coalescing + bounded
+registers) as a load-bearing design choice: the pure-miss behaviour the LPM
+model optimizes is created by exactly this structure.  The ablation sweeps
+the MSHR count on a bursty miss-heavy workload and verifies:
+
+* the average pure miss penalty pAMP — which absorbs the MSHR-full queueing
+  delay — shrinks steeply as registers are added;
+* C-AMAT1 and end-to-end CPI improve and then saturate once the register
+  count covers the workload's intrinsic burst width (the saturated regime
+  is what the algorithm's Case III trims);
+* the peak MSHR occupancy reported by the engine respects the knob.
+
+Note on C_M semantics: an access whose miss is *queued* behind a full MSHR
+file still counts as an outstanding miss in the analyzer (its penalty
+interval covers the wait), so severely under-provisioned configurations can
+report a high apparent miss concurrency; pAMP is the discriminating
+quantity there, which is why it carries the assertions.
+"""
+
+from repro.core import render_table
+from repro.sim.params import DEFAULT_MACHINE
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.generators import KernelSpec
+from repro.workloads.spec import BenchmarkProfile
+
+MB = 1024 * 1024
+MSHR_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def run_ablation():
+    profile = BenchmarkProfile(
+        name="mshr-ablation",
+        kernels=(
+            KernelSpec("working_set", 0.7, 8 * MB, burst_length=8),
+            KernelSpec("working_set", 0.3, 8 * 1024),
+        ),
+        compute_per_access=2.0,
+        ilp_dependency=0.5,
+    )
+    trace = profile.trace(20_000, seed=11)
+    rows = []
+    for count in MSHR_COUNTS:
+        cfg = DEFAULT_MACHINE.with_knobs(mshr_count=count, iw_size=128, rob_size=128,
+                                         name=f"mshr{count}")
+        res, st = simulate_and_measure(cfg, trace, seed=0)
+        rows.append((
+            count,
+            res.component_stats["l1_mshr_peak"],
+            st.l1.pure_miss_penalty,
+            st.l1.pure_miss_concurrency,
+            st.l1.camat,
+            st.cpi,
+        ))
+    return rows
+
+
+def test_ablation_mshr(benchmark, artifact):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    peak = [r[1] for r in rows]
+    pamp = [r[2] for r in rows]
+    camat = [r[4] for r in rows]
+    cpi = [r[5] for r in rows]
+
+    # The engine honours the register bound.
+    for (count, pk, *_ ) in rows:
+        assert pk <= count
+    # pAMP (absorbing MSHR-full waits) shrinks steeply 1 -> 16.
+    assert pamp[4] < 0.6 * pamp[0]
+    # Memory performance and end-to-end performance improve...
+    assert camat[4] < camat[0]
+    assert cpi[4] < cpi[0]
+    # ...and saturate: 32 registers buy (almost) nothing over 16.
+    assert abs(cpi[5] - cpi[4]) / cpi[4] < 0.10
+    assert peak[5] <= 32
+
+    text = render_table(
+        ["MSHRs", "peak occupancy", "pAMP1", "C_M1", "C-AMAT1", "CPI"],
+        rows, float_fmt="{:.2f}",
+        title="A1 — MSHR count vs pure-miss behaviour (bursty miss workload)",
+    )
+    text += (
+        "\n\nNon-blocking-cache registers create the miss-miss overlap the"
+        "\npaper's model exploits; beyond the workload's intrinsic burst"
+        "\nwidth the extra registers buy nothing (the Case III trim target)."
+    )
+    artifact("A1_ablation_mshr", text)

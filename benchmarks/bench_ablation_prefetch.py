@@ -1,0 +1,71 @@
+"""A3 — ablation: prefetching as a C-AMAT lever (technique-pool member).
+
+The paper frames existing memory optimizations as a "technique pool" whose
+deployment LPM should orchestrate.  Hardware stride prefetching is the
+canonical pool member: it trades L2/DRAM bandwidth for L1 latency,
+attacking pMR (fewer demand pure misses) rather than C_M.  The ablation
+runs three workload characters with and without the prefetcher and checks:
+
+* streaming (433.milc): large CPI gain, pMR collapses, high accuracy;
+* pointer chase (429.mcf): little gain — dependence chains are
+  unpredictable, the paper's "one thing parallelism can't fix";
+* LPMR1 moves accordingly, i.e. the LPM measurement correctly attributes
+  the technique's effect.
+"""
+
+from repro.core import render_table
+from repro.sim.params import DEFAULT_MACHINE
+from repro.sim.prefetch import PrefetchConfig
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.spec import get_benchmark
+
+N_ACCESSES = 24_000
+
+
+def run_ablation():
+    base = DEFAULT_MACHINE.with_knobs(mshr_count=8, l1_ports=1,
+                                      iw_size=32, rob_size=32)
+    pf = base.with_(prefetch=PrefetchConfig(degree=4, distance=2))
+    rows = []
+    for name in ("433.milc", "410.bwaves", "429.mcf"):
+        trace = get_benchmark(name).trace(N_ACCESSES, seed=7)
+        _, off = simulate_and_measure(base, trace, seed=0)
+        res_on, on = simulate_and_measure(pf, trace, seed=0)
+        rows.append((
+            name,
+            off.cpi, on.cpi,
+            off.l1.pure_miss_rate, on.l1.pure_miss_rate,
+            off.lpmr1, on.lpmr1,
+            res_on.component_stats.get("prefetch_accuracy", 0.0),
+        ))
+    return rows
+
+
+def test_ablation_prefetch(benchmark, artifact):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    milc, bwaves, mcf = rows
+
+    # Streaming: big CPI gain, pure misses collapse, accurate prefetches.
+    assert milc[2] < 0.80 * milc[1]
+    assert milc[4] < 0.3 * milc[3]
+    assert milc[7] > 0.5
+    # LPMR1 improves where the technique lands.
+    assert milc[6] < milc[5]
+    # Pointer chase: far smaller relative improvement than streaming (its
+    # small strided sub-component is all the prefetcher can catch).
+    milc_improvement = milc[1] / milc[2] - 1.0
+    mcf_improvement = mcf[1] / mcf[2] - 1.0
+    assert mcf_improvement < 0.6 * milc_improvement
+
+    text = render_table(
+        ["workload", "CPI off", "CPI on", "pMR off", "pMR on",
+         "LPMR1 off", "LPMR1 on", "accuracy"],
+        rows, float_fmt="{:.3f}",
+        title="A3 — stride prefetching with the LPM measurement attached",
+    )
+    text += (
+        "\n\nPrefetching attacks pMR (locality-style lever) while consuming"
+        "\nL2/DRAM bandwidth; LPM's per-layer measurement shows exactly"
+        "\nwhere it pays (streams) and where it cannot (dependence chains)."
+    )
+    artifact("A3_ablation_prefetch", text)

@@ -1,0 +1,40 @@
+"""Engine throughput benchmark (true timing benchmark, not an experiment).
+
+Measures the simulator's instructions-per-second on a representative
+workload so performance regressions in the hot loop are visible.  This is
+the one bench where pytest-benchmark's statistics (multiple rounds) are
+meaningful.
+"""
+
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+from repro.workloads.spec import get_benchmark
+
+N_ACCESSES = 10_000
+
+
+def test_engine_throughput(benchmark):
+    trace = get_benchmark("403.gcc").trace(N_ACCESSES, seed=1)
+
+    def run():
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        return sim.run(trace)
+
+    result = benchmark(run)
+    assert result.accesses.n_accesses == N_ACCESSES
+
+
+def test_analyzer_throughput(benchmark):
+    trace = get_benchmark("403.gcc").trace(N_ACCESSES, seed=1)
+    sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+    res = sim.run(trace)
+    acc = res.accesses
+
+    from repro.core import measure_layer
+
+    def analyze():
+        return measure_layer(
+            acc.l1_hit_start, acc.l1_hit_end, acc.l1_miss_start, acc.l1_miss_end
+        )
+
+    m = benchmark(analyze)
+    assert m.accesses == N_ACCESSES

@@ -1,0 +1,63 @@
+"""E6 — Fig. 8: Hsp of different scheduling schemes on the NUCA CMP.
+
+Regenerates the harmonic-weighted-speedup comparison of Random,
+Round-Robin and NUCA-SA (coarse/fine) for the sixteen benchmarks on the
+Fig. 5 machine.  Paper values: Random 0.7986, Round Robin 0.8192,
+NUCA-SA(cg) 0.8742, NUCA-SA(fg) 0.9106; fg improves on Random by 12.29%
+and on Round Robin by 11.16%.
+
+Asserted shape: NUCA-SA(fg) >= NUCA-SA(cg) > {Round Robin, Random}, with
+the fg-over-Random improvement inside the paper's ~10-15% band.
+"""
+
+import numpy as np
+
+from repro.analysis import hsp_text
+from repro.sched import (
+    evaluate_schedule,
+    nuca_sa,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.workloads.spec import SELECTED_16
+
+N_RANDOM_SEEDS = 8
+
+
+def run_fig8(machine, db):
+    apps = list(SELECTED_16)
+    rand = float(np.mean([
+        evaluate_schedule(random_schedule(apps, machine, seed=s), db, machine).hsp
+        for s in range(N_RANDOM_SEEDS)
+    ]))
+    rr = evaluate_schedule(round_robin_schedule(apps, machine), db, machine).hsp
+    cg = evaluate_schedule(nuca_sa(apps, machine, db, grain="coarse"), db, machine).hsp
+    fg = evaluate_schedule(nuca_sa(apps, machine, db, grain="fine"), db, machine).hsp
+    return {"Random": rand, "Round Robin": rr, "NUCA-SA (cg)": cg, "NUCA-SA (fg)": fg}
+
+
+def test_fig8_hsp(benchmark, artifact, nuca_machine, nuca_db):
+    results = benchmark.pedantic(
+        run_fig8, args=(nuca_machine, nuca_db), rounds=1, iterations=1
+    )
+    fg, cg = results["NUCA-SA (fg)"], results["NUCA-SA (cg)"]
+    rr, rand = results["Round Robin"], results["Random"]
+
+    assert fg >= cg - 1e-9
+    assert cg > rr and cg > rand
+    improvement_vs_random = fg / rand - 1.0
+    improvement_vs_rr = fg / rr - 1.0
+    assert 0.05 < improvement_vs_random < 0.25
+    assert 0.04 < improvement_vs_rr < 0.25
+
+    paper = {"Random": 0.7986, "Round Robin": 0.8192,
+             "NUCA-SA (cg)": 0.8742, "NUCA-SA (fg)": 0.9106}
+    text = hsp_text(results)
+    text += "\n\npaper values: " + "  ".join(f"{k}={v}" for k, v in paper.items())
+    text += (
+        f"\n\nNUCA-SA (fg) vs Random:      +{100 * improvement_vs_random:.2f}%"
+        f"  (paper +12.29%)"
+        f"\nNUCA-SA (fg) vs Round Robin: +{100 * improvement_vs_rr:.2f}%"
+        f"  (paper +11.16%)"
+    )
+    artifact("E6_fig8_hsp", text)

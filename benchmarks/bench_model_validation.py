@@ -1,0 +1,70 @@
+"""E8 — model validation: Eq. (12)/(13) stall predictions vs measurement.
+
+The paper's optimization rests on the stall-time expressions being
+faithful.  This bench sweeps configurations x workloads and compares, per
+run:
+
+* Eq. (12): ``stall = CPI_exe * (1 - overlap) * LPMR1`` — exact by the
+  measured overlap definition (sanity anchor);
+* Eq. (13): the LPMR2 form with the combined eta — a genuine prediction
+  (it reconstructs the stall through the L2 layer's matching ratio);
+* Eq. (6): the conventional AMAT stall model — shown for contrast; it
+  ignores concurrency and overshoots badly on overlapped workloads.
+"""
+
+import pytest
+
+from repro.core import render_table
+from repro.core.stall import stall_time_amat, stall_time_lpmr2
+from repro.sim.params import table1_config
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.spec import get_benchmark
+
+WORKLOADS = ("410.bwaves", "403.gcc", "433.milc")
+CONFIGS = ("A", "C", "D")
+N_ACCESSES = 25_000
+
+
+def run_validation():
+    rows = []
+    for bench_name in WORKLOADS:
+        trace = get_benchmark(bench_name).trace(N_ACCESSES, seed=7)
+        for label in CONFIGS:
+            _, st = simulate_and_measure(table1_config(label), trace, seed=0)
+            measured = st.stall_per_instruction
+            report = st.lpmr_report()
+            eq12 = report.predicted_stall_per_instruction()
+            eq13 = stall_time_lpmr2(
+                st.l1.hit_time, st.l1.hit_concurrency, st.f_mem, st.cpi_exe,
+                st.eta_combined, st.lpmr2, st.overlap_ratio_cm,
+            ) if st.l1.miss_count else 0.0
+            eq6 = stall_time_amat(st.f_mem, st.l1.amat)
+            rows.append((bench_name, label, measured, eq12, eq13, eq6))
+    return rows
+
+
+def test_model_validation(benchmark, artifact):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    for bench_name, label, measured, eq12, eq13, eq6 in rows:
+        # Eq. 12 is definitionally tight.
+        assert eq12 == pytest.approx(measured, rel=0.02, abs=1e-6)
+        if measured > 0.05:
+            # Eq. 13 reconstructs stall through the L2 layer within ~40%
+            # (it re-derives the L1 miss contribution from LPMR2 and eta).
+            assert eq13 == pytest.approx(measured, rel=0.4)
+            # The AMAT model ignores hit/miss overlapping: on these
+            # concurrency-rich runs it overshoots the true stall.
+            assert eq6 > measured
+
+    text = render_table(
+        ["workload", "config", "measured stall/instr", "Eq.12", "Eq.13", "Eq.6 (AMAT)"],
+        rows, float_fmt="{:.4f}",
+        title="E8 — stall-time model validation (cycles per instruction)",
+    )
+    text += (
+        "\n\nEq. 12 matches measurement by construction (the overlap ratio is"
+        "\ndefined through Eq. 7); Eq. 13 is a genuine cross-layer prediction;"
+        "\nthe concurrency-blind AMAT model (Eq. 6) overshoots throughout."
+    )
+    artifact("E8_model_validation", text)

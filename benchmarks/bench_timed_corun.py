@@ -1,0 +1,95 @@
+"""E12 (extension) — timed 16-core co-execution validates the Fig. 8 model.
+
+The Fig. 8 comparison (E6) evaluates schedules with an analytic shared-L2
+bandwidth model — the same information NUCA-SA itself uses.  This bench
+re-evaluates the same four schedules on the *timed* multicore simulator
+(`repro.sim.multicore`): sixteen traces co-executing against one shared
+L2 (functional contents, banks, MSHRs) and one shared DRAM.
+
+Asserted facts:
+
+* the policy ordering NUCA-SA(fg) >= NUCA-SA(cg) > {Round Robin, Random}
+  survives in the ground-truth timed model;
+* timed and analytic Hsp agree in rank across all four schedules.
+
+Absolute Hsp is much lower in the timed model: sixteen co-runners share a
+scaled 256 KB LLC, so *capacity* contention — which the analytic model
+deliberately omits (DESIGN.md) — dominates.  The ordering surviving that
+regime change is the strongest validation the substrate can offer.
+"""
+
+from repro.core import render_table
+from repro.sched.metrics import harmonic_weighted_speedup
+from repro.sched.policies import (
+    evaluate_schedule,
+    nuca_sa,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.sim.multicore import MulticoreSimulator
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.spec import SELECTED_16, get_benchmark
+
+KB = 1024
+N_ACCESSES = 8_000  # per-core trace length for the timed co-runs
+
+
+def run_study(machine, db):
+    traces = {n: get_benchmark(n).trace(N_ACCESSES, seed=3) for n in SELECTED_16}
+    alone = {}
+    for name in SELECTED_16:
+        _, st = simulate_and_measure(
+            machine.config_for_l1(64 * KB), traces[name], seed=0
+        )
+        alone[name] = st.ipc
+
+    apps = list(SELECTED_16)
+    schedules = {
+        "Random": random_schedule(apps, machine, seed=0),
+        "Round Robin": round_robin_schedule(apps, machine),
+        "NUCA-SA (cg)": nuca_sa(apps, machine, db, grain="coarse"),
+        "NUCA-SA (fg)": nuca_sa(apps, machine, db, grain="fine"),
+    }
+    rows = []
+    for name, schedule in schedules.items():
+        assigned = schedule.assigned_sizes(machine)
+        configs = [machine.config_for_l1(size) for _, size in assigned]
+        co_traces = [traces[app] for app, _ in assigned]
+        sim = MulticoreSimulator(configs, seed=0)
+        sim.warm_caches(co_traces)
+        result = sim.run(co_traces)
+        timed = harmonic_weighted_speedup(
+            [alone[app] for app, _ in assigned], result.ipcs()
+        )
+        analytic = evaluate_schedule(schedule, db, machine).hsp
+        rows.append((name, analytic, timed))
+    return rows
+
+
+def test_timed_corun(benchmark, artifact, nuca_machine, nuca_db):
+    rows = benchmark.pedantic(
+        run_study, args=(nuca_machine, nuca_db), rounds=1, iterations=1
+    )
+    by_name = {name: (analytic, timed) for name, analytic, timed in rows}
+
+    # Ordering survives in the ground-truth timed model.
+    assert by_name["NUCA-SA (fg)"][1] >= by_name["NUCA-SA (cg)"][1] - 1e-9
+    assert by_name["NUCA-SA (cg)"][1] > by_name["Round Robin"][1]
+    assert by_name["NUCA-SA (cg)"][1] > by_name["Random"][1]
+    # Rank agreement between analytic and timed evaluations.
+    analytic_rank = sorted(by_name, key=lambda k: by_name[k][0])
+    timed_rank = sorted(by_name, key=lambda k: by_name[k][1])
+    assert analytic_rank == timed_rank
+
+    text = render_table(
+        ["schedule", "analytic Hsp (Fig. 8 model)", "timed Hsp (shared-L2 co-run)"],
+        rows, float_fmt="{:.4f}",
+        title="E12 — timed 16-core co-execution vs the analytic contention model",
+    )
+    text += (
+        "\n\nThe timed model adds shared-LLC *capacity* contention (sixteen"
+        "\nworking sets in a scaled 256 KB LLC), depressing absolute Hsp;"
+        "\nthe policy ordering and the analytic/timed rank agreement are the"
+        "\nreproduced facts."
+    )
+    artifact("E12_timed_corun", text)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the experiment-regeneration benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Heavy inputs — the bwaves trace and the
+16-benchmark NUCA profile database — are built once per session here.
+Every bench writes its text artifact to ``benchmarks/output/<id>.txt`` so
+EXPERIMENTS.md can quote regenerated output verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sched import NUCAMachine, profile_benchmarks
+from repro.workloads.spec import SELECTED_16, get_benchmark
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Trace length for single-machine experiments; long enough that streaming
+#: footprints spill the 64 KB L1 and the 256 KB LLC.
+TABLE1_ACCESSES = 60_000
+#: Per-(benchmark, L1 size) standalone profiling length for Case Study II.
+PROFILE_ACCESSES = 20_000
+SEED = 7
+NUCA_SEED = 3
+
+
+def _save_artifact(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/output/{name}.txt]")
+
+
+@pytest.fixture
+def artifact():
+    """Callable writing one experiment's regenerated text artifact."""
+    return _save_artifact
+
+
+@pytest.fixture(scope="session")
+def bwaves_trace():
+    """The 410.bwaves-like trace used by Table I and the algorithm walk."""
+    return get_benchmark("410.bwaves").trace(TABLE1_ACCESSES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def nuca_machine():
+    """The Fig. 5 heterogeneous-L1 16-core machine."""
+    return NUCAMachine()
+
+
+@pytest.fixture(scope="session")
+def nuca_db(nuca_machine):
+    """Standalone profiles of the 16 benchmarks on all four L1 sizes."""
+    profiles = [get_benchmark(name) for name in SELECTED_16]
+    return profile_benchmarks(
+        nuca_machine, profiles, n_mem=PROFILE_ACCESSES, seed=NUCA_SEED
+    )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""C-AMAT anatomy: the paper's Fig. 1 example and the five dimensions.
+
+First replays the worked example of Section II through the C-AMAT analyzer
+(five accesses, two misses, one pure miss) and verifies the paper's numbers
+(AMAT = 3.8, C-AMAT = 1.6).  Then demonstrates the five optimization
+dimensions of Eq. (2) — H, C_H, pMR, pAMP, C_M — with what-if analysis on a
+measured workload: which single parameter change buys the most?
+
+Run:  python examples/camat_analysis.py
+"""
+
+from repro import DEFAULT_MACHINE, get_benchmark, measure_layer, simulate_and_measure
+from repro.core import format_layer_measurement
+from repro.core.camat import CAMATParams
+
+
+def fig1_example() -> None:
+    print("=" * 72)
+    print("Fig. 1 worked example (Section II)")
+    print("=" * 72)
+    # Five accesses, 3 hit-operation cycles each; A3 misses with 2 pure
+    # miss cycles, A4's single overlapped miss cycle hides under A5's hits.
+    hit_start = [1, 1, 3, 3, 4]
+    hit_end = [4, 4, 6, 6, 7]
+    miss_start = [0, 0, 6, 6, 0]
+    miss_end = [0, 0, 9, 7, 0]
+    m = measure_layer(hit_start, hit_end, miss_start, miss_end)
+    print(format_layer_measurement("Fig. 1 cache", m))
+    print()
+    print(f"paper: AMAT = 3 + 0.4 x 2 = 3.8      -> measured {m.amat:.2f}")
+    print(f"paper: C-AMAT = 3/(5/2) + 1/5 x 2/1  -> measured {m.camat:.2f}")
+    print(f"concurrency improved memory performance by {m.amat / m.camat:.2f}x\n")
+
+
+def what_if_analysis() -> None:
+    print("=" * 72)
+    print("Five-dimension what-if analysis (Eq. 2) on 403.gcc")
+    print("=" * 72)
+    trace = get_benchmark("403.gcc").trace(20_000, seed=3)
+    _, stats = simulate_and_measure(DEFAULT_MACHINE, trace, seed=0)
+    base = stats.l1.camat_params
+    print(f"measured L1 parameters: H={base.hit_time:.1f} C_H={base.hit_concurrency:.2f} "
+          f"pMR={base.pure_miss_rate:.3f} pAMP={base.pure_miss_penalty:.1f} "
+          f"C_M={base.pure_miss_concurrency:.2f}")
+    print(f"measured C-AMAT1 = {base.value:.3f} cycles/access\n")
+
+    scenarios: list[tuple[str, CAMATParams]] = [
+        ("halve hit time H", base.with_(hit_time=base.hit_time / 2)),
+        ("double hit concurrency C_H",
+         base.with_(hit_concurrency=2 * base.hit_concurrency)),
+        ("halve pure miss rate pMR",
+         base.with_(pure_miss_rate=base.pure_miss_rate / 2)),
+        ("halve pure miss penalty pAMP",
+         base.with_(pure_miss_penalty=base.pure_miss_penalty / 2)),
+        ("double pure miss concurrency C_M",
+         base.with_(pure_miss_concurrency=2 * base.pure_miss_concurrency)),
+    ]
+    print(f"{'what-if':38s} {'C-AMAT':>8s} {'improvement':>12s}")
+    for name, params in scenarios:
+        gain = base.value / params.value
+        print(f"{name:38s} {params.value:8.3f} {gain:11.2f}x")
+    print("\nThe biggest lever differs per workload: locality-bound codes gain")
+    print("from pMR, concurrency-starved ones from C_H/C_M — exactly the")
+    print("diagnosis the LPM algorithm automates.")
+
+
+if __name__ == "__main__":
+    fig1_example()
+    what_if_analysis()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Characterize simulated machines with lmbench-style probes.
+
+Before trusting an experiment on a simulated machine, measure the machine:
+dependent-chase latency per footprint, streaming bandwidth per footprint,
+and usable memory-level parallelism.  The probes recover the configured
+hierarchy purely from observed behaviour — a useful sanity ritual and a
+compact illustration of how locality (latency ladder) and concurrency
+(bandwidth, MLP) are distinct resources, which is the premise of C-AMAT.
+
+Run:  python examples/machine_characterization.py
+"""
+
+from repro.core import render_table
+from repro.sim import table1_config
+from repro.workloads.micro import characterize
+
+KB = 1024
+FOOTPRINTS = (8 * KB, 64 * KB, 4 << 20)
+
+
+def main() -> None:
+    profiles = [characterize(table1_config(label), footprints=FOOTPRINTS)
+                for label in ("A", "D")]
+
+    labels = [p.config_name for p in profiles]
+    rows = []
+    for fp in FOOTPRINTS:
+        rows.append((f"latency @ {fp // KB} KB (cycles)",
+                     *(p.latency_cycles[fp] for p in profiles)))
+    for fp in FOOTPRINTS:
+        rows.append((f"bandwidth @ {fp // KB} KB (lines/cyc)",
+                     *(p.bandwidth_lines_per_cycle[fp] for p in profiles)))
+    rows.append(("usable MLP (outstanding misses)", *(p.mlp for p in profiles)))
+
+    print(render_table(
+        ["probe", *labels], rows, float_fmt="{:.3f}",
+        title="Machine characterization: Table I configurations A vs D",
+    ))
+    print("\nReading the table: the latency ladder (locality) is identical —")
+    print("A and D share the same caches.  What D buys is *concurrency*:")
+    print("4x the L1 bandwidth (ports) and 4x the usable MLP (MSHRs +")
+    print("window).  That is precisely the C-AMAT claim: modern memory")
+    print("performance is a concurrency resource, not just a latency one.")
+
+
+if __name__ == "__main__":
+    main()

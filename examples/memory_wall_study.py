@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The memory wall, quantified: stall time vs latency and concurrency.
+
+The paper's framing: data stall time is 50-70% of execution time, and
+hierarchy alone (locality) cannot close the gap — concurrency must hide
+what locality cannot avoid.  This study measures, on the default machine:
+
+1. how the stall fraction grows as DRAM gets slower (the wall itself);
+2. how each concurrency resource (MSHRs, L1 ports, window/ROB) pushes the
+   wall back, at a fixed DRAM latency — the C-AMAT view of the same data
+   (C_M rises, pAMP falls);
+3. the AMAT-vs-C-AMAT gap: how much the conventional model overstates the
+   effective memory access time once concurrency exists.
+
+Run:  python examples/memory_wall_study.py
+"""
+
+from dataclasses import replace
+
+from repro import DEFAULT_MACHINE, get_benchmark, simulate_and_measure
+from repro.core import render_table
+
+N_ACCESSES = 20_000
+SEED = 7
+
+
+def wall_vs_dram_latency(trace) -> None:
+    print("=" * 72)
+    print("1. Stall fraction vs DRAM latency (config: default machine)")
+    print("=" * 72)
+    rows = []
+    for scale in (0.5, 1.0, 2.0, 4.0):
+        dram = DEFAULT_MACHINE.dram
+        slow = replace(
+            dram,
+            t_cas=max(int(dram.t_cas * scale), 1),
+            t_rcd=int(dram.t_rcd * scale),
+            t_rp=int(dram.t_rp * scale),
+        )
+        cfg = DEFAULT_MACHINE.with_(dram=slow, name=f"dram x{scale}")
+        _, st = simulate_and_measure(cfg, trace, seed=0)
+        rows.append((f"x{scale}", 100 * st.stall_fraction_of_compute,
+                     st.l1.pure_miss_penalty, st.lpmr1))
+    print(render_table(
+        ["DRAM latency", "stall % of CPI_exe", "pAMP1", "LPMR1"], rows,
+        float_fmt="{:.1f}",
+    ))
+    print()
+
+
+def concurrency_pushes_back(trace) -> None:
+    print("=" * 72)
+    print("2. Concurrency resources push the wall back")
+    print("=" * 72)
+    variants = [
+        ("baseline (starved)", {}),
+        ("+ MSHRs 4 -> 16", dict(mshr_count=16)),
+        ("+ L1 ports 1 -> 4", dict(mshr_count=16, l1_ports=4)),
+        ("+ IW/ROB 32 -> 128", dict(mshr_count=16, l1_ports=4,
+                                    iw_size=128, rob_size=128)),
+    ]
+    rows = []
+    for name, knobs in variants:
+        cfg = DEFAULT_MACHINE.with_knobs(name=name, **knobs)
+        _, st = simulate_and_measure(cfg, trace, seed=0)
+        rows.append((
+            name,
+            100 * st.stall_fraction_of_compute,
+            st.l1.pure_miss_concurrency,
+            st.l1.pure_miss_rate,
+            st.l1.camat,
+        ))
+    print(render_table(
+        ["configuration", "stall %", "C_M1", "pMR1", "C-AMAT1"], rows,
+        float_fmt="{:.2f}",
+    ))
+    print("\nEach resource raises pure-miss concurrency and/or converts pure")
+    print("misses into overlapped ones — the LPM model's two levers.\n")
+
+
+def amat_overstates(trace) -> None:
+    print("=" * 72)
+    print("3. AMAT vs C-AMAT across benchmarks (default machine)")
+    print("=" * 72)
+    rows = []
+    for name in ("401.bzip2", "403.gcc", "429.mcf", "433.milc", "410.bwaves"):
+        tr = get_benchmark(name).trace(N_ACCESSES, seed=SEED)
+        _, st = simulate_and_measure(DEFAULT_MACHINE, tr, seed=0)
+        rows.append((name, st.l1.amat, st.l1.camat, st.l1.amat / st.l1.camat))
+    print(render_table(
+        ["benchmark", "AMAT1", "C-AMAT1", "AMAT / C-AMAT"], rows,
+        float_fmt="{:.2f}",
+    ))
+    print("\nPointer-chasing mcf gains nothing from concurrency (ratio ~1);")
+    print("streaming codes hide most of their miss latency behind hits.")
+
+
+if __name__ == "__main__":
+    trace = get_benchmark("410.bwaves").trace(N_ACCESSES, seed=SEED)
+    wall_vs_dram_latency(trace)
+    concurrency_pushes_back(trace)
+    amat_overstates(trace)

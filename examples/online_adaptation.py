@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Online adaptation: interval-driven LPM on a bursty workload.
+
+"All the steps are conducted on-line to adapt to the dynamic behavior of
+the applications" — this example measures a bursty workload in windows,
+classifies each window with the Fig. 3 case logic, and shows how the
+measurement interval trades detection against reaction cost (Section V's
+10/20/40-cycle interval study is regenerated in
+benchmarks/bench_interval_detection.py).
+
+Run:  python examples/online_adaptation.py
+"""
+
+from repro import DEFAULT_MACHINE, simulate_and_measure
+from repro.core import render_table
+from repro.core.algorithm import classify_case
+from repro.workloads.phases import bursty_trace, detection_rate, generate_bursts
+
+WINDOWS = 8
+N_ACCESSES = 24_000
+
+
+def windowed_measurement() -> None:
+    print("=" * 72)
+    print("Per-window LPM measurement on a bursty workload")
+    print("=" * 72)
+    trace = bursty_trace(N_ACCESSES, seed=5)
+    rows = []
+    per_window = trace.n_instructions // WINDOWS
+    for w in range(WINDOWS):
+        window = trace.slice(w * per_window, (w + 1) * per_window)
+        _, st = simulate_and_measure(DEFAULT_MACHINE, window, seed=0)
+        report = st.lpmr_report()
+        thresholds = report.thresholds(150.0)
+        case = classify_case(report, thresholds, thresholds.t1 * 0.5)
+        rows.append((w, window.f_mem, report.lpmr1, thresholds.t1,
+                     f"Case {case.value}"))
+    print(render_table(
+        ["window", "f_mem", "LPMR1", "T1", "algorithm case"], rows,
+        float_fmt="{:.3f}",
+    ))
+    print("\nWindows dominated by bursts flag Case I/II (optimize); quiet")
+    print("windows fall into the matched band or Case III (over-provision).\n")
+
+
+def interval_tradeoff() -> None:
+    print("=" * 72)
+    print("Measurement-interval trade-off (Section V)")
+    print("=" * 72)
+    bursts = generate_bursts(20_000, seed=0)
+    rows = []
+    for interval, cost, label in ((10, 4, "hardware reconfig"),
+                                  (20, 4, "hardware reconfig"),
+                                  (40, 40, "software scheduling")):
+        rows.append((interval, cost, label,
+                     100 * detection_rate(bursts, interval, cost)))
+    print(render_table(
+        ["interval (cycles)", "reaction cost", "mechanism", "bursts handled timely %"],
+        rows, float_fmt="{:.1f}",
+    ))
+    print("\npaper: 96% @ 10 cycles, 89% @ 20 (hardware), 73% @ 40 (software).")
+
+
+if __name__ == "__main__":
+    windowed_measurement()
+    interval_tradeoff()

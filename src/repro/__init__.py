@@ -1,0 +1,117 @@
+"""Reproduction of *LPM: Concurrency-driven Layered Performance Matching*
+(Yu-Hang Liu and Xian-He Sun, ICPP 2015).
+
+The package provides, from the bottom of the stack up:
+
+``repro.workloads``
+    Synthetic SPEC CPU2006-like trace generation (locality kernels, named
+    benchmark profiles, phase/burst behaviour).
+``repro.sim``
+    A trace-driven out-of-order CPU + non-blocking two-level cache + DRAM
+    timing simulator that emits per-access activity intervals.
+``repro.core``
+    The paper's contribution: the C-AMAT model (Eqs. 1-4), the C-AMAT
+    analyzer (Fig. 4), the LPM model (LPMRs, Eqs. 9-15), the stall-time
+    formulations (Eqs. 5-8, 12-13) and the LPM optimization algorithm
+    (Fig. 3).
+``repro.reconfig``
+    Case Study I: LPM-guided design-space exploration on a reconfigurable
+    architecture (Table I's configurations A-E and a greedy 6-knob search).
+``repro.sched``
+    Case Study II: NUCA-aware scheduling (NUCA-SA) on a 16-core CMP with
+    heterogeneous L1 caches, against Random/Round-Robin, evaluated with
+    harmonic weighted speedup.
+``repro.analysis``
+    Sweep helpers and paper-layout table rendering for the benchmarks.
+
+Quickstart::
+
+    from repro import simulate_and_measure, table1_config, get_benchmark
+
+    trace = get_benchmark("410.bwaves").trace(50_000, seed=7)
+    _, stats = simulate_and_measure(table1_config("A"), trace)
+    print(stats.lpmr1, stats.l1.camat, stats.stall_fraction_of_compute)
+"""
+
+from repro.core import (
+    CAMATParams,
+    LayerMeasurement,
+    LPMAlgorithm,
+    LPMCase,
+    LPMRReport,
+    LPMRunResult,
+    LPMStatus,
+    StallModel,
+    amat,
+    camat,
+    camat_from_apc,
+    measure_layer,
+)
+from repro.reconfig import DesignSpace, GreedyReconfigBackend, LadderBackend
+from repro.sched import (
+    NUCAMachine,
+    evaluate_schedule,
+    harmonic_weighted_speedup,
+    nuca_sa,
+    profile_benchmarks,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.sim import (
+    DEFAULT_MACHINE,
+    TABLE1_CONFIGS,
+    HierarchySimulator,
+    HierarchyStats,
+    MachineConfig,
+    measure_hierarchy,
+    simulate_and_measure,
+    table1_config,
+)
+from repro.workloads import (
+    BENCHMARKS,
+    SELECTED_16,
+    BenchmarkProfile,
+    Trace,
+    get_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "CAMATParams",
+    "DEFAULT_MACHINE",
+    "DesignSpace",
+    "GreedyReconfigBackend",
+    "HierarchySimulator",
+    "HierarchyStats",
+    "LPMAlgorithm",
+    "LPMCase",
+    "LPMRReport",
+    "LPMRunResult",
+    "LPMStatus",
+    "LadderBackend",
+    "LayerMeasurement",
+    "MachineConfig",
+    "NUCAMachine",
+    "SELECTED_16",
+    "StallModel",
+    "TABLE1_CONFIGS",
+    "Trace",
+    "amat",
+    "camat",
+    "camat_from_apc",
+    "evaluate_schedule",
+    "get_benchmark",
+    "harmonic_weighted_speedup",
+    "measure_hierarchy",
+    "measure_layer",
+    "nuca_sa",
+    "profile_benchmarks",
+    "random_schedule",
+    "round_robin_schedule",
+    "simulate_and_measure",
+    "table1_config",
+    "__version__",
+]

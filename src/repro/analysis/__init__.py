@@ -1,0 +1,26 @@
+"""Sweep helpers and experiment table rendering."""
+
+from repro.analysis.export import (
+    rows_to_csv,
+    stats_fieldnames,
+    stats_row,
+    sweep_to_csv,
+    write_sweep_csv,
+)
+from repro.analysis.sweep import SweepResult, sweep_configs, sweep_l1_sizes
+from repro.analysis.tables import apc_sweep_text, hsp_text, stall_walk_text, table1_text
+
+__all__ = [
+    "SweepResult",
+    "apc_sweep_text",
+    "hsp_text",
+    "rows_to_csv",
+    "stats_fieldnames",
+    "stats_row",
+    "stall_walk_text",
+    "sweep_configs",
+    "sweep_l1_sizes",
+    "sweep_to_csv",
+    "write_sweep_csv",
+    "table1_text",
+]

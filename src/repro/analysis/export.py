@@ -1,0 +1,75 @@
+"""CSV export for measurements and sweeps.
+
+Downstream analysis (spreadsheets, plotting environments the library does
+not depend on) consumes flat CSV; these helpers flatten the measurement
+objects without losing the per-layer C-AMAT decomposition.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.analysis.sweep import SweepResult
+from repro.sim.stats import HierarchyStats
+
+__all__ = ["stats_row", "stats_fieldnames", "sweep_to_csv", "write_sweep_csv", "rows_to_csv"]
+
+_LAYER_FIELDS = (
+    "accesses", "hit_time", "hit_concurrency", "miss_rate", "avg_miss_penalty",
+    "miss_concurrency", "pure_miss_rate", "pure_miss_penalty",
+    "pure_miss_concurrency", "apc", "camat", "amat",
+)
+_TOP_FIELDS = (
+    "cpi", "cpi_exe", "f_mem", "overlap_ratio_cm", "eta_combined",
+    "lpmr1", "lpmr2", "lpmr3",
+    "mr1_conventional", "mr1_request", "mr2_conventional", "mr2_request",
+    "stall_per_instruction", "stall_fraction_of_compute", "ipc",
+)
+
+
+def stats_fieldnames() -> list[str]:
+    """Column names produced by :func:`stats_row` (label first)."""
+    names = ["label", *_TOP_FIELDS]
+    for layer in ("l1", "l2", "mem"):
+        names.extend(f"{layer}_{f}" for f in _LAYER_FIELDS)
+    return names
+
+
+def stats_row(label: str, stats: HierarchyStats) -> dict[str, object]:
+    """Flatten one measurement into a CSV row dict."""
+    row: dict[str, object] = {"label": label}
+    for f in _TOP_FIELDS:
+        row[f] = getattr(stats, f)
+    for layer_name in ("l1", "l2", "mem"):
+        layer = getattr(stats, layer_name)
+        for f in _LAYER_FIELDS:
+            row[f"{layer_name}_{f}"] = getattr(layer, f)
+    return row
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Render a sweep as CSV text (header + one row per point)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=stats_fieldnames())
+    writer.writeheader()
+    for label, stats in zip(sweep.labels, sweep.stats):
+        writer.writerow(stats_row(label, stats))
+    return buf.getvalue()
+
+
+def write_sweep_csv(sweep: SweepResult, path: str) -> None:
+    """Write a sweep to *path* as CSV."""
+    with open(path, "w", newline="") as fh:
+        fh.write(sweep_to_csv(sweep))
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Generic CSV rendering for ad-hoc tables (benches, examples)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()

@@ -1,0 +1,66 @@
+"""Parameter-sweep helpers shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.params import MachineConfig
+from repro.sim.stats import HierarchyStats, simulate_and_measure
+from repro.workloads.trace import Trace
+
+__all__ = ["SweepResult", "sweep_configs", "sweep_l1_sizes"]
+
+
+@dataclass
+class SweepResult:
+    """Labelled measurement series from a one-dimensional sweep."""
+
+    labels: list[str] = field(default_factory=list)
+    stats: list[HierarchyStats] = field(default_factory=list)
+
+    def add(self, label: str, stats: HierarchyStats) -> None:
+        """Append one sweep point."""
+        self.labels.append(label)
+        self.stats.append(stats)
+
+    def series(self, attribute: str) -> list[float]:
+        """Extract one quantity across the sweep (e.g. ``"lpmr1"``)."""
+        return [float(getattr(s, attribute)) for s in self.stats]
+
+    def layer_series(self, layer: str, attribute: str) -> list[float]:
+        """Extract a per-layer quantity (e.g. ``("l1", "pure_miss_rate")``)."""
+        return [float(getattr(getattr(s, layer), attribute)) for s in self.stats]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def sweep_configs(
+    configs: "list[MachineConfig]",
+    trace: Trace,
+    *,
+    seed: int = 0,
+    warm: bool = True,
+) -> SweepResult:
+    """Measure one trace across several machine configurations."""
+    result = SweepResult()
+    for config in configs:
+        _, stats = simulate_and_measure(config, trace, seed=seed, warm=warm)
+        result.add(config.name, stats)
+    return result
+
+
+def sweep_l1_sizes(
+    base: MachineConfig,
+    trace: Trace,
+    l1_sizes: "list[int]",
+    *,
+    seed: int = 0,
+    warm: bool = True,
+) -> SweepResult:
+    """Measure one trace across private L1 sizes (the Fig. 6/7 sweep)."""
+    configs = [
+        base.with_knobs(l1_size_bytes=size, name=f"L1-{size // 1024}KB")
+        for size in l1_sizes
+    ]
+    return sweep_configs(configs, trace, seed=seed, warm=warm)

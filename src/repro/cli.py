@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library so the core workflows run without writing
+Python:
+
+``python -m repro simulate --benchmark 410.bwaves --config D``
+    Simulate one benchmark on one configuration and print the per-layer
+    C-AMAT decomposition plus the LPM snapshot.
+
+``python -m repro walk --benchmark 410.bwaves --delta 140``
+    Run the LPM algorithm over the Table I ladder and print the walk.
+
+``python -m repro sweep --benchmark 403.gcc``
+    APC1/APC2 across private L1 sizes (one row of Figs. 6/7).
+
+``python -m repro schedule``
+    The Fig. 8 experiment: profile the 16 benchmarks on the NUCA machine
+    and compare Random / Round-Robin / NUCA-SA.
+
+``python -m repro diagnose --benchmark 429.mcf --config A``
+    Measure, then print the bottleneck diagnosis and the recommended
+    techniques from the paper's "technique pool".
+
+``python -m repro benchmarks``
+    List the available benchmark profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+KB = 1024
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LPM (ICPP'15) reproduction — simulate, measure, optimize.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate one benchmark on one configuration")
+    sim.add_argument("--benchmark", default="410.bwaves",
+                     help="profile name, e.g. 410.bwaves or just bwaves")
+    sim.add_argument("--config", default="A",
+                     help="Table I configuration label A..E, or 'default'")
+    sim.add_argument("--accesses", type=int, default=30_000,
+                     help="memory accesses to generate")
+    sim.add_argument("--seed", type=int, default=7)
+
+    walk = sub.add_parser("walk", help="run the LPM algorithm over the A..E ladder")
+    walk.add_argument("--benchmark", default="410.bwaves")
+    walk.add_argument("--delta", type=float, default=140.0,
+                      help="stall target as %% of CPI_exe (substrate-scaled)")
+    walk.add_argument("--accesses", type=int, default=30_000)
+    walk.add_argument("--seed", type=int, default=7)
+    walk.add_argument("--no-trim", action="store_true",
+                      help="disable the Case III over-provision trim")
+
+    sweep = sub.add_parser("sweep", help="APC1/APC2 across private L1 sizes")
+    sweep.add_argument("--benchmark", default="403.gcc")
+    sweep.add_argument("--accesses", type=int, default=20_000)
+    sweep.add_argument("--seed", type=int, default=3)
+    sweep.add_argument("--sizes", default="4,16,32,64",
+                       help="comma-separated L1 sizes in KB")
+
+    sched = sub.add_parser("schedule", help="the Fig. 8 scheduling comparison")
+    sched.add_argument("--accesses", type=int, default=12_000,
+                       help="profiling accesses per (benchmark, L1 size)")
+    sched.add_argument("--seed", type=int, default=3)
+    sched.add_argument("--random-seeds", type=int, default=5)
+
+    diag = sub.add_parser("diagnose",
+                          help="bottleneck diagnosis + technique recommendations")
+    diag.add_argument("--benchmark", default="410.bwaves")
+    diag.add_argument("--config", default="A")
+    diag.add_argument("--accesses", type=int, default=20_000)
+    diag.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("benchmarks", help="list available benchmark profiles")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import format_layer_measurement, format_lpmr_report
+    from repro.sim import DEFAULT_MACHINE, simulate_and_measure, table1_config
+    from repro.workloads import get_benchmark
+
+    config = (
+        DEFAULT_MACHINE if args.config.lower() == "default"
+        else table1_config(args.config)
+    )
+    trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
+    print(f"workload: {trace}")
+    print(f"machine:  {config.name} {config.knob_summary()}\n")
+    _, stats = simulate_and_measure(config, trace, seed=0)
+    print(format_layer_measurement("L1", stats.l1))
+    print()
+    print(format_layer_measurement("L2 (LLC)", stats.l2))
+    print()
+    if stats.mem.accesses:
+        print(format_layer_measurement("Main memory", stats.mem))
+        print()
+    print(format_lpmr_report(stats.lpmr_report()))
+    return 0
+
+
+def _cmd_walk(args: argparse.Namespace) -> int:
+    from repro.core import LPMAlgorithm, format_run_result
+    from repro.reconfig import LadderBackend
+    from repro.sim import table1_config
+    from repro.workloads import get_benchmark
+
+    trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
+    backend = LadderBackend(
+        [table1_config(c) for c in "ABCD"], trace,
+        deprovision_configs=[table1_config("E")],
+    )
+    algo = LPMAlgorithm(delta_percent=args.delta, delta_slack_fraction=0.5,
+                        max_steps=10)
+    result = algo.run(backend, allow_deprovision=not args.no_trim)
+    print(format_run_result(result))
+    print(f"\nsimulations spent: {backend.log.evaluations}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import sweep_l1_sizes
+    from repro.core import render_table
+    from repro.sched import NUCAMachine
+    from repro.workloads import get_benchmark
+
+    sizes_kb = [int(s) for s in args.sizes.split(",") if s]
+    trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
+    base = NUCAMachine().base_config
+    result = sweep_l1_sizes(base, trace, [kb * KB for kb in sizes_kb], seed=0)
+    rows = [
+        (label, st.apc1, st.apc2, st.mr1_conventional, st.ipc)
+        for label, st in zip(result.labels, result.stats)
+    ]
+    print(render_table(
+        ["L1 size", "APC1", "APC2", "MR1", "IPC"], rows, float_fmt="{:.4f}",
+        title=f"{args.benchmark}: L1-size sweep (Figs. 6/7 quantities)",
+    ))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis import hsp_text
+    from repro.sched import (
+        NUCAMachine,
+        evaluate_schedule,
+        nuca_sa,
+        profile_benchmarks,
+        random_schedule,
+        round_robin_schedule,
+    )
+    from repro.workloads import SELECTED_16, get_benchmark
+
+    machine = NUCAMachine()
+    print(f"profiling {len(SELECTED_16)} benchmarks x "
+          f"{len(machine.distinct_l1_sizes)} L1 sizes...")
+    db = profile_benchmarks(
+        machine, [get_benchmark(n) for n in SELECTED_16],
+        n_mem=args.accesses, seed=args.seed,
+    )
+    apps = list(SELECTED_16)
+    results = {
+        f"Random (avg of {args.random_seeds})": float(np.mean([
+            evaluate_schedule(random_schedule(apps, machine, seed=s), db, machine).hsp
+            for s in range(args.random_seeds)
+        ])),
+        "Round Robin": evaluate_schedule(
+            round_robin_schedule(apps, machine), db, machine
+        ).hsp,
+        "NUCA-SA (cg)": evaluate_schedule(
+            nuca_sa(apps, machine, db, grain="coarse"), db, machine
+        ).hsp,
+        "NUCA-SA (fg)": evaluate_schedule(
+            nuca_sa(apps, machine, db, grain="fine"), db, machine
+        ).hsp,
+    }
+    print()
+    print(hsp_text(results))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.diagnosis import render_diagnosis
+    from repro.sim import DEFAULT_MACHINE, simulate_and_measure, table1_config
+    from repro.workloads import get_benchmark
+
+    config = (
+        DEFAULT_MACHINE if args.config.lower() == "default"
+        else table1_config(args.config)
+    )
+    trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
+    _, stats = simulate_and_measure(config, trace, seed=0)
+    print(f"workload: {trace}")
+    print(f"machine:  {config.name} {config.knob_summary()}\n")
+    print(render_diagnosis(stats, config))
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    from repro.workloads import BENCHMARKS
+
+    for name in sorted(BENCHMARKS):
+        p = BENCHMARKS[name]
+        print(f"{name:18s} [{p.suite:3s}] f_mem={p.f_mem:.2f}  {p.description}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "diagnose": _cmd_diagnose,
+    "walk": _cmd_walk,
+    "sweep": _cmd_sweep,
+    "schedule": _cmd_schedule,
+    "benchmarks": _cmd_benchmarks,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

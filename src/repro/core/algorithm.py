@@ -1,0 +1,233 @@
+"""The LPM optimization algorithm (paper Fig. 3).
+
+The algorithm is a measurement-driven loop over four cases::
+
+    measure LPMR1, LPMR2; compute thresholds T1 (Eq. 14), T2 (Eq. 15)
+    Case I   LPMR1 > T1 and LPMR2 > T2   -> optimize L1 and L2 together
+    Case II  LPMR1 > T1 and LPMR2 <= T2  -> optimize L1 only
+    Case III LPMR1 + delta < T1          -> reduce hardware over-provision
+    Case IV  T1 >= LPMR1 >= T1 - delta   -> matched; end
+
+``delta`` is a positive slack controlling when hardware counts as
+over-provided (the paper sets it per contention status; Case Study II uses
+``delta = T1 * 50%``).
+
+The loop is *backend-agnostic*: the paper applies it both to hardware
+reconfiguration (Case Study I) and to software scheduling (Case Study II).
+A backend implements :class:`MatchingBackend` — it knows how to re-measure
+the running application and how to apply one optimization step at the
+requested layers.  Every parameter the model needs is produced by the
+backend's measurement (the algorithm is "application-aware since all the
+parameter values needed by the models can be measured online").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.lpm import LPMRReport, MatchingThresholds
+from repro.util.validation import check_int, check_positive
+
+__all__ = [
+    "LPMCase",
+    "LPMStatus",
+    "MatchingBackend",
+    "LPMStep",
+    "LPMRunResult",
+    "LPMAlgorithm",
+    "classify_case",
+]
+
+
+class LPMCase(enum.Enum):
+    """The four cases of the Fig. 3 pseudo-code."""
+
+    OPTIMIZE_BOTH = "I"        # both L1 and L2 layers need optimization
+    OPTIMIZE_L1 = "II"         # only the L1 layer needs optimization
+    DEPROVISION = "III"        # hardware over-provision should be reduced
+    MATCHED = "IV"             # nothing to do; end the algorithm
+
+
+class LPMStatus(enum.Enum):
+    """Terminal status of one algorithm run."""
+
+    MATCHED = "matched"                  # ended in Case IV
+    EXHAUSTED = "exhausted"              # backend had no further moves
+    STEP_LIMIT = "step-limit"            # safety bound reached
+
+
+class MatchingBackend(Protocol):
+    """What the LPM algorithm needs from an optimization substrate.
+
+    Case Study I implements this with architecture reconfiguration
+    (:class:`repro.reconfig.explorer.ReconfigBackend`); Case Study II with
+    scheduling moves.  Measurement must reflect the backend's current state.
+    """
+
+    def measure(self) -> LPMRReport:
+        """Re-measure the application on the current configuration."""
+        ...
+
+    def optimize(self, l1: bool, l2: bool) -> bool:
+        """Apply one optimization step at the requested layer(s).
+
+        Returns ``False`` when no improving move exists (design space or
+        schedule space exhausted in the requested direction).
+        """
+        ...
+
+    def deprovision(self) -> bool:
+        """Reduce hardware provisioning by one step; ``False`` if impossible."""
+        ...
+
+    def describe(self) -> str:
+        """Short label of the current configuration (for step history)."""
+        ...
+
+
+def classify_case(
+    report: LPMRReport, thresholds: MatchingThresholds, delta: float
+) -> LPMCase:
+    """Map a measurement to one of the four Fig. 3 cases.
+
+    The order of tests follows the pseudo-code: mismatches first (Cases I
+    and II), then over-provision (Case III), then the matched band (Case
+    IV).  Note Case II also covers ``T2 <= 0`` (L2 matching target already
+    unreachable through L2 work alone — only L1 optimization can help).
+    """
+    if report.lpmr1 > thresholds.t1:
+        if report.lpmr2 > thresholds.t2:
+            return LPMCase.OPTIMIZE_BOTH
+        return LPMCase.OPTIMIZE_L1
+    if report.lpmr1 + delta < thresholds.t1:
+        return LPMCase.DEPROVISION
+    return LPMCase.MATCHED
+
+
+@dataclass(frozen=True)
+class LPMStep:
+    """One iteration of the algorithm: what was measured and what was done."""
+
+    index: int
+    case: LPMCase
+    report: LPMRReport
+    thresholds: MatchingThresholds
+    config_label: str
+    action_taken: bool
+
+
+@dataclass
+class LPMRunResult:
+    """History and outcome of one LPM algorithm run."""
+
+    status: LPMStatus
+    steps: list[LPMStep] = field(default_factory=list)
+
+    @property
+    def final_report(self) -> LPMRReport:
+        """Measurement after the last applied action."""
+        if not self.steps:
+            raise ValueError("run produced no steps")
+        return self.steps[-1].report
+
+    @property
+    def final_case(self) -> LPMCase:
+        """Case classification at termination."""
+        if not self.steps:
+            raise ValueError("run produced no steps")
+        return self.steps[-1].case
+
+    @property
+    def optimization_steps(self) -> int:
+        """Number of steps in which the backend actually changed state."""
+        return sum(1 for s in self.steps if s.action_taken)
+
+    def trajectory(self) -> list[tuple[str, float, float]]:
+        """(config label, LPMR1, LPMR2) per step — the Table I style walk."""
+        return [(s.config_label, s.report.lpmr1, s.report.lpmr2) for s in self.steps]
+
+
+class LPMAlgorithm:
+    """Driver for the Fig. 3 LPMR-reduction loop.
+
+    Parameters
+    ----------
+    delta_percent:
+        The Δ% stall target: 1 for fine-grained, 10 for coarse-grained
+        optimization (Section IV).
+    delta_slack:
+        The over-provision slack δ, in absolute LPMR units.  If
+        ``delta_slack_fraction`` is given instead, δ is recomputed each
+        step as that fraction of the current T1 (Case Study II uses 50%).
+    max_steps:
+        Safety bound on loop iterations (the paper's loop always terminates
+        on real hardware because the design space is finite; a bound keeps
+        buggy backends from spinning).
+    """
+
+    def __init__(
+        self,
+        delta_percent: float = 1.0,
+        *,
+        delta_slack: float | None = None,
+        delta_slack_fraction: float | None = 0.5,
+        max_steps: int = 256,
+    ) -> None:
+        check_positive("delta_percent", delta_percent)
+        check_int("max_steps", max_steps, minimum=1)
+        if delta_slack is not None and delta_slack_fraction is not None:
+            raise ValueError("give delta_slack or delta_slack_fraction, not both")
+        if delta_slack is None and delta_slack_fraction is None:
+            raise ValueError("one of delta_slack / delta_slack_fraction is required")
+        if delta_slack is not None:
+            check_positive("delta_slack", delta_slack)
+        if delta_slack_fraction is not None:
+            check_positive("delta_slack_fraction", delta_slack_fraction)
+        self.delta_percent = float(delta_percent)
+        self.delta_slack = delta_slack
+        self.delta_slack_fraction = delta_slack_fraction
+        self.max_steps = max_steps
+
+    def _delta_for(self, thresholds: MatchingThresholds) -> float:
+        if self.delta_slack is not None:
+            return self.delta_slack
+        assert self.delta_slack_fraction is not None
+        return thresholds.t1 * self.delta_slack_fraction
+
+    def run(self, backend: MatchingBackend, *, allow_deprovision: bool = True) -> LPMRunResult:
+        """Execute the loop until matched, exhausted, or the step limit.
+
+        ``allow_deprovision=False`` skips Case III (the paper marks the
+        over-provision reduction as optional).
+        """
+        result = LPMRunResult(status=LPMStatus.STEP_LIMIT)
+        for index in range(self.max_steps):
+            report = backend.measure()
+            thresholds = report.thresholds(self.delta_percent)
+            delta = self._delta_for(thresholds)
+            case = classify_case(report, thresholds, delta)
+            if case is LPMCase.DEPROVISION and not allow_deprovision:
+                case = LPMCase.MATCHED
+            # The label must describe the configuration the measurement was
+            # taken on, i.e. before any action mutates the backend.
+            label = backend.describe()
+
+            if case is LPMCase.MATCHED:
+                result.steps.append(LPMStep(index, case, report, thresholds, label, False))
+                result.status = LPMStatus.MATCHED
+                return result
+
+            if case is LPMCase.OPTIMIZE_BOTH:
+                acted = backend.optimize(l1=True, l2=True)
+            elif case is LPMCase.OPTIMIZE_L1:
+                acted = backend.optimize(l1=True, l2=False)
+            else:  # Case III
+                acted = backend.deprovision()
+
+            result.steps.append(LPMStep(index, case, report, thresholds, label, acted))
+            if not acted:
+                result.status = LPMStatus.EXHAUSTED
+                return result
+        return result

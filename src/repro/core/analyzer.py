@@ -1,0 +1,460 @@
+"""The C-AMAT analyzer (paper Fig. 4): measuring C_H, C_M, pMR, pAMP, APC.
+
+The paper's detecting system consists of a Hit Concurrency Detector (HCD)
+and a Miss Concurrency Detector (MCD) attached to each cache layer:
+
+* the HCD counts, per cycle, how many in-flight accesses are in their
+  *hit-operation* phase (this includes the lookup phase of accesses that
+  will miss — in Fig. 1 every access spends ``H`` cycles on "cache hit
+  operations" whether it hits or not);
+* the MCD counts, per cycle, how many in-flight accesses are in their
+  *miss-penalty* phase, and — by asking the HCD whether the current cycle
+  has any hit activity — classifies each miss cycle as *pure* (no
+  concurrent hit activity) or *overlapped*.
+
+From those per-cycle observations the five C-AMAT parameters follow:
+
+===============  =====================================================
+``C_H``          (sum of hit concurrency over hit-active cycles)
+                 / (number of hit-active cycles)
+``C_M``          (sum of miss concurrency over pure-miss cycles)
+                 / (number of pure-miss cycles)
+``pMR``          (number of accesses with >= 1 pure miss cycle) / accesses
+``pAMP``         (total pure miss cycles of pure misses) / (pure misses)
+``APC``          accesses / memory-active cycles
+===============  =====================================================
+
+Exact identities (proved by the definitions, property-tested in
+``tests/core/test_analyzer_properties.py``):
+
+* every memory-active cycle is either hit-active or a pure-miss cycle, so
+  ``C-AMAT = H/C_H + pMR*pAMP/C_M = active_cycles/accesses = 1/APC``
+  whenever all accesses share the same hit time ``H``;
+* ``sum of per-access pure miss cycles == sum of miss concurrency over
+  pure-miss cycles`` (both count (access, pure cycle) incidences).
+
+Two implementations are provided:
+
+* :func:`measure_layer` — vectorized (numpy difference arrays), used by the
+  simulator; cost is O(accesses + active cycle span);
+* :class:`HitConcurrencyDetector` / :class:`MissConcurrencyDetector` — the
+  cycle-by-cycle streaming detectors of Fig. 4, used online by the LPM
+  algorithm's interval-based measurement and to cross-validate the
+  vectorized path in tests.
+
+Interval convention: all intervals are half-open ``[start, end)`` in cycles;
+an empty interval (``start == end``) denotes "no such phase" (e.g. the miss
+interval of a hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.camat import CAMATParams
+
+__all__ = [
+    "LayerMeasurement",
+    "measure_layer",
+    "concurrency_profile",
+    "active_cycle_count",
+    "HitConcurrencyDetector",
+    "MissConcurrencyDetector",
+    "CAMATAnalyzer",
+]
+
+
+def _as_cycle_array(name: str, values: "np.ndarray | list[int]") -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def concurrency_profile(
+    starts: np.ndarray, ends: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Per-cycle concurrency over ``[lo, hi)`` from half-open intervals.
+
+    Returns an array ``c`` of length ``hi - lo`` where ``c[t - lo]`` is the
+    number of intervals containing cycle ``t``.  Built with a difference
+    array + cumulative sum, so the cost is O(intervals + span) rather than
+    O(intervals * span).
+    """
+    if hi < lo:
+        raise ValueError(f"hi ({hi}) must be >= lo ({lo})")
+    span = hi - lo
+    diff = np.zeros(span + 1, dtype=np.int64)
+    s = np.clip(starts, lo, hi) - lo
+    e = np.clip(ends, lo, hi) - lo
+    keep = e > s
+    np.add.at(diff, s[keep], 1)
+    np.add.at(diff, e[keep], -1)
+    return np.cumsum(diff[:-1])
+
+
+def active_cycle_count(profile: np.ndarray) -> int:
+    """Number of cycles with any activity in a concurrency profile."""
+    return int(np.count_nonzero(profile))
+
+
+@dataclass(frozen=True)
+class LayerMeasurement:
+    """Everything the HCD/MCD pair measures for one memory layer.
+
+    All concurrency values are per-cycle averages; all penalties and times
+    are in cycles of this layer's clock.  ``camat_params`` bundles the five
+    C-AMAT parameters (Eq. 2) for downstream model evaluation.
+    """
+
+    accesses: int
+    hit_time: float
+    hit_concurrency: float          # C_H
+    miss_count: int
+    miss_rate: float                # MR
+    avg_miss_penalty: float         # AMP (0 when no misses)
+    miss_concurrency: float         # Cm  (1 when no miss-active cycles)
+    pure_miss_count: int
+    pure_miss_rate: float           # pMR
+    pure_miss_penalty: float        # pAMP (pure cycles only; 0 if no pure misses)
+    pure_miss_concurrency: float    # C_M (1 when no pure-miss cycles)
+    hit_active_cycles: int
+    miss_active_cycles: int
+    pure_miss_cycles: int
+    active_cycles: int
+
+    @property
+    def apc(self) -> float:
+        """Accesses per memory-active cycle (Eq. 3 measurement)."""
+        if self.active_cycles == 0:
+            return 0.0
+        return self.accesses / self.active_cycles
+
+    @property
+    def camat(self) -> float:
+        """C-AMAT = 1/APC = active cycles per access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.active_cycles / self.accesses
+
+    @property
+    def amat(self) -> float:
+        """The conventional AMAT (Eq. 1) from the same measurements."""
+        return self.hit_time + self.miss_rate * self.avg_miss_penalty
+
+    @property
+    def eta(self) -> float:
+        """Per-layer coupling factor ``eta = (pAMP/AMP) * (Cm/C_M)`` (Eq. 4).
+
+        Defined as 0 when there are no misses (the recursion term vanishes).
+        """
+        if self.miss_count == 0 or self.avg_miss_penalty == 0.0:
+            return 0.0
+        return (self.pure_miss_penalty / self.avg_miss_penalty) * (
+            self.miss_concurrency / self.pure_miss_concurrency
+        )
+
+    @property
+    def camat_params(self) -> CAMATParams:
+        """The five Eq. (2) parameters as a :class:`CAMATParams` bundle."""
+        return CAMATParams(
+            hit_time=self.hit_time,
+            hit_concurrency=max(self.hit_concurrency, 1.0),
+            pure_miss_rate=self.pure_miss_rate,
+            pure_miss_penalty=self.pure_miss_penalty,
+            pure_miss_concurrency=max(self.pure_miss_concurrency, 1.0),
+        )
+
+    @property
+    def camat_model(self) -> float:
+        """C-AMAT via Eq. (2); equals :attr:`camat` for uniform hit times."""
+        return self.camat_params.value
+
+
+def measure_layer(
+    hit_start: "np.ndarray | list[int]",
+    hit_end: "np.ndarray | list[int]",
+    miss_start: "np.ndarray | list[int]",
+    miss_end: "np.ndarray | list[int]",
+) -> LayerMeasurement:
+    """Measure one layer from per-access hit/miss intervals (vectorized HCD+MCD).
+
+    Parameters
+    ----------
+    hit_start, hit_end:
+        Half-open hit-operation interval of every access (misses included —
+        their lookup cycles are hit activity, per Fig. 1).
+    miss_start, miss_end:
+        Half-open miss-penalty interval; ``start == end`` for hits.
+
+    Notes
+    -----
+    Cost is O(accesses + cycle span) in time and O(span) in memory, using
+    difference arrays instead of per-cycle simulation (see the module
+    docstring of :mod:`repro.core.analyzer`).
+    """
+    hs = _as_cycle_array("hit_start", hit_start)
+    he = _as_cycle_array("hit_end", hit_end)
+    ms = _as_cycle_array("miss_start", miss_start)
+    me = _as_cycle_array("miss_end", miss_end)
+    n = hs.shape[0]
+    if not (he.shape[0] == ms.shape[0] == me.shape[0] == n):
+        raise ValueError("all interval arrays must have the same length")
+    if n == 0:
+        return LayerMeasurement(
+            accesses=0, hit_time=0.0, hit_concurrency=1.0,
+            miss_count=0, miss_rate=0.0, avg_miss_penalty=0.0, miss_concurrency=1.0,
+            pure_miss_count=0, pure_miss_rate=0.0, pure_miss_penalty=0.0,
+            pure_miss_concurrency=1.0, hit_active_cycles=0, miss_active_cycles=0,
+            pure_miss_cycles=0, active_cycles=0,
+        )
+    if np.any(he < hs) or np.any(me < ms):
+        raise ValueError("interval ends must be >= starts")
+    if np.any(he == hs):
+        raise ValueError("every access must have a non-empty hit-operation interval")
+
+    lo = int(min(hs.min(), ms.min()))
+    hi = int(max(he.max(), me.max()))
+
+    hit_conc = concurrency_profile(hs, he, lo, hi)
+    miss_conc = concurrency_profile(ms, me, lo, hi)
+
+    hit_active = hit_conc > 0
+    miss_active = miss_conc > 0
+    pure_cycle = miss_active & ~hit_active
+
+    hit_active_cycles = int(np.count_nonzero(hit_active))
+    miss_active_cycles = int(np.count_nonzero(miss_active))
+    pure_miss_cycles = int(np.count_nonzero(pure_cycle))
+    active_cycles = int(np.count_nonzero(hit_active | miss_active))
+
+    hit_time = float(np.mean(he - hs))
+    c_h = float(hit_conc[hit_active].sum() / hit_active_cycles) if hit_active_cycles else 1.0
+    c_m_sum = int(miss_conc[pure_cycle].sum())
+    c_m = float(c_m_sum / pure_miss_cycles) if pure_miss_cycles else 1.0
+    cm_conv = (
+        float(miss_conc[miss_active].sum() / miss_active_cycles) if miss_active_cycles else 1.0
+    )
+
+    # Per-access pure miss cycles: |miss interval| minus the hit-active
+    # cycles it overlaps, via a prefix sum over the hit-active mask.
+    miss_len = me - ms
+    is_miss = miss_len > 0
+    miss_count = int(np.count_nonzero(is_miss))
+    amp = float(miss_len[is_miss].mean()) if miss_count else 0.0
+
+    if miss_count:
+        prefix = np.concatenate(([0], np.cumsum(hit_active.astype(np.int64))))
+        s_idx = np.clip(ms - lo, 0, hi - lo)
+        e_idx = np.clip(me - lo, 0, hi - lo)
+        overlapped = prefix[e_idx] - prefix[s_idx]
+        pure_per_access = np.where(is_miss, miss_len - overlapped, 0)
+        pure_mask = pure_per_access > 0
+        pure_miss_count = int(np.count_nonzero(pure_mask))
+        pamp = (
+            float(pure_per_access[pure_mask].sum() / pure_miss_count)
+            if pure_miss_count
+            else 0.0
+        )
+    else:
+        pure_miss_count = 0
+        pamp = 0.0
+
+    return LayerMeasurement(
+        accesses=n,
+        hit_time=hit_time,
+        hit_concurrency=c_h,
+        miss_count=miss_count,
+        miss_rate=miss_count / n,
+        avg_miss_penalty=amp,
+        miss_concurrency=cm_conv,
+        pure_miss_count=pure_miss_count,
+        pure_miss_rate=pure_miss_count / n,
+        pure_miss_penalty=pamp,
+        pure_miss_concurrency=c_m,
+        hit_active_cycles=hit_active_cycles,
+        miss_active_cycles=miss_active_cycles,
+        pure_miss_cycles=pure_miss_cycles,
+        active_cycles=active_cycles,
+    )
+
+
+class HitConcurrencyDetector:
+    """Streaming HCD (paper Fig. 4): counts hit activity cycle by cycle.
+
+    The hardware analogue is a set of lightweight counters attached to the
+    cache's hit path.  Feed it the number of accesses in their hit-operation
+    phase each cycle via :meth:`observe`; it accumulates the totals needed
+    for ``C_H`` and answers "does this cycle have hit activity?" queries
+    from the MCD.
+    """
+
+    def __init__(self) -> None:
+        self.hit_active_cycles = 0
+        self.hit_concurrency_sum = 0
+        self._last_had_hit = False
+
+    def observe(self, hits_in_flight: int) -> bool:
+        """Record one cycle; returns whether the cycle had hit activity."""
+        if hits_in_flight < 0:
+            raise ValueError("hits_in_flight must be >= 0")
+        had_hit = hits_in_flight > 0
+        if had_hit:
+            self.hit_active_cycles += 1
+            self.hit_concurrency_sum += hits_in_flight
+        self._last_had_hit = had_hit
+        return had_hit
+
+    @property
+    def hit_concurrency(self) -> float:
+        """``C_H`` over the observed window (1.0 if no hit activity yet)."""
+        if self.hit_active_cycles == 0:
+            return 1.0
+        return self.hit_concurrency_sum / self.hit_active_cycles
+
+    def reset(self) -> None:
+        """Clear counters (used at measurement-interval boundaries)."""
+        self.hit_active_cycles = 0
+        self.hit_concurrency_sum = 0
+        self._last_had_hit = False
+
+
+class MissConcurrencyDetector:
+    """Streaming MCD (paper Fig. 4): classifies miss cycles as pure/overlapped.
+
+    Each cycle it receives the number of misses in flight and consults the
+    HCD's same-cycle answer; a cycle with misses but no hit activity is a
+    *pure miss cycle*.  Per-access pure-miss attribution is done by the
+    caller tagging which access ids are in flight (see
+    :class:`CAMATAnalyzer`); the MCD itself keeps the aggregate counters for
+    ``C_M`` and the pure-cycle total for ``pAMP``.
+    """
+
+    def __init__(self) -> None:
+        self.pure_miss_cycles = 0
+        self.pure_concurrency_sum = 0
+        self.miss_active_cycles = 0
+        self.miss_concurrency_sum = 0
+
+    def observe(self, misses_in_flight: int, cycle_has_hit: bool) -> bool:
+        """Record one cycle; returns whether the cycle was a pure miss cycle."""
+        if misses_in_flight < 0:
+            raise ValueError("misses_in_flight must be >= 0")
+        if misses_in_flight == 0:
+            return False
+        self.miss_active_cycles += 1
+        self.miss_concurrency_sum += misses_in_flight
+        if cycle_has_hit:
+            return False
+        self.pure_miss_cycles += 1
+        self.pure_concurrency_sum += misses_in_flight
+        return True
+
+    @property
+    def pure_miss_concurrency(self) -> float:
+        """``C_M`` over the observed window (1.0 if no pure cycles yet)."""
+        if self.pure_miss_cycles == 0:
+            return 1.0
+        return self.pure_concurrency_sum / self.pure_miss_cycles
+
+    @property
+    def miss_concurrency(self) -> float:
+        """Conventional ``Cm`` over the observed window."""
+        if self.miss_active_cycles == 0:
+            return 1.0
+        return self.miss_concurrency_sum / self.miss_active_cycles
+
+    def reset(self) -> None:
+        """Clear counters (used at measurement-interval boundaries)."""
+        self.pure_miss_cycles = 0
+        self.pure_concurrency_sum = 0
+        self.miss_active_cycles = 0
+        self.miss_concurrency_sum = 0
+
+
+class CAMATAnalyzer:
+    """Cycle-stepped reference analyzer combining an HCD and an MCD.
+
+    This walks cycles explicitly (O(span) per layer) and is therefore the
+    slow-but-obviously-correct reference implementation; the vectorized
+    :func:`measure_layer` is validated against it in the test suite.  It is
+    also the component the LPM algorithm instantiates per measurement
+    interval when operating online.
+    """
+
+    def __init__(self) -> None:
+        self.hcd = HitConcurrencyDetector()
+        self.mcd = MissConcurrencyDetector()
+        self._hit_intervals: list[tuple[int, int]] = []
+        self._miss_intervals: list[tuple[int, int]] = []
+
+    def add_access(
+        self, hit_start: int, hit_end: int, miss_start: int = 0, miss_end: int = 0
+    ) -> None:
+        """Register one access's hit interval and optional miss interval."""
+        if hit_end <= hit_start:
+            raise ValueError("hit interval must be non-empty")
+        if miss_end < miss_start:
+            raise ValueError("miss interval end must be >= start")
+        self._hit_intervals.append((hit_start, hit_end))
+        self._miss_intervals.append((miss_start, miss_end))
+
+    def run(self) -> LayerMeasurement:
+        """Replay all registered accesses cycle by cycle and measure.
+
+        Mirrors the hardware: for each cycle the HCD observes hit activity
+        first, then the MCD classifies the cycle using the HCD's answer.
+        """
+        self.hcd.reset()
+        self.mcd.reset()
+        n = len(self._hit_intervals)
+        if n == 0:
+            return measure_layer([], [], [], [])
+        lo = min(s for s, _ in self._hit_intervals)
+        hi = max(e for _, e in self._hit_intervals)
+        for s, e in self._miss_intervals:
+            if e > s:
+                lo = min(lo, s)
+                hi = max(hi, e)
+
+        pure_per_access = [0] * n
+        hit_cycles_total = 0
+        active_cycles = 0
+        for cycle in range(lo, hi):
+            hits = sum(1 for s, e in self._hit_intervals if s <= cycle < e)
+            misses = sum(1 for s, e in self._miss_intervals if s <= cycle < e)
+            has_hit = self.hcd.observe(hits)
+            is_pure = self.mcd.observe(misses, has_hit)
+            if hits or misses:
+                active_cycles += 1
+            hit_cycles_total += hits
+            if is_pure:
+                for i, (s, e) in enumerate(self._miss_intervals):
+                    if s <= cycle < e:
+                        pure_per_access[i] += 1
+
+        miss_lens = [e - s for s, e in self._miss_intervals]
+        miss_count = sum(1 for ln in miss_lens if ln > 0)
+        pure_misses = [p for p in pure_per_access if p > 0]
+        pure_miss_count = len(pure_misses)
+        return LayerMeasurement(
+            accesses=n,
+            hit_time=sum(e - s for s, e in self._hit_intervals) / n,
+            hit_concurrency=self.hcd.hit_concurrency,
+            miss_count=miss_count,
+            miss_rate=miss_count / n,
+            avg_miss_penalty=(
+                sum(ln for ln in miss_lens if ln > 0) / miss_count if miss_count else 0.0
+            ),
+            miss_concurrency=self.mcd.miss_concurrency,
+            pure_miss_count=pure_miss_count,
+            pure_miss_rate=pure_miss_count / n,
+            pure_miss_penalty=(sum(pure_misses) / pure_miss_count if pure_miss_count else 0.0),
+            pure_miss_concurrency=self.mcd.pure_miss_concurrency,
+            hit_active_cycles=self.hcd.hit_active_cycles,
+            miss_active_cycles=self.mcd.miss_active_cycles,
+            pure_miss_cycles=self.mcd.pure_miss_cycles,
+            active_cycles=active_cycles,
+        )

@@ -1,0 +1,282 @@
+"""The C-AMAT model (Sun & Wang) and the classic AMAT model it extends.
+
+This module implements Section II of the paper:
+
+* Eq. (1)  ``AMAT = H + MR * AMP``
+* Eq. (2)  ``C-AMAT = H/C_H + pMR * pAMP/C_M``
+* Eq. (3)  ``C-AMAT = 1/APC``
+* Eq. (4)  ``C-AMAT_1 = H1/C_H1 + pMR1 * eta1 * C-AMAT_2`` with
+  ``eta1 = (pAMP1/AMP1) * (Cm1/C_M1)``
+
+Terminology (paper Section II):
+
+hit concurrency ``C_H``
+    Average number of concurrent hit activities per hit-active cycle.
+pure miss
+    A miss that contains at least one cycle with no concurrent hit activity
+    anywhere in the same cache layer.  Only pure misses stall the processor.
+pure miss rate ``pMR``
+    Pure misses over total accesses (``pMR <= MR``).
+average pure miss penalty ``pAMP``
+    Average number of *pure* miss cycles per pure miss.
+pure miss concurrency ``C_M``
+    Average number of concurrent pure-miss activities per pure-miss cycle.
+conventional miss concurrency ``Cm``
+    Average number of concurrent (any) miss activities per miss-active cycle.
+
+The dataclasses here are *value objects*: they hold measured or hypothesised
+parameters and evaluate the closed-form model.  Measurement of the
+parameters from simulated execution lives in :mod:`repro.core.analyzer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_at_least, check_fraction, check_non_negative, check_positive
+
+__all__ = [
+    "AMATParams",
+    "CAMATParams",
+    "amat",
+    "camat",
+    "camat_from_apc",
+    "apc_from_camat",
+    "eta",
+    "recursive_camat",
+    "CAMATStack",
+]
+
+
+@dataclass(frozen=True)
+class AMATParams:
+    """Parameters of the classic AMAT model, Eq. (1).
+
+    Attributes
+    ----------
+    hit_time:
+        ``H`` — cache hit latency in cycles.
+    miss_rate:
+        ``MR`` — misses over total accesses, in [0, 1].
+    avg_miss_penalty:
+        ``AMP`` — sum of all miss access latencies divided by the number of
+        misses, in cycles.
+    """
+
+    hit_time: float
+    miss_rate: float
+    avg_miss_penalty: float
+
+    def __post_init__(self) -> None:
+        check_positive("hit_time", self.hit_time)
+        check_fraction("miss_rate", self.miss_rate)
+        check_non_negative("avg_miss_penalty", self.avg_miss_penalty)
+
+    @property
+    def value(self) -> float:
+        """``AMAT = H + MR * AMP`` (Eq. 1)."""
+        return self.hit_time + self.miss_rate * self.avg_miss_penalty
+
+
+@dataclass(frozen=True)
+class CAMATParams:
+    """Parameters of the C-AMAT model, Eq. (2).
+
+    Attributes
+    ----------
+    hit_time:
+        ``H`` — hit latency in cycles (same meaning as in AMAT).
+    hit_concurrency:
+        ``C_H`` — average hit concurrency, >= 1 whenever there is any hit
+        activity (a hit-active cycle has at least one hit in flight).
+    pure_miss_rate:
+        ``pMR`` — pure misses over total accesses, in [0, 1].
+    pure_miss_penalty:
+        ``pAMP`` — average number of pure miss cycles per pure miss.
+    pure_miss_concurrency:
+        ``C_M`` — average pure-miss concurrency, >= 1 whenever any pure miss
+        exists.
+    """
+
+    hit_time: float
+    hit_concurrency: float
+    pure_miss_rate: float
+    pure_miss_penalty: float
+    pure_miss_concurrency: float
+
+    def __post_init__(self) -> None:
+        check_positive("hit_time", self.hit_time)
+        check_at_least("hit_concurrency", self.hit_concurrency, 1.0)
+        check_fraction("pure_miss_rate", self.pure_miss_rate)
+        check_non_negative("pure_miss_penalty", self.pure_miss_penalty)
+        check_at_least("pure_miss_concurrency", self.pure_miss_concurrency, 1.0)
+
+    @property
+    def value(self) -> float:
+        """``C-AMAT = H/C_H + pMR * pAMP/C_M`` (Eq. 2)."""
+        return (
+            self.hit_time / self.hit_concurrency
+            + self.pure_miss_rate * self.pure_miss_penalty / self.pure_miss_concurrency
+        )
+
+    @property
+    def hit_component(self) -> float:
+        """The concurrency-adjusted hit term ``H/C_H``."""
+        return self.hit_time / self.hit_concurrency
+
+    @property
+    def miss_component(self) -> float:
+        """The concurrency-adjusted pure-miss term ``pMR * pAMP/C_M``."""
+        return self.pure_miss_rate * self.pure_miss_penalty / self.pure_miss_concurrency
+
+    def with_(self, **changes: float) -> "CAMATParams":
+        """Return a copy with selected parameters replaced.
+
+        Convenience for what-if analysis along the five optimization
+        dimensions the paper identifies (H, C_H, pMR, pAMP, C_M).
+        """
+        return replace(self, **changes)
+
+    def degenerate_amat(self, miss_rate: float, avg_miss_penalty: float) -> AMATParams:
+        """The AMAT special case reached when concurrency is absent.
+
+        C-AMAT contains AMAT as a special case: with ``C_H = C_M = 1`` every
+        miss is a pure miss (``pMR = MR``) and every miss cycle is a pure
+        miss cycle (``pAMP = AMP``).
+        """
+        return AMATParams(self.hit_time, miss_rate, avg_miss_penalty)
+
+
+def amat(hit_time: float, miss_rate: float, avg_miss_penalty: float) -> float:
+    """Evaluate Eq. (1): ``AMAT = H + MR * AMP``."""
+    return AMATParams(hit_time, miss_rate, avg_miss_penalty).value
+
+
+def camat(
+    hit_time: float,
+    hit_concurrency: float,
+    pure_miss_rate: float,
+    pure_miss_penalty: float,
+    pure_miss_concurrency: float,
+) -> float:
+    """Evaluate Eq. (2): ``C-AMAT = H/C_H + pMR * pAMP/C_M``."""
+    return CAMATParams(
+        hit_time, hit_concurrency, pure_miss_rate, pure_miss_penalty, pure_miss_concurrency
+    ).value
+
+
+def camat_from_apc(apc: float) -> float:
+    """Eq. (3): ``C-AMAT = 1/APC``.
+
+    APC (Accesses Per memory-active Cycle) is the direct measurement of
+    C-AMAT; the five parameters of Eq. (2) are for analysis, not
+    measurement.
+    """
+    check_positive("apc", apc)
+    return 1.0 / apc
+
+
+def apc_from_camat(camat_value: float) -> float:
+    """Inverse of Eq. (3): ``APC = 1/C-AMAT``."""
+    check_positive("camat_value", camat_value)
+    return 1.0 / camat_value
+
+
+def eta(
+    pure_miss_penalty: float,
+    avg_miss_penalty: float,
+    miss_concurrency: float,
+    pure_miss_concurrency: float,
+) -> float:
+    """The layer-coupling factor ``eta = (pAMP/AMP) * (Cm/C_M)`` of Eq. (4).
+
+    ``eta`` reflects the difference between pure misses and conventional
+    misses: the fraction of the lower layer's latency that actually reaches
+    the upper layer's stall behaviour after hit/miss overlapping.  It is in
+    ``(0, 1]`` for any physically realizable measurement (pure miss cycles
+    are a subset of miss cycles and pure-miss phases are at least as
+    concurrent as they are counted).
+    """
+    check_non_negative("pure_miss_penalty", pure_miss_penalty)
+    check_positive("avg_miss_penalty", avg_miss_penalty)
+    check_positive("miss_concurrency", miss_concurrency)
+    check_positive("pure_miss_concurrency", pure_miss_concurrency)
+    return (pure_miss_penalty / avg_miss_penalty) * (miss_concurrency / pure_miss_concurrency)
+
+
+def recursive_camat(
+    upper: CAMATParams,
+    eta_upper: float,
+    lower_camat: float,
+) -> float:
+    """Eq. (4): ``C-AMAT_1 = H1/C_H1 + pMR1 * eta1 * C-AMAT_2``.
+
+    Parameters
+    ----------
+    upper:
+        C-AMAT parameters measured at the upper layer (e.g. L1).  Only its
+        hit term and pure miss rate are used; the penalty term is replaced
+        by the recursive expression.
+    eta_upper:
+        The coupling factor ``eta1`` of the upper layer (see :func:`eta`).
+    lower_camat:
+        ``C-AMAT_2`` of the layer below (e.g. L2), in upper-layer cycles.
+    """
+    check_non_negative("eta_upper", eta_upper)
+    check_non_negative("lower_camat", lower_camat)
+    return upper.hit_component + upper.pure_miss_rate * eta_upper * lower_camat
+
+
+@dataclass(frozen=True)
+class CAMATStack:
+    """A full per-layer C-AMAT decomposition of a memory hierarchy.
+
+    Holds the measured :class:`CAMATParams` of each layer (index 0 = L1)
+    together with the per-layer miss rates and coupling factors, and checks /
+    exposes the recursive relation Eq. (4) across the stack.
+    """
+
+    layers: tuple[CAMATParams, ...]
+    miss_rates: tuple[float, ...]
+    etas: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("CAMATStack requires at least one layer")
+        if len(self.miss_rates) != len(self.layers):
+            raise ValueError(
+                f"need one miss rate per layer: {len(self.miss_rates)} != {len(self.layers)}"
+            )
+        if len(self.etas) != len(self.layers) - 1:
+            raise ValueError(
+                f"need one eta per adjacent layer pair: {len(self.etas)} != {len(self.layers) - 1}"
+            )
+        for i, mr in enumerate(self.miss_rates):
+            check_fraction(f"miss_rates[{i}]", mr)
+        for i, e in enumerate(self.etas):
+            check_non_negative(f"etas[{i}]", e)
+
+    @property
+    def depth(self) -> int:
+        """Number of layers in the hierarchy."""
+        return len(self.layers)
+
+    def camat_of(self, layer: int) -> float:
+        """Direct Eq. (2) C-AMAT of *layer* (0-based, 0 = L1)."""
+        return self.layers[layer].value
+
+    def recursive_camat_of(self, layer: int) -> float:
+        """Eq. (4) C-AMAT of *layer*, expanded recursively to the bottom.
+
+        The bottom layer's C-AMAT is its direct Eq. (2) value; every layer
+        above substitutes its penalty term with
+        ``pMR * eta * C-AMAT(next layer)``.
+        """
+        value = self.layers[-1].value
+        for i in range(self.depth - 2, layer - 1, -1):
+            value = recursive_camat(self.layers[i], self.etas[i], value)
+        return value
+
+    def top_camat(self) -> float:
+        """The application-visible C-AMAT (layer 0), via the recursion."""
+        return self.recursive_camat_of(0)

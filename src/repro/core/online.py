@@ -1,0 +1,259 @@
+"""Online, interval-driven LPM optimization (Section IV + Section V).
+
+"Note that all the steps are conducted on-line to adapt to the dynamic
+behavior of the applications.  The LPMR reduction algorithm is called
+periodically for each time interval."  This module makes that concrete on
+top of the simulator:
+
+* the running application (a trace) is executed in *measurement intervals*
+  of a fixed instruction count;
+* after each interval, the C-AMAT analyzer measures the interval's records
+  and the Fig. 3 case logic classifies it;
+* a :class:`KnobPolicy` maps the case to a reconfiguration (upgrade L1/L2
+  supply knobs, or trim over-provision), which is applied through
+  :meth:`~repro.sim.engine.HierarchySimulator.reconfigure` — cache contents
+  and the global timeline survive, and each reconfiguration costs the
+  configured number of cycles (the paper uses 4 cycles per hardware
+  reconfiguration operation);
+* the run continues on the new configuration from where it stopped.
+
+The resulting :class:`OnlineRunResult` carries the per-interval history
+(configuration, case, LPMR1, stall) plus aggregate cost-efficiency
+numbers, so online adaptation can be compared against any static
+configuration (see ``benchmarks/bench_online_adaptation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.algorithm import LPMCase, classify_case
+from repro.core.lpm import LPMRReport, MatchingThresholds
+from repro.reconfig.space import L1_KNOBS, L2_KNOBS, DesignPoint, DesignSpace
+from repro.sim.engine import HierarchySimulator
+from repro.sim.params import MachineConfig
+from repro.sim.stats import measure_hierarchy
+from repro.util.validation import check_int, check_positive
+from repro.workloads.trace import Trace
+
+__all__ = ["KnobPolicy", "LadderKnobPolicy", "IntervalRecord", "OnlineRunResult",
+           "OnlineLPMController"]
+
+
+class KnobPolicy:
+    """Maps an algorithm case to the next design point.
+
+    Subclass and override :meth:`next_point`; the default implementation
+    raises.  Policies must stay inside the provided design space.
+    """
+
+    def next_point(
+        self, space: DesignSpace, point: DesignPoint, case: LPMCase
+    ) -> DesignPoint | None:
+        """Return the next point, or ``None`` to keep the current one."""
+        raise NotImplementedError
+
+
+class LadderKnobPolicy(KnobPolicy):
+    """One ladder rung per decision, on the knobs the case calls for.
+
+    Case I upgrades one L1-supply knob and one L2-supply knob; Case II one
+    L1-supply knob; Case III downgrades the knob with the largest cost
+    saving.  Knobs are upgraded round-robin so repeated Case I intervals
+    spread the parallelism across resources, mirroring the paper's
+    incremental A -> E bundles.
+    """
+
+    def __init__(self) -> None:
+        self._l1_cursor = 0
+
+    def _upgrade_one(
+        self, space: DesignSpace, point: DesignPoint, knobs: tuple[str, ...],
+        cursor: int,
+    ) -> tuple[DesignPoint | None, int]:
+        for i in range(len(knobs)):
+            knob = knobs[(cursor + i) % len(knobs)]
+            nxt = space.upgrade(point, knob)
+            if nxt is not None:
+                return nxt, (cursor + i + 1) % len(knobs)
+        return None, cursor
+
+    def next_point(
+        self, space: DesignSpace, point: DesignPoint, case: LPMCase
+    ) -> DesignPoint | None:
+        if case is LPMCase.MATCHED:
+            return None
+        if case is LPMCase.DEPROVISION:
+            candidates = space.downgrade_candidates(point)
+            return candidates[0][1] if candidates else None
+        upgraded, self._l1_cursor = self._upgrade_one(
+            space, point, L1_KNOBS, self._l1_cursor
+        )
+        if upgraded is None:
+            return None
+        if case is LPMCase.OPTIMIZE_BOTH:
+            with_l2, _ = self._upgrade_one(space, upgraded, L2_KNOBS, 0)
+            if with_l2 is not None:
+                return with_l2
+        return upgraded
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """Measurement and decision of one interval."""
+
+    index: int
+    config_label: str
+    case: LPMCase
+    report: LPMRReport
+    thresholds: MatchingThresholds
+    cycles: int
+    reconfigured: bool
+    hardware_cost: float
+
+    @property
+    def stall_fraction(self) -> float:
+        """Interval stall as a fraction of CPI_exe."""
+        return self.report.predicted_stall_fraction_of_compute()
+
+
+@dataclass
+class OnlineRunResult:
+    """History and aggregates of one online-controlled execution."""
+
+    intervals: list[IntervalRecord] = field(default_factory=list)
+    total_cycles: int = 0
+    reconfigurations: int = 0
+    reconfiguration_cycles: int = 0
+    instructions: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """End-to-end CPI including reconfiguration overhead."""
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def mean_hardware_cost(self) -> float:
+        """Cycle-weighted average hardware cost (cost-efficiency numerator)."""
+        if not self.intervals or self.total_cycles == 0:
+            return 0.0
+        weighted = sum(r.hardware_cost * r.cycles for r in self.intervals)
+        return weighted / sum(r.cycles for r in self.intervals)
+
+    def cases(self) -> list[str]:
+        """Case labels per interval (for trajectory inspection)."""
+        return [r.case.value for r in self.intervals]
+
+
+class OnlineLPMController:
+    """Periodic measure -> classify -> reconfigure loop over one execution.
+
+    Parameters
+    ----------
+    space:
+        Design space constraining the reconfigurations (the paper's
+        reconfigurable architecture).
+    start:
+        Initial design point (defaults to the weakest configuration).
+    interval_instructions:
+        Measurement interval length.  The paper studies interval size in
+        *cycles*; instruction-count intervals are the natural equivalent in
+        a trace-driven setting (the analyzer windows are what matter).
+    delta_percent:
+        Stall target for the thresholds (Eqs. 14-15).
+    reconfiguration_cost:
+        Cycles charged per applied reconfiguration (the paper: 4 cycles
+        per hardware reconfiguration, 40 per scheduling operation).
+    policy:
+        Knob policy; defaults to :class:`LadderKnobPolicy`.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        start: DesignPoint | None = None,
+        interval_instructions: int = 4000,
+        delta_percent: float = 150.0,
+        delta_slack_fraction: float = 0.5,
+        reconfiguration_cost: int = 4,
+        policy: KnobPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        check_int("interval_instructions", interval_instructions, minimum=1)
+        check_positive("delta_percent", delta_percent)
+        check_positive("delta_slack_fraction", delta_slack_fraction)
+        check_int("reconfiguration_cost", reconfiguration_cost, minimum=0)
+        self.space = space
+        self.point = start if start is not None else space.minimum_point()
+        space.validate(self.point)
+        self.interval_instructions = interval_instructions
+        self.delta_percent = delta_percent
+        self.delta_slack_fraction = delta_slack_fraction
+        self.reconfiguration_cost = reconfiguration_cost
+        self.policy = policy if policy is not None else LadderKnobPolicy()
+        self.seed = seed
+
+    def _config(self) -> MachineConfig:
+        return self.space.to_machine(self.point)
+
+    def run(self, trace: Trace, *, adapt: bool = True) -> OnlineRunResult:
+        """Execute *trace* under interval-driven control.
+
+        ``adapt=False`` runs the same interval pipeline without ever
+        reconfiguring — the static baseline with identical measurement
+        windows (useful for apples-to-apples comparison).
+        """
+        result = OnlineRunResult()
+        sim = HierarchySimulator(self._config(), seed=self.seed)
+        sim.warm_caches(trace)
+        clock = 0
+        n = trace.n_instructions
+        index = 0
+        for lo in range(0, n, self.interval_instructions):
+            window = trace.slice(lo, min(lo + self.interval_instructions, n))
+            if window.n_instructions == 0:
+                break
+            # CPI_exe of the window on the *current* core parameters.
+            perfect = HierarchySimulator(self._config(), seed=self.seed).run(
+                window, perfect=True
+            )
+            chunk = sim.run(window, start_cycle=clock)
+            stats = measure_hierarchy(chunk, cpi_exe=perfect.cpi)
+            report = stats.lpmr_report()
+            thresholds = report.thresholds(self.delta_percent)
+            delta = thresholds.t1 * self.delta_slack_fraction
+            case = classify_case(report, thresholds, delta)
+
+            cycles = chunk.total_cycles
+            clock += cycles
+            # The record describes the configuration the interval ran on.
+            label = self.point.label()
+            cost = self.point.cost()
+            reconfigured = False
+            if adapt:
+                nxt = self.policy.next_point(self.space, self.point, case)
+                if nxt is not None and nxt != self.point:
+                    self.point = nxt
+                    sim.reconfigure(self._config())
+                    clock += self.reconfiguration_cost
+                    result.reconfigurations += 1
+                    result.reconfiguration_cycles += self.reconfiguration_cost
+                    reconfigured = True
+
+            result.intervals.append(
+                IntervalRecord(
+                    index=index,
+                    config_label=label,
+                    case=case,
+                    report=report,
+                    thresholds=thresholds,
+                    cycles=cycles,
+                    reconfigured=reconfigured,
+                    hardware_cost=cost,
+                )
+            )
+            index += 1
+        result.total_cycles = clock
+        result.instructions = n
+        return result

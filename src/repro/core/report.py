@@ -1,0 +1,125 @@
+"""Human-readable reports for model measurements and algorithm runs.
+
+These renderers back the benchmark harness output: every reproduced table
+prints through :func:`render_table`, so rows line up with the paper's
+layout and regenerating an experiment yields a directly comparable text
+artifact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.algorithm import LPMRunResult
+from repro.core.analyzer import LayerMeasurement
+from repro.core.lpm import LPMRReport
+
+__all__ = [
+    "render_table",
+    "format_layer_measurement",
+    "format_lpmr_report",
+    "format_run_result",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with *float_fmt*; everything else with ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_layer_measurement(name: str, m: LayerMeasurement) -> str:
+    """One layer's C-AMAT parameter set as a labelled block."""
+    rows = [
+        ("accesses", m.accesses),
+        ("H (hit time)", m.hit_time),
+        ("C_H", m.hit_concurrency),
+        ("MR", m.miss_rate),
+        ("AMP", m.avg_miss_penalty),
+        ("Cm", m.miss_concurrency),
+        ("pMR", m.pure_miss_rate),
+        ("pAMP", m.pure_miss_penalty),
+        ("C_M", m.pure_miss_concurrency),
+        ("eta", m.eta),
+        ("APC", m.apc),
+        ("C-AMAT", m.camat),
+        ("AMAT", m.amat),
+    ]
+    return render_table(["parameter", "value"], rows, title=f"[{name}]")
+
+
+def format_lpmr_report(report: LPMRReport, *, title: str = "LPM matching snapshot") -> str:
+    """The three LPMRs plus the processor-side context, as a table."""
+    rows = [
+        ("LPMR1 (ALU&FPU, L1)", report.lpmr1),
+        ("LPMR2 (L1, LLC)", report.lpmr2),
+        ("LPMR3 (LLC, MM)", report.lpmr3),
+        ("C-AMAT1", report.camat1),
+        ("C-AMAT2", report.camat2),
+        ("C-AMAT3", report.camat3),
+        ("MR1", report.mr1),
+        ("MR2", report.mr2),
+        ("f_mem", report.f_mem),
+        ("CPI_exe", report.cpi_exe),
+        ("overlapRatio_cm", report.overlap_ratio_cm),
+        ("eta (combined)", report.eta_combined),
+        ("predicted stall/instr", report.predicted_stall_per_instruction()),
+        ("stall as % of CPI_exe", 100.0 * report.predicted_stall_fraction_of_compute()),
+    ]
+    return render_table(["quantity", "value"], rows, title=title)
+
+
+def format_run_result(result: LPMRunResult) -> str:
+    """LPM algorithm run history in the Table-I walk layout."""
+    rows = []
+    for step in result.steps:
+        rows.append(
+            (
+                step.index,
+                step.config_label,
+                f"Case {step.case.value}",
+                step.report.lpmr1,
+                step.thresholds.t1,
+                step.report.lpmr2,
+                step.thresholds.t2,
+                "yes" if step.action_taken else "no",
+            )
+        )
+    table = render_table(
+        ["step", "configuration", "case", "LPMR1", "T1", "LPMR2", "T2", "acted"],
+        rows,
+        title=f"LPM algorithm run — status: {result.status.value}",
+    )
+    return table

@@ -1,0 +1,228 @@
+"""CPU-time and data-stall-time formulations (Section III-A, Eqs. 5-8, 12-13).
+
+The paper's execution-time decomposition::
+
+    CPU-time = IC * (CPI_exe + Data-stall-time) * Cycle-time          (Eq. 5)
+
+where ``Data-stall-time`` is expressed *per instruction* (stall cycles per
+instruction, CPI-like units), ``CPI_exe`` is the computation CPI under a
+perfect cache, and ``IC`` is the instruction count.
+
+Two stall models are provided:
+
+* the conventional AMAT-based one, valid only for in-order blocking
+  processors::
+
+      Data-stall-time = f_mem * AMAT                                  (Eq. 6)
+
+  (strictly, ``f_mem * MR * AMP`` in Hennessy-Patterson form; the paper
+  writes the whole-AMAT variant and we provide both), and
+
+* the concurrency-aware C-AMAT-based one::
+
+      Data-stall-time = f_mem * C-AMAT * (1 - overlapRatio_cm)        (Eq. 7)
+
+  with ``overlapRatio_cm = overlapCycles_cm / T_memAcc``               (Eq. 8)
+
+Finally the LPM forms (derived in Section III-B)::
+
+      Data-stall-time = CPI_exe * (1 - overlapRatio_cm) * LPMR1       (Eq. 12)
+      Data-stall-time = (H1/C_H1 * f_mem
+                         + CPI_exe * eta * LPMR2)
+                        * (1 - overlapRatio_cm)                       (Eq. 13)
+
+where ``eta = (pAMP1/AMP1) * (Cm1/C_M1) * (pMR1/MR1)`` is the *combined*
+concurrency-and-locality effectiveness factor of Eq. (13) (note: it folds in
+``pMR1/MR1`` on top of the per-layer ``eta1`` of Eq. (4)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+__all__ = [
+    "cpu_time",
+    "stall_time_amat",
+    "stall_time_amat_classic",
+    "overlap_ratio",
+    "stall_time_camat",
+    "stall_time_lpmr1",
+    "stall_time_lpmr2",
+    "combined_eta",
+    "StallModel",
+]
+
+
+def cpu_time(
+    instruction_count: float,
+    cpi_exe: float,
+    data_stall_per_instruction: float,
+    cycle_time: float = 1.0,
+) -> float:
+    """Eq. (5): ``CPU-time = IC * (CPI_exe + stall/instr) * Cycle-time``."""
+    check_positive("instruction_count", instruction_count)
+    check_positive("cpi_exe", cpi_exe)
+    check_non_negative("data_stall_per_instruction", data_stall_per_instruction)
+    check_positive("cycle_time", cycle_time)
+    return instruction_count * (cpi_exe + data_stall_per_instruction) * cycle_time
+
+
+def stall_time_amat(f_mem: float, amat_value: float) -> float:
+    """Eq. (6): ``Data-stall-time = f_mem * AMAT`` (per instruction).
+
+    Only valid for in-order blocking processors; kept as the baseline the
+    paper improves on.
+    """
+    check_fraction("f_mem", f_mem)
+    check_non_negative("amat_value", amat_value)
+    return f_mem * amat_value
+
+
+def stall_time_amat_classic(f_mem: float, miss_rate: float, avg_miss_penalty: float) -> float:
+    """Hennessy-Patterson stall form: ``f_mem * MR * AMP`` per instruction.
+
+    Counts only the miss-penalty portion as stall (the hit time is part of
+    the pipeline); provided alongside Eq. (6) for comparison studies.
+    """
+    check_fraction("f_mem", f_mem)
+    check_fraction("miss_rate", miss_rate)
+    check_non_negative("avg_miss_penalty", avg_miss_penalty)
+    return f_mem * miss_rate * avg_miss_penalty
+
+
+def overlap_ratio(overlap_cycles: float, total_mem_access_cycles: float) -> float:
+    """Eq. (8): ``overlapRatio_cm = overlapCycles_cm / T_memAcc``.
+
+    The fraction of memory-active time during which computation proceeds
+    concurrently (enabled by OoO execution, SMT, and non-blocking caches).
+    """
+    check_non_negative("overlap_cycles", overlap_cycles)
+    check_positive("total_mem_access_cycles", total_mem_access_cycles)
+    ratio = overlap_cycles / total_mem_access_cycles
+    if ratio > 1.0 + 1e-12:
+        raise ValueError(
+            f"overlap cycles ({overlap_cycles}) exceed total memory access "
+            f"cycles ({total_mem_access_cycles})"
+        )
+    return min(ratio, 1.0)
+
+
+def stall_time_camat(f_mem: float, camat_value: float, overlap_ratio_cm: float) -> float:
+    """Eq. (7): ``Data-stall-time = f_mem * C-AMAT * (1 - overlapRatio_cm)``."""
+    check_fraction("f_mem", f_mem)
+    check_non_negative("camat_value", camat_value)
+    check_fraction("overlap_ratio_cm", overlap_ratio_cm)
+    return f_mem * camat_value * (1.0 - overlap_ratio_cm)
+
+
+def stall_time_lpmr1(cpi_exe: float, overlap_ratio_cm: float, lpmr1: float) -> float:
+    """Eq. (12): ``Data-stall-time = CPI_exe * (1 - overlapRatio_cm) * LPMR1``."""
+    check_positive("cpi_exe", cpi_exe)
+    check_fraction("overlap_ratio_cm", overlap_ratio_cm)
+    check_non_negative("lpmr1", lpmr1)
+    return cpi_exe * (1.0 - overlap_ratio_cm) * lpmr1
+
+
+def combined_eta(
+    pure_miss_penalty: float,
+    avg_miss_penalty: float,
+    miss_concurrency: float,
+    pure_miss_concurrency: float,
+    pure_miss_rate: float,
+    miss_rate: float,
+) -> float:
+    """The Eq. (13) effectiveness factor.
+
+    ``eta = (pAMP1/AMP1) * (Cm1/C_M1) * (pMR1/MR1)``
+
+    Close to zero when hit-miss overlapping hides most miss penalties; equal
+    to one when concurrency is absent (AMAT special case).
+    """
+    check_non_negative("pure_miss_penalty", pure_miss_penalty)
+    check_positive("avg_miss_penalty", avg_miss_penalty)
+    check_positive("miss_concurrency", miss_concurrency)
+    check_positive("pure_miss_concurrency", pure_miss_concurrency)
+    check_fraction("pure_miss_rate", pure_miss_rate)
+    check_positive("miss_rate", miss_rate)
+    return (
+        (pure_miss_penalty / avg_miss_penalty)
+        * (miss_concurrency / pure_miss_concurrency)
+        * (pure_miss_rate / miss_rate)
+    )
+
+
+def stall_time_lpmr2(
+    hit_time: float,
+    hit_concurrency: float,
+    f_mem: float,
+    cpi_exe: float,
+    eta_combined: float,
+    lpmr2: float,
+    overlap_ratio_cm: float,
+) -> float:
+    """Eq. (13): stall time in terms of the L2 matching ratio.
+
+    ``stall = (H1/C_H1 * f_mem + CPI_exe * eta * LPMR2) * (1 - overlapRatio)``
+    """
+    check_positive("hit_time", hit_time)
+    check_positive("hit_concurrency", hit_concurrency)
+    check_fraction("f_mem", f_mem)
+    check_positive("cpi_exe", cpi_exe)
+    check_non_negative("eta_combined", eta_combined)
+    check_non_negative("lpmr2", lpmr2)
+    check_fraction("overlap_ratio_cm", overlap_ratio_cm)
+    return (hit_time / hit_concurrency * f_mem + cpi_exe * eta_combined * lpmr2) * (
+        1.0 - overlap_ratio_cm
+    )
+
+
+@dataclass(frozen=True)
+class StallModel:
+    """Bundle of the processor-side quantities the stall formulas need.
+
+    Attributes
+    ----------
+    f_mem:
+        Fraction of instructions that access memory.
+    cpi_exe:
+        Computation cycles per instruction under a perfect cache.
+    overlap_ratio_cm:
+        Computing/memory overlap ratio (Eq. 8).
+    """
+
+    f_mem: float
+    cpi_exe: float
+    overlap_ratio_cm: float
+
+    def __post_init__(self) -> None:
+        check_fraction("f_mem", self.f_mem)
+        check_positive("cpi_exe", self.cpi_exe)
+        check_fraction("overlap_ratio_cm", self.overlap_ratio_cm)
+
+    @property
+    def ipc_exe(self) -> float:
+        """Compute intensity ``IPC_exe = 1/CPI_exe`` (Section III-B)."""
+        return 1.0 / self.cpi_exe
+
+    def stall_from_camat(self, camat_value: float) -> float:
+        """Eq. (7) applied with this model's processor parameters."""
+        return stall_time_camat(self.f_mem, camat_value, self.overlap_ratio_cm)
+
+    def stall_from_lpmr1(self, lpmr1: float) -> float:
+        """Eq. (12) applied with this model's processor parameters."""
+        return stall_time_lpmr1(self.cpi_exe, self.overlap_ratio_cm, lpmr1)
+
+    def cpu_time_per_instruction(self, data_stall_per_instruction: float) -> float:
+        """Per-instruction CPU time (Eq. 5 with IC = Cycle-time = 1)."""
+        return cpu_time(1.0, self.cpi_exe, data_stall_per_instruction)
+
+    def stall_budget(self, delta_percent: float) -> float:
+        """The 'minimal data stall' budget: ``delta% * CPI_exe`` cycles/instr.
+
+        Section IV: any stall below Δ% of pure computing time is considered
+        minimal; Δ = 1 is the fine-grained target, Δ = 10 coarse-grained.
+        """
+        check_positive("delta_percent", delta_percent)
+        return delta_percent / 100.0 * self.cpi_exe

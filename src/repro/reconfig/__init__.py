@@ -1,0 +1,21 @@
+"""Case Study I: LPM optimization on a reconfigurable architecture."""
+
+from repro.reconfig.explorer import ExplorationLog, GreedyReconfigBackend, LadderBackend
+from repro.reconfig.space import (
+    DEFAULT_LADDERS,
+    L1_KNOBS,
+    L2_KNOBS,
+    DesignPoint,
+    DesignSpace,
+)
+
+__all__ = [
+    "DEFAULT_LADDERS",
+    "DesignPoint",
+    "DesignSpace",
+    "ExplorationLog",
+    "GreedyReconfigBackend",
+    "L1_KNOBS",
+    "L2_KNOBS",
+    "LadderBackend",
+]

@@ -1,0 +1,202 @@
+"""LPM-guided design-space exploration (Case Study I).
+
+Two :class:`~repro.core.algorithm.MatchingBackend` implementations drive the
+Fig. 3 algorithm over architecture configurations:
+
+* :class:`LadderBackend` walks a preset configuration sequence (the Table I
+  A->E walk): every "optimize" takes the next rung, every "deprovision"
+  steps back towards cheaper rungs.  This reproduces the paper's narrated
+  exploration exactly.
+* :class:`GreedyReconfigBackend` searches the full six-knob design space:
+  each "optimize" simulates the single-knob upgrades allowed for the
+  requested layer(s) and keeps the one that reduces LPMR1 the most; each
+  "deprovision" tries the cheapest-savings downgrade that keeps the
+  configuration matched.  This realizes the paper's claim that LPM turns an
+  intractable 10^6-point exploration into a short guided walk.
+
+Both backends measure with the same trace and re-use
+:func:`repro.sim.stats.simulate_and_measure`, so each step is a full
+simulation + C-AMAT analysis of the running application — the "online
+measurement" of the paper scaled to trace-driven simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lpm import LPMRReport
+from repro.reconfig.space import L1_KNOBS, L2_KNOBS, DesignPoint, DesignSpace
+from repro.sim.params import MachineConfig
+from repro.sim.stats import HierarchyStats, simulate_and_measure
+from repro.workloads.trace import Trace
+
+__all__ = ["LadderBackend", "GreedyReconfigBackend", "ExplorationLog"]
+
+
+@dataclass
+class ExplorationLog:
+    """Evaluation bookkeeping: how many simulations the search spent."""
+
+    evaluations: int = 0
+    visited: list[str] = field(default_factory=list)
+
+    def record(self, label: str) -> None:
+        """Count one full simulate-and-measure evaluation."""
+        self.evaluations += 1
+        self.visited.append(label)
+
+
+class _SimulatingBackend:
+    """Shared measurement plumbing for the two concrete backends."""
+
+    def __init__(self, trace: Trace, *, seed: int = 0, warm: bool = True) -> None:
+        self.trace = trace
+        self.seed = seed
+        self.warm = warm
+        self.log = ExplorationLog()
+        self._cache: dict[str, HierarchyStats] = {}
+
+    def _measure_config(self, config: MachineConfig) -> HierarchyStats:
+        key = config.name
+        if key not in self._cache:
+            _, stats = simulate_and_measure(
+                config, self.trace, seed=self.seed, warm=self.warm
+            )
+            self._cache[key] = stats
+            self.log.record(key)
+        return self._cache[key]
+
+
+class LadderBackend(_SimulatingBackend):
+    """Walk a preset ladder of configurations (Table I's A..E).
+
+    ``position`` starts at 0 (the weakest rung).  ``optimize`` advances one
+    rung regardless of which layers were requested (each rung of the paper's
+    ladder upgrades a bundle of knobs); ``deprovision`` moves to the next
+    rung in ``deprovision_order`` if any remain.
+    """
+
+    def __init__(
+        self,
+        configs: "list[MachineConfig]",
+        trace: Trace,
+        *,
+        deprovision_configs: "list[MachineConfig] | None" = None,
+        seed: int = 0,
+        warm: bool = True,
+    ) -> None:
+        super().__init__(trace, seed=seed, warm=warm)
+        if not configs:
+            raise ValueError("need at least one configuration")
+        self.configs = list(configs)
+        self.deprovision_configs = list(deprovision_configs or [])
+        self.position = 0
+        self._deprovision_pos = 0
+        self._current = self.configs[0]
+
+    @property
+    def current(self) -> MachineConfig:
+        """The configuration the next measurement runs on."""
+        return self._current
+
+    def measure(self) -> LPMRReport:
+        return self._measure_config(self._current).lpmr_report()
+
+    def stats(self) -> HierarchyStats:
+        """Full analyzer output for the current configuration."""
+        return self._measure_config(self._current)
+
+    def optimize(self, l1: bool, l2: bool) -> bool:
+        if self.position + 1 >= len(self.configs):
+            return False
+        self.position += 1
+        self._current = self.configs[self.position]
+        return True
+
+    def deprovision(self) -> bool:
+        if self._deprovision_pos >= len(self.deprovision_configs):
+            return False
+        self._current = self.deprovision_configs[self._deprovision_pos]
+        self._deprovision_pos += 1
+        return True
+
+    def describe(self) -> str:
+        return self._current.name
+
+
+class GreedyReconfigBackend(_SimulatingBackend):
+    """Greedy single-knob search over the full design space.
+
+    ``optimize(l1, l2)`` evaluates each allowed single-knob upgrade and
+    commits to the one with the lowest resulting LPMR1 (requiring strict
+    improvement).  ``deprovision()`` tries downgrades in decreasing
+    cost-savings order and commits to the first whose LPMR1 stays under the
+    matched threshold recorded at the last ``measure()``.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        trace: Trace,
+        *,
+        start: DesignPoint | None = None,
+        seed: int = 0,
+        warm: bool = True,
+        delta_percent: float = 10.0,
+    ) -> None:
+        super().__init__(trace, seed=seed, warm=warm)
+        self.space = space
+        self.point = start if start is not None else space.minimum_point()
+        space.validate(self.point)
+        self.delta_percent = delta_percent
+        self._last_threshold_t1: float | None = None
+
+    def _stats_for(self, point: DesignPoint) -> HierarchyStats:
+        return self._measure_config(self.space.to_machine(point))
+
+    def measure(self) -> LPMRReport:
+        stats = self._stats_for(self.point)
+        report = stats.lpmr_report()
+        self._last_threshold_t1 = report.thresholds(self.delta_percent).t1
+        return report
+
+    def stats(self) -> HierarchyStats:
+        """Full analyzer output for the current design point."""
+        return self._stats_for(self.point)
+
+    def _allowed_knobs(self, l1: bool, l2: bool) -> tuple[str, ...]:
+        knobs: tuple[str, ...] = ()
+        if l1:
+            knobs += L1_KNOBS
+        if l2:
+            knobs += L2_KNOBS
+        return knobs
+
+    def optimize(self, l1: bool, l2: bool) -> bool:
+        candidates = self.space.upgrade_candidates(self.point, self._allowed_knobs(l1, l2))
+        if not candidates:
+            return False
+        current_lpmr1 = self._stats_for(self.point).lpmr1
+        best: tuple[float, DesignPoint] | None = None
+        for _, candidate in candidates:
+            lpmr1 = self._stats_for(candidate).lpmr1
+            if best is None or lpmr1 < best[0]:
+                best = (lpmr1, candidate)
+        if best is None or best[0] >= current_lpmr1:
+            return False
+        self.point = best[1]
+        return True
+
+    def deprovision(self) -> bool:
+        threshold = self._last_threshold_t1
+        if threshold is None:
+            return False
+        for _, candidate in self.space.downgrade_candidates(self.point):
+            stats = self._stats_for(candidate)
+            if stats.lpmr1 <= threshold:
+                self.point = candidate
+                return True
+        return False
+
+    def describe(self) -> str:
+        return self.point.label()

@@ -1,0 +1,185 @@
+"""The Case Study I design space: six architecture knobs with value ladders.
+
+The paper explores pipeline issue width, IW size, ROB size, L1 port count,
+MSHR count and L2 interleaving — "provided that each parameter can be set
+with 10 different values, the design space size is 10^6", making exhaustive
+search impractical and motivating LPM-guided exploration.
+
+A :class:`DesignPoint` is an assignment of one ladder value per knob;
+:class:`DesignSpace` knows the ladders, converts points to simulator
+:class:`~repro.sim.params.MachineConfig`\\ s, enumerates upgrade/downgrade
+neighbours, and prices points with a simple hardware-cost metric (used by
+the over-provision-trimming step to prefer cheaper matched configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.params import MachineConfig
+
+__all__ = ["DesignPoint", "DesignSpace", "DEFAULT_LADDERS", "L1_KNOBS", "L2_KNOBS"]
+
+#: Default value ladders per knob (ascending parallelism).
+DEFAULT_LADDERS: dict[str, tuple[int, ...]] = {
+    "issue_width": (2, 4, 6, 8),
+    "iw_size": (16, 32, 48, 64, 96, 128, 192, 256),
+    "rob_size": (16, 32, 48, 64, 96, 128, 192, 256),
+    "l1_ports": (1, 2, 4, 8),
+    "mshr_count": (2, 4, 8, 16, 32),
+    "l2_banks": (2, 4, 8, 16),
+}
+
+#: Knobs that raise the L1 layer's supply capability (hit and pure-miss
+#: concurrency, latency hiding): the Case II / Case I "optimize L1 layer"
+#: action upgrades these.
+L1_KNOBS: tuple[str, ...] = ("l1_ports", "mshr_count", "iw_size", "rob_size")
+
+#: Knobs that raise the L2 layer's supply capability.
+L2_KNOBS: tuple[str, ...] = ("l2_banks",)
+
+#: Relative silicon cost per unit of each knob, used to rank deprovision
+#: candidates (arbitrary but fixed; only the ordering matters).
+_KNOB_COST: dict[str, float] = {
+    "issue_width": 8.0,
+    "iw_size": 0.5,
+    "rob_size": 0.5,
+    "l1_ports": 12.0,
+    "mshr_count": 2.0,
+    "l2_banks": 4.0,
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One assignment of the six knobs (values, not ladder indices)."""
+
+    issue_width: int
+    iw_size: int
+    rob_size: int
+    l1_ports: int
+    mshr_count: int
+    l2_banks: int
+
+    def as_dict(self) -> dict[str, int]:
+        """Knob-name -> value mapping."""
+        return {
+            "issue_width": self.issue_width,
+            "iw_size": self.iw_size,
+            "rob_size": self.rob_size,
+            "l1_ports": self.l1_ports,
+            "mshr_count": self.mshr_count,
+            "l2_banks": self.l2_banks,
+        }
+
+    def with_knob(self, knob: str, value: int) -> "DesignPoint":
+        """Copy with one knob replaced."""
+        d = self.as_dict()
+        if knob not in d:
+            raise KeyError(f"unknown knob {knob!r}")
+        d[knob] = value
+        return DesignPoint(**d)
+
+    def cost(self) -> float:
+        """Hardware cost metric (monotone in every knob)."""
+        return sum(_KNOB_COST[k] * v for k, v in self.as_dict().items())
+
+    def label(self) -> str:
+        """Compact human-readable identity."""
+        return (
+            f"w{self.issue_width}/iw{self.iw_size}/rob{self.rob_size}"
+            f"/p{self.l1_ports}/m{self.mshr_count}/b{self.l2_banks}"
+        )
+
+
+@dataclass
+class DesignSpace:
+    """Knob ladders plus conversion and neighbourhood enumeration."""
+
+    ladders: dict[str, tuple[int, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LADDERS)
+    )
+    base_machine: MachineConfig = field(default_factory=MachineConfig)
+
+    def __post_init__(self) -> None:
+        for knob, ladder in self.ladders.items():
+            if knob not in DEFAULT_LADDERS:
+                raise ValueError(f"unknown knob {knob!r}")
+            if not ladder:
+                raise ValueError(f"empty ladder for {knob}")
+            if list(ladder) != sorted(set(ladder)):
+                raise ValueError(f"ladder for {knob} must be strictly ascending")
+        missing = set(DEFAULT_LADDERS) - set(self.ladders)
+        if missing:
+            raise ValueError(f"missing ladders for {sorted(missing)}")
+
+    def size(self) -> int:
+        """Total number of design points (the paper's 10^6 figure)."""
+        n = 1
+        for ladder in self.ladders.values():
+            n *= len(ladder)
+        return n
+
+    def validate(self, point: DesignPoint) -> None:
+        """Check every knob value sits on its ladder."""
+        for knob, value in point.as_dict().items():
+            if value not in self.ladders[knob]:
+                raise ValueError(
+                    f"{knob}={value} not on its ladder {self.ladders[knob]}"
+                )
+
+    def minimum_point(self) -> DesignPoint:
+        """The weakest configuration (bottom of every ladder)."""
+        return DesignPoint(**{k: ladder[0] for k, ladder in self.ladders.items()})
+
+    def maximum_point(self) -> DesignPoint:
+        """The strongest configuration (top of every ladder)."""
+        return DesignPoint(**{k: ladder[-1] for k, ladder in self.ladders.items()})
+
+    def to_machine(self, point: DesignPoint, *, name: str | None = None) -> MachineConfig:
+        """Instantiate the simulator configuration for a design point."""
+        self.validate(point)
+        return self.base_machine.with_knobs(
+            name=name if name is not None else point.label(),
+            **point.as_dict(),
+        )
+
+    def _step(self, point: DesignPoint, knob: str, direction: int) -> DesignPoint | None:
+        ladder = self.ladders[knob]
+        value = getattr(point, knob)
+        idx = ladder.index(value)
+        nxt = idx + direction
+        if not 0 <= nxt < len(ladder):
+            return None
+        return point.with_knob(knob, ladder[nxt])
+
+    def upgrade(self, point: DesignPoint, knob: str) -> DesignPoint | None:
+        """One ladder step up on *knob* (None at the top)."""
+        return self._step(point, knob, +1)
+
+    def downgrade(self, point: DesignPoint, knob: str) -> DesignPoint | None:
+        """One ladder step down on *knob* (None at the bottom)."""
+        return self._step(point, knob, -1)
+
+    def upgrade_candidates(
+        self, point: DesignPoint, knobs: "tuple[str, ...] | None" = None
+    ) -> list[tuple[str, DesignPoint]]:
+        """All single-knob upgrades of *point* (optionally restricted)."""
+        out = []
+        for knob in (knobs if knobs is not None else tuple(self.ladders)):
+            nxt = self.upgrade(point, knob)
+            if nxt is not None:
+                out.append((knob, nxt))
+        return out
+
+    def downgrade_candidates(
+        self, point: DesignPoint, knobs: "tuple[str, ...] | None" = None
+    ) -> list[tuple[str, DesignPoint]]:
+        """All single-knob downgrades of *point*, priciest savings first."""
+        out = []
+        for knob in (knobs if knobs is not None else tuple(self.ladders)):
+            nxt = self.downgrade(point, knob)
+            if nxt is not None:
+                out.append((knob, nxt))
+        out.sort(key=lambda kv: point.cost() - kv[1].cost(), reverse=True)
+        return out

@@ -1,0 +1,54 @@
+"""Case Study II: LPM-guided scheduling on heterogeneous level-1 caches."""
+
+from repro.sched.contention import CoRunOutcome, L2ContentionModel
+from repro.sched.metrics import (
+    fairness_index,
+    harmonic_weighted_speedup,
+    slowdowns,
+    weighted_speedup,
+)
+from repro.sched.partition import (
+    co_run_partitioned,
+    demand_proportional_shares,
+    equal_shares,
+    lpm_guided_shares,
+)
+from repro.sched.nuca import (
+    BenchmarkProfileDB,
+    CoreGroup,
+    NUCAMachine,
+    profile_benchmarks,
+)
+from repro.sched.policies import (
+    Schedule,
+    ScheduleEvaluation,
+    evaluate_schedule,
+    exhaustive_schedule,
+    nuca_sa,
+    random_schedule,
+    round_robin_schedule,
+)
+
+__all__ = [
+    "BenchmarkProfileDB",
+    "CoRunOutcome",
+    "CoreGroup",
+    "L2ContentionModel",
+    "NUCAMachine",
+    "Schedule",
+    "ScheduleEvaluation",
+    "co_run_partitioned",
+    "demand_proportional_shares",
+    "equal_shares",
+    "evaluate_schedule",
+    "exhaustive_schedule",
+    "fairness_index",
+    "harmonic_weighted_speedup",
+    "lpm_guided_shares",
+    "nuca_sa",
+    "profile_benchmarks",
+    "random_schedule",
+    "round_robin_schedule",
+    "slowdowns",
+    "weighted_speedup",
+]

@@ -1,0 +1,114 @@
+"""Shared-L2 interference model for co-scheduled applications.
+
+All schedules in the Fig. 8 experiment run the same sixteen applications on
+the same shared L2, so *capacity* pressure is (to first order) identical
+across schedules; what a schedule changes is each application's private-L1
+size and therefore its **L2 bandwidth demand** (APC2).  The model here
+captures that first-order effect:
+
+1. Aggregate L2 demand ``D = sum_i demand_i`` in accesses/cycle, where
+   ``demand_i`` is the application's standalone L2 access rate at its
+   assigned L1 size (``APC2`` measured per L2-active cycle, rescaled to
+   wall-clock rate via its standalone activity).
+2. The shared L2 serves at most ``capacity = l2_banks / l2_occupancy``
+   accesses per cycle; the utilization ``rho = D / capacity`` inflates L2
+   service with an M/M/1-style queueing delay
+   ``extra = base_service * rho / (1 - rho)`` (capped).
+3. Each application absorbs the extra latency in proportion to its
+   per-instruction L2 traffic and its measured *exposure* (the fraction of
+   memory activity not already overlapped, ``1 - overlapRatio_cm``):
+   ``stall_extra_i = l2_apki_i * extra * (1 - overlap_i)`` cycles per
+   instruction, giving ``IPC_shared = 1 / (CPI_alone + stall_extra)``.
+
+The model is deliberately analytic (documented in DESIGN.md): NUCA-SA, the
+baselines, and the exhaustive-search validator all see identical physics,
+so policy comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.nuca import BenchmarkProfileDB, NUCAMachine
+from repro.sim.stats import HierarchyStats
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["L2ContentionModel", "CoRunOutcome"]
+
+#: Utilization is capped below 1 so the queueing term stays finite; beyond
+#: this point the L2 is saturated and delays are dominated by the cap.
+_MAX_RHO = 0.95
+#: Cap on queueing inflation, in multiples of the base L2 service time.
+_MAX_INFLATION = 20.0
+
+
+@dataclass(frozen=True)
+class CoRunOutcome:
+    """Shared-run prediction for one application."""
+
+    benchmark: str
+    l1_size: int
+    ipc_alone: float
+    ipc_shared: float
+    extra_stall_per_instruction: float
+
+    @property
+    def slowdown(self) -> float:
+        """``IPC_alone / IPC_shared`` (>= 1)."""
+        return self.ipc_alone / self.ipc_shared
+
+
+class L2ContentionModel:
+    """Bandwidth-queueing interference on the shared L2 (see module doc)."""
+
+    def __init__(self, machine: NUCAMachine) -> None:
+        self.machine = machine
+        cfg = machine.base_config
+        occupancy = 1 if cfg.l2_pipelined else cfg.l2_hit_time
+        self.l2_capacity = cfg.l2_banks / occupancy
+        self.l2_service = float(cfg.l2_hit_time)
+
+    def _l2_rate(self, stats: HierarchyStats) -> float:
+        """Standalone wall-clock L2 access rate (accesses/cycle)."""
+        # L2 accesses per instruction x instructions per cycle.
+        return stats.f_mem * stats.mr1_request * stats.ipc
+
+    def _l2_apki(self, stats: HierarchyStats) -> float:
+        """L2 accesses per instruction."""
+        return stats.f_mem * stats.mr1_request
+
+    def utilization(self, assigned: "list[tuple[str, int]]", db: BenchmarkProfileDB) -> float:
+        """Aggregate L2 utilization ``rho`` of an assignment."""
+        demand = sum(self._l2_rate(db.get(b, s)) for b, s in assigned)
+        check_positive("l2_capacity", self.l2_capacity)
+        return demand / self.l2_capacity
+
+    def co_run(
+        self, assigned: "list[tuple[str, int]]", db: BenchmarkProfileDB
+    ) -> list[CoRunOutcome]:
+        """Predict per-application shared IPC for an assignment.
+
+        ``assigned`` is a list of (benchmark, l1_size) pairs, one per core.
+        """
+        if not assigned:
+            raise ValueError("assignment must be non-empty")
+        rho = min(self.utilization(assigned, db), _MAX_RHO)
+        check_fraction("rho", rho)
+        inflation = min(self.l2_service * rho / (1.0 - rho), self.l2_service * _MAX_INFLATION)
+
+        outcomes = []
+        for benchmark, l1_size in assigned:
+            stats = db.get(benchmark, l1_size)
+            exposure = 1.0 - stats.overlap_ratio_cm
+            extra = self._l2_apki(stats) * inflation * exposure
+            cpi_shared = stats.cpi + extra
+            outcomes.append(
+                CoRunOutcome(
+                    benchmark=benchmark,
+                    l1_size=l1_size,
+                    ipc_alone=stats.ipc,
+                    ipc_shared=1.0 / cpi_shared,
+                    extra_stall_per_instruction=extra,
+                )
+            )
+        return outcomes

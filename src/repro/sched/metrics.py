@@ -1,0 +1,60 @@
+"""Multiprogram throughput/fairness metrics for Case Study II.
+
+The paper evaluates scheduling with the Harmonic Weighted Speedup ``Hsp``
+of Luo, Gummaraju and Franklin (ISPASS'01), which balances throughput and
+fairness::
+
+    Hsp = N / sum_i (IPC_alone_i / IPC_shared_i)
+
+``Hsp`` is the harmonic mean of the per-application *speedups* relative to
+running alone; it is 1.0 for interference-free execution and decreases as
+any application is slowed (a single starved application drags the harmonic
+mean down — hence the fairness emphasis).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.validation import require
+
+__all__ = [
+    "harmonic_weighted_speedup",
+    "weighted_speedup",
+    "fairness_index",
+    "slowdowns",
+]
+
+
+def _check_pairs(ipc_alone: Sequence[float], ipc_shared: Sequence[float]) -> None:
+    require(len(ipc_alone) == len(ipc_shared), "IPC vectors must have equal length")
+    require(len(ipc_alone) > 0, "need at least one application")
+    for i, (a, s) in enumerate(zip(ipc_alone, ipc_shared)):
+        require(a > 0, f"IPC_alone[{i}] must be > 0, got {a}")
+        require(s > 0, f"IPC_shared[{i}] must be > 0, got {s}")
+
+
+def slowdowns(ipc_alone: Sequence[float], ipc_shared: Sequence[float]) -> list[float]:
+    """Per-application slowdown ``IPC_alone / IPC_shared`` (>= 1 normally)."""
+    _check_pairs(ipc_alone, ipc_shared)
+    return [a / s for a, s in zip(ipc_alone, ipc_shared)]
+
+
+def harmonic_weighted_speedup(
+    ipc_alone: Sequence[float], ipc_shared: Sequence[float]
+) -> float:
+    """``Hsp = N / sum_i slowdown_i`` — the Fig. 8 metric."""
+    sd = slowdowns(ipc_alone, ipc_shared)
+    return len(sd) / sum(sd)
+
+
+def weighted_speedup(ipc_alone: Sequence[float], ipc_shared: Sequence[float]) -> float:
+    """Arithmetic weighted speedup ``sum_i IPC_shared_i/IPC_alone_i`` (throughput)."""
+    _check_pairs(ipc_alone, ipc_shared)
+    return sum(s / a for a, s in zip(ipc_alone, ipc_shared))
+
+
+def fairness_index(ipc_alone: Sequence[float], ipc_shared: Sequence[float]) -> float:
+    """Min/max ratio of per-application speedups (1.0 = perfectly fair)."""
+    sd = slowdowns(ipc_alone, ipc_shared)
+    return min(sd) / max(sd)

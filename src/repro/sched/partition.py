@@ -1,0 +1,155 @@
+"""Memory parallelism partition (paper future work, Section VII).
+
+"We also plan to explore various methods to implement LPM, including
+memory parallelism partition ..." — dividing the shared memory system's
+concurrency among co-running applications instead of letting them contend
+freely.  This module implements bandwidth partitioning of the shared L2 on
+the Case Study II machine:
+
+* each application *i* receives a share ``s_i`` of the L2's service
+  capacity and experiences M/M/1-style queueing against its own slice:
+  ``inflation_i = service * rho_i / (1 - rho_i)`` with
+  ``rho_i = demand_i / (s_i * capacity)``;
+* :func:`equal_shares` and :func:`demand_proportional_shares` are the
+  obvious baselines;
+* :func:`lpm_guided_shares` allocates by the LPM information — each
+  application's measured L2 demand *and* its sensitivity (per-instruction
+  L2 traffic times its unoverlapped exposure, the same quantities Eq. (13)
+  combines).  The allocation solves the KKT conditions of minimizing total
+  extra stall: every application gets its demand plus headroom
+  proportional to the square root of (sensitivity x demand), the classic
+  square-root capacity rule.
+
+Partitioning trades pooling efficiency for isolation: the benchmark
+(``bench_partition.py``) shows the LPM-guided partition protecting
+sensitive applications — raising the harmonic weighted speedup — where
+free-for-all sharing lets bandwidth hogs tax everyone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sched.contention import CoRunOutcome, L2ContentionModel
+from repro.sched.nuca import BenchmarkProfileDB, NUCAMachine
+from repro.util.validation import require
+
+__all__ = [
+    "equal_shares",
+    "demand_proportional_shares",
+    "lpm_guided_shares",
+    "co_run_partitioned",
+]
+
+#: Per-slice utilization cap (same role as the pooled model's cap).
+_MAX_RHO = 0.95
+_MAX_INFLATION = 20.0
+
+
+def _demands_and_sensitivities(
+    assigned: "list[tuple[str, int]]",
+    db: BenchmarkProfileDB,
+    model: L2ContentionModel,
+) -> tuple[list[float], list[float]]:
+    demands, sens = [], []
+    for benchmark, l1_size in assigned:
+        stats = db.get(benchmark, l1_size)
+        demands.append(model._l2_rate(stats))
+        sens.append(model._l2_apki(stats) * (1.0 - stats.overlap_ratio_cm))
+    return demands, sens
+
+
+def equal_shares(n: int) -> list[float]:
+    """Uniform 1/n capacity slices."""
+    require(n > 0, "need at least one application")
+    return [1.0 / n] * n
+
+
+def demand_proportional_shares(
+    assigned: "list[tuple[str, int]]",
+    db: BenchmarkProfileDB,
+    machine: NUCAMachine,
+) -> list[float]:
+    """Slices proportional to each application's standalone L2 demand."""
+    model = L2ContentionModel(machine)
+    demands, _ = _demands_and_sensitivities(assigned, db, model)
+    total = sum(demands)
+    if total <= 0:
+        return equal_shares(len(assigned))
+    return [d / total for d in demands]
+
+
+def lpm_guided_shares(
+    assigned: "list[tuple[str, int]]",
+    db: BenchmarkProfileDB,
+    machine: NUCAMachine,
+) -> list[float]:
+    """Square-root-rule allocation minimizing total extra stall.
+
+    Minimizing ``sum_i sens_i * service * d_i / (c_i - d_i)`` over slice
+    capacities ``c_i`` with ``sum c_i = C`` yields
+    ``c_i = d_i + headroom * sqrt(sens_i * d_i) / sum_j sqrt(sens_j * d_j)``
+    where ``headroom = C - sum d_i``.  Applications whose stall is most
+    sensitive to queueing receive the most headroom — the LPM measurement
+    (demand and exposure) is exactly the information required.
+
+    Falls back to demand-proportional shares when aggregate demand exceeds
+    capacity (no headroom to distribute).
+    """
+    model = L2ContentionModel(machine)
+    demands, sens = _demands_and_sensitivities(assigned, db, model)
+    capacity = model.l2_capacity
+    total_demand = sum(demands)
+    headroom = capacity - total_demand
+    if headroom <= 0:
+        return demand_proportional_shares(assigned, db, machine)
+    weights = [math.sqrt(max(s, 1e-12) * max(d, 1e-12)) for s, d in zip(sens, demands)]
+    wsum = sum(weights)
+    if wsum <= 0:
+        return equal_shares(len(assigned))
+    slices = [d + headroom * w / wsum for d, w in zip(demands, weights)]
+    total = sum(slices)
+    return [c / total for c in slices]
+
+
+def co_run_partitioned(
+    assigned: "list[tuple[str, int]]",
+    db: BenchmarkProfileDB,
+    machine: NUCAMachine,
+    shares: "list[float] | None" = None,
+) -> list[CoRunOutcome]:
+    """Predict per-application shared IPC under a bandwidth partition.
+
+    ``shares`` must be positive and sum to ~1 (validated); defaults to the
+    LPM-guided allocation.
+    """
+    require(bool(assigned), "assignment must be non-empty")
+    if shares is None:
+        shares = lpm_guided_shares(assigned, db, machine)
+    require(len(shares) == len(assigned), "one share per application required")
+    require(all(s > 0 for s in shares), "shares must be positive")
+    require(abs(sum(shares) - 1.0) < 1e-6, "shares must sum to 1")
+
+    model = L2ContentionModel(machine)
+    outcomes = []
+    for (benchmark, l1_size), share in zip(assigned, shares):
+        stats = db.get(benchmark, l1_size)
+        slice_capacity = share * model.l2_capacity
+        demand = model._l2_rate(stats)
+        rho = min(demand / slice_capacity if slice_capacity > 0 else _MAX_RHO, _MAX_RHO)
+        inflation = min(
+            model.l2_service * rho / (1.0 - rho), model.l2_service * _MAX_INFLATION
+        )
+        exposure = 1.0 - stats.overlap_ratio_cm
+        extra = model._l2_apki(stats) * inflation * exposure
+        cpi_shared = stats.cpi + extra
+        outcomes.append(
+            CoRunOutcome(
+                benchmark=benchmark,
+                l1_size=l1_size,
+                ipc_alone=stats.ipc,
+                ipc_shared=1.0 / cpi_shared,
+                extra_stall_per_instruction=extra,
+            )
+        )
+    return outcomes

@@ -1,0 +1,51 @@
+"""Cycle-level memory-hierarchy simulator (the GEM5/DRAMSim2 substitute)."""
+
+from repro.sim.cache import FunctionalCache
+from repro.sim.dram import DRAMAccessResult, DRAMModel
+from repro.sim.engine import HierarchySimulator, SimulationResult
+from repro.sim.mshr import MissLookup, MSHRFile
+from repro.sim.multicore import CoRunResult, MulticoreSimulator
+from repro.sim.params import (
+    DEFAULT_MACHINE,
+    TABLE1_CONFIGS,
+    CacheGeometry,
+    CoreParams,
+    DRAMTiming,
+    MachineConfig,
+    table1_config,
+)
+from repro.sim.ports import BankScheduler, PortScheduler, SlotPool
+from repro.sim.prefetch import BypassConfig, PrefetchConfig, StreamDetector, StridePrefetcher
+from repro.sim.records import AccessRecords, InstructionRecords
+from repro.sim.stats import HierarchyStats, measure_hierarchy, simulate_and_measure
+
+__all__ = [
+    "AccessRecords",
+    "BankScheduler",
+    "CacheGeometry",
+    "CoreParams",
+    "DEFAULT_MACHINE",
+    "DRAMAccessResult",
+    "DRAMModel",
+    "DRAMTiming",
+    "FunctionalCache",
+    "HierarchySimulator",
+    "HierarchyStats",
+    "InstructionRecords",
+    "MSHRFile",
+    "CoRunResult",
+    "MachineConfig",
+    "MissLookup",
+    "MulticoreSimulator",
+    "PortScheduler",
+    "BypassConfig",
+    "PrefetchConfig",
+    "StreamDetector",
+    "StridePrefetcher",
+    "SimulationResult",
+    "SlotPool",
+    "TABLE1_CONFIGS",
+    "measure_hierarchy",
+    "simulate_and_measure",
+    "table1_config",
+]

@@ -1,0 +1,723 @@
+"""Trace-driven out-of-order CPU + two-level non-blocking cache timing engine.
+
+This is the GEM5 substitute (see DESIGN.md): a single forward pass over the
+instruction trace computes, for every instruction, its dispatch, completion
+and in-order retire cycles, and for every memory access its hit/miss
+activity intervals at L1, L2 and main memory.  All resource contention
+(issue/retire bandwidth, ROB occupancy, load/store-window slots, L1 ports,
+L1/L2 MSHRs, L2 banks, DRAM banks) is modelled event-driven with
+next-free-time schedulers — cost is O(instructions), never O(cycles).
+
+Model structure per memory access::
+
+    dispatch --(port grant)--> L1 hit-op [t, t+H1)
+        hit  -> data at t+H1
+        miss -> MSHR (coalesce or allocate, stall while full)
+                --> L2 bank grant --> L2 hit-op [b, b+H2)
+                    hit  -> data back to L1
+                    miss -> L2 MSHR --> DRAM bank (row-buffer state machine)
+                            --> fill L2 --> fill L1 --> data
+
+Functional cache contents are updated lazily: fills are queued with their
+arrival cycle and applied before any later lookup, so hit/miss outcomes are
+consistent with the timing the engine itself computed.  Miss-queue grants
+are clamped monotonic (in-order miss handling), which both matches simple
+hardware and keeps the lazy-fill bookkeeping correct.
+
+The engine deliberately emits *intervals* rather than aggregated statistics;
+the C-AMAT analyzer (:mod:`repro.core.analyzer`) is the single source of
+truth for C_H/C_M/pMR/pAMP at every layer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.cache import FunctionalCache
+from repro.sim.dram import DRAMModel
+from repro.sim.mshr import MSHRFile
+from repro.sim.params import MachineConfig
+from repro.sim.ports import BankScheduler, PortScheduler
+from repro.sim.prefetch import (
+    BypassConfig,
+    PrefetchConfig,
+    StreamDetector,
+    StridePrefetcher,
+)
+from repro.sim.records import AccessRecords, InstructionRecords
+from repro.util.validation import check_int
+from repro.workloads.trace import Trace
+
+__all__ = ["HierarchySimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    config: MachineConfig
+    trace_name: str
+    accesses: AccessRecords
+    instructions: InstructionRecords
+    component_stats: dict = field(default_factory=dict)
+    #: Instructions actually executed; smaller than the trace length only
+    #: when a ``stop_cycle`` bound cut the quantum short.
+    instructions_executed: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end execution time in cycles."""
+        return self.instructions.total_cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the run."""
+        return self.instructions.cpi
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle of the run."""
+        cpi = self.cpi
+        return 1.0 / cpi if cpi else 0.0
+
+
+class _FillQueue:
+    """Pending cache fills applied lazily in arrival order."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int]] = []  # (arrival cycle, address)
+
+    def schedule(self, arrival: int, address: int) -> None:
+        heapq.heappush(self._heap, (arrival, address))
+
+    def apply_until(self, cache: FunctionalCache, now: int) -> None:
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, address = heapq.heappop(heap)
+            cache.insert(address)
+
+
+class HierarchySimulator:
+    """Simulate a :class:`Trace` on a :class:`MachineConfig`.
+
+    A simulator instance carries warm state (cache contents, DRAM row
+    buffers) across :meth:`run` calls; construct a fresh instance or call
+    :meth:`reset` for independent experiments.
+    """
+
+    def __init__(self, config: MachineConfig, *, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Recreate all functional and timing state."""
+        cfg = self.config
+        self.l1_cache = FunctionalCache(cfg.l1, seed=self.seed)
+        self.l2_cache = FunctionalCache(cfg.l2, seed=self.seed + 1)
+        self.l1_ports = PortScheduler(cfg.l1_ports)
+        self.l2_banks = BankScheduler(cfg.l2_banks)
+        self.l1_mshrs = MSHRFile(cfg.mshr_count)
+        self.l2_mshrs = MSHRFile(cfg.l2_mshr_count)
+        self.dram = DRAMModel(cfg.dram, line_bytes=cfg.l1.line_bytes)
+        # Hot-loop constant: CacheGeometry.offset_bits is a computed
+        # property; cache it once (profiled ~2% of run time otherwise).
+        self._offset_bits = cfg.l1.offset_bits
+        # Saved pipeline state for run(resume=True) continuations.
+        self._pipe: dict | None = None
+        self._l1_fills = _FillQueue()
+        self._l2_fills = _FillQueue()
+        self._last_l2_req = 0
+        self._last_mem_req = 0
+        self.l3_cache: FunctionalCache | None = None
+        if cfg.l3 is not None:
+            self.l3_cache = FunctionalCache(cfg.l3, seed=self.seed + 2)
+            self.l3_banks = BankScheduler(cfg.l3_banks)
+            self.l3_mshrs = MSHRFile(cfg.l3_mshr_count)
+            self._l3_fills = _FillQueue()
+            self._last_l3_req = 0
+        # Per-run record lists for the optional L3 (populated by _access_l3)
+        # and the per-L2-row L3 index column.
+        self._l3_rec: tuple[list, ...] = tuple([] for _ in range(7))
+        self._l2_l3_index: list[int] = []
+        self.prefetcher: StridePrefetcher | None = None
+        if cfg.prefetch is not None:
+            if not isinstance(cfg.prefetch, PrefetchConfig):
+                raise TypeError(
+                    "MachineConfig.prefetch must be a PrefetchConfig or None, "
+                    f"got {type(cfg.prefetch).__name__}"
+                )
+            self.prefetcher = StridePrefetcher(cfg.prefetch, cfg.l1.line_bytes)
+        # block -> fill-arrival cycle of prefetches not yet consumed by a
+        # demand access (usefulness / lateness attribution).
+        self._prefetch_fills: dict[int, int] = {}
+        self.bypass: StreamDetector | None = None
+        if cfg.l1_bypass is not None:
+            if not isinstance(cfg.l1_bypass, BypassConfig):
+                raise TypeError(
+                    "MachineConfig.l1_bypass must be a BypassConfig or None, "
+                    f"got {type(cfg.l1_bypass).__name__}"
+                )
+            self.bypass = StreamDetector(cfg.l1_bypass, cfg.l1.line_bytes)
+
+    def warm_caches(self, trace: Trace) -> None:
+        """Touch the trace's addresses functionally (no timing, no stats).
+
+        Used to measure steady-state behaviour without cold-start misses.
+        """
+        addresses = trace.memory_addresses
+        caches = [self.l1_cache, self.l2_cache]
+        if self.l3_cache is not None:
+            caches.append(self.l3_cache)
+        for cache in caches:
+            cache.warm_lookup_array(addresses)
+
+    # ------------------------------------------------------------------
+    def reconfigure(self, config: MachineConfig) -> None:
+        """Switch to *config* at an interval boundary, keeping cache contents.
+
+        Models runtime reconfiguration (Case Study I's substrate): SRAM
+        contents, DRAM row-buffer state and all resource timing survive;
+        the port/bank schedulers and MSHR capacities are re-provisioned.
+        Cache *geometries* must be unchanged (the Table I knobs never
+        resize the caches).  In-flight timing at the boundary is carried by
+        the next :meth:`run` call's ``start_cycle``.
+        """
+        if config.l1 != self.config.l1 or config.l2 != self.config.l2:
+            raise ValueError("reconfigure() cannot change cache geometry")
+        old = self.config
+        self.config = config
+        if config.l1_ports != old.l1_ports:
+            self.l1_ports = PortScheduler(config.l1_ports)
+        if config.l2_banks != old.l2_banks:
+            self.l2_banks = BankScheduler(config.l2_banks)
+        # MSHR files keep their outstanding entries; capacity changes take
+        # effect on the next allocation (shrinking drains naturally because
+        # present() stalls while occupancy >= capacity).
+        self.l1_mshrs.capacity = config.mshr_count
+        self.l2_mshrs.capacity = config.l2_mshr_count
+
+    def run(
+        self,
+        trace: Trace,
+        *,
+        perfect: bool = False,
+        start_cycle: int = 0,
+        stop_cycle: "int | None" = None,
+        resume: bool = False,
+    ) -> SimulationResult:
+        """Execute *trace*; returns records for analysis.
+
+        ``start_cycle`` continues a timeline begun by earlier :meth:`run`
+        calls on the same simulator (used by the online controller to
+        execute a trace in measurement intervals with reconfigurations in
+        between); resource next-free times, pending fills and cache
+        contents all carry over.
+
+        ``stop_cycle`` bounds the quantum in *time*: dispatch stops at the
+        first instruction whose dispatch cycle would reach it, and the
+        result's ``instructions_executed`` tells the caller how far the
+        trace was consumed (the multicore coordinator uses this to keep
+        co-running cores' clocks aligned).  In-flight completions may
+        extend past ``stop_cycle``.
+
+        ``perfect=True`` forces every L1 access to hit in the flat hit time
+        with no port contention (the paper's "perfect cache" used to
+        measure ``CPI_exe``): CPI_exe must reflect pure compute capability
+        — issue width, ILP chains, ROB — so that the LPMR request rate
+        ``IPC_exe * f_mem`` expresses true demand.  If L1 bandwidth limits
+        were included here they would cancel out of the matching ratios.
+        """
+        cfg = self.config
+        n = trace.n_instructions
+        check_int("n_instructions", n, minimum=0)
+        is_mem = trace.is_mem
+        address = trace.address
+        depends = trace.depends
+
+        issue_w = cfg.core.issue_width
+        rob = cfg.core.rob_size
+        iw = cfg.core.iw_size
+        h1 = cfg.l1_hit_time
+
+        dispatch = np.zeros(n, dtype=np.int64)
+        complete = np.zeros(n, dtype=np.int64)
+        retire = np.zeros(n, dtype=np.int64)
+
+        n_mem_total = trace.n_mem
+        l1_hs = np.zeros(n_mem_total, dtype=np.int64)
+        l1_he = np.zeros(n_mem_total, dtype=np.int64)
+        l1_ms = np.zeros(n_mem_total, dtype=np.int64)
+        l1_me = np.zeros(n_mem_total, dtype=np.int64)
+        l1_miss = np.zeros(n_mem_total, dtype=bool)
+        l1_sec = np.zeros(n_mem_total, dtype=bool)
+        l1_complete = np.zeros(n_mem_total, dtype=np.int64)
+        l2_index = np.full(n_mem_total, -1, dtype=np.int64)
+
+        l2_hs: list[int] = []
+        l2_he: list[int] = []
+        l2_ms: list[int] = []
+        l2_me: list[int] = []
+        l2_miss: list[bool] = []
+        l2_sec: list[bool] = []
+        mem_index: list[int] = []
+        mem_s: list[int] = []
+        mem_e: list[int] = []
+        # Fresh per-run L3 record lists (continuation runs accumulate into
+        # their own records; the analyzer treats each run independently).
+        self._l3_rec = tuple([] for _ in range(7))
+        self._l2_l3_index = []
+
+        # Issue/retire bandwidth tracking — either fresh from start_cycle
+        # or resumed from the previous quantum's saved pipeline state
+        # (multicore windows; avoids a full pipeline drain per window).
+        check_int("start_cycle", start_cycle, minimum=0)
+        if resume and self._pipe is not None:
+            pipe = self._pipe
+            disp_cycle = max(pipe["disp_cycle"], start_cycle)
+            disp_count = pipe["disp_count"] if disp_cycle == pipe["disp_cycle"] else 0
+            ret_cycle = max(pipe["ret_cycle"], start_cycle - 1)
+            ret_count = pipe["ret_count"] if ret_cycle == pipe["ret_cycle"] else 0
+            last_mem_complete = pipe["last_mem_complete"]
+            last_compute_complete = pipe["last_compute_complete"]
+            lsq = pipe["lsq"]
+            recent_retires: list[int] = pipe["recent_retires"][-rob:]
+        else:
+            disp_cycle = start_cycle
+            disp_count = 0
+            ret_cycle = start_cycle - 1
+            ret_count = 0
+            last_mem_complete = start_cycle      # dependent-load serialization
+            last_compute_complete = start_cycle  # compute ILP dependency chains
+            lsq = []  # completion-time heap of in-flight memory ops
+            recent_retires = []  # retire times of the last `rob` instructions
+
+        mem_i = 0  # memory-access row index
+        memory_access = self._memory_access  # local binding for the hot loop
+
+        executed = n
+        for i in range(n):
+            # --- dispatch: bandwidth + ROB + (for memory) window slots ----
+            d = disp_cycle
+            if disp_count >= issue_w:
+                d += 1
+            if len(recent_retires) >= rob:
+                rr = recent_retires[-rob]
+                if rr > d:
+                    d = rr
+            mem_op = bool(is_mem[i])
+            popped = None
+            if mem_op:
+                # Dependent load: wait for the previous memory op's data
+                # (pointer chasing bounds MLP regardless of resources).
+                if depends is not None and depends[i] and last_mem_complete > d:
+                    d = last_mem_complete
+                # Window (load/store-queue) slots bound in-flight memory ops.
+                while lsq and lsq[0] <= d:
+                    heapq.heappop(lsq)
+                if len(lsq) >= iw:
+                    popped = heapq.heappop(lsq)
+                    if popped > d:
+                        d = popped
+            elif depends is not None and depends[i] and last_compute_complete > d:
+                # Dependent compute op: chains through the previous compute
+                # op's result, bounding ILP (and hence CPI_exe) the way real
+                # dependency chains do.  Load results deliberately do not
+                # feed these chains (see DESIGN.md: load consumers are
+                # modelled through the ROB/window bound instead).
+                d = last_compute_complete
+            if stop_cycle is not None and d >= stop_cycle:
+                # Quantum bound reached: this instruction dispatches in a
+                # later quantum.  Restore the LSQ entry consumed while
+                # computing its dispatch cycle (the full-window pop may
+                # represent a still-in-flight op; re-pushing a completed
+                # one is harmless).
+                if popped is not None:
+                    heapq.heappush(lsq, popped)
+                executed = i
+                break
+            if d > disp_cycle:
+                disp_cycle = d
+                disp_count = 1
+            else:
+                disp_count += 1
+            dispatch[i] = d
+
+            # --- execute -------------------------------------------------
+            if mem_op:
+                if perfect:
+                    c = d + h1
+                    l1_hs[mem_i] = d
+                    l1_he[mem_i] = c
+                    l1_complete[mem_i] = c
+                else:
+                    c = memory_access(
+                        int(address[i]), d, mem_i,
+                        l1_hs, l1_he, l1_ms, l1_me, l1_miss, l1_sec,
+                        l1_complete, l2_index,
+                        l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+                        mem_index, mem_s, mem_e,
+                    )
+                heapq.heappush(lsq, c)
+                last_mem_complete = c
+                mem_i += 1
+            else:
+                c = d + 1
+                last_compute_complete = c
+            complete[i] = c
+
+            # --- in-order retire with bandwidth ---------------------------
+            r = c
+            if recent_retires and recent_retires[-1] > r:
+                r = recent_retires[-1]
+            if r > ret_cycle:
+                ret_cycle = r
+                ret_count = 1
+            else:
+                r = ret_cycle
+                if ret_count >= issue_w:
+                    r += 1
+                    ret_cycle = r
+                    ret_count = 1
+                else:
+                    ret_count += 1
+            retire[i] = r
+            recent_retires.append(r)
+
+        # Save the pipeline state so a later run(resume=True) continues
+        # without an artificial drain at the quantum boundary.
+        self._pipe = {
+            "disp_cycle": disp_cycle,
+            "disp_count": disp_count,
+            "ret_cycle": ret_cycle,
+            "ret_count": ret_count,
+            "last_mem_complete": last_mem_complete,
+            "last_compute_complete": last_compute_complete,
+            "lsq": lsq,
+            "recent_retires": recent_retires[-max(rob, 1):],
+        }
+
+        if executed < n:
+            dispatch = dispatch[:executed]
+            complete = complete[:executed]
+            retire = retire[:executed]
+            is_mem = np.asarray(is_mem[:executed])
+            l1_hs, l1_he = l1_hs[:mem_i], l1_he[:mem_i]
+            l1_ms, l1_me = l1_ms[:mem_i], l1_me[:mem_i]
+            l1_miss, l1_sec = l1_miss[:mem_i], l1_sec[:mem_i]
+            l1_complete, l2_index = l1_complete[:mem_i], l2_index[:mem_i]
+        accesses = AccessRecords(
+            l1_hit_start=l1_hs, l1_hit_end=l1_he,
+            l1_miss_start=l1_ms, l1_miss_end=l1_me,
+            l1_is_miss=l1_miss, l1_is_secondary=l1_sec,
+            complete=l1_complete, l2_index=l2_index,
+            l2_hit_start=np.asarray(l2_hs, dtype=np.int64),
+            l2_hit_end=np.asarray(l2_he, dtype=np.int64),
+            l2_miss_start=np.asarray(l2_ms, dtype=np.int64),
+            l2_miss_end=np.asarray(l2_me, dtype=np.int64),
+            l2_is_miss=np.asarray(l2_miss, dtype=bool),
+            l2_is_secondary=np.asarray(l2_sec, dtype=bool),
+            mem_index=np.asarray(mem_index, dtype=np.int64),
+            mem_start=np.asarray(mem_s, dtype=np.int64),
+            mem_end=np.asarray(mem_e, dtype=np.int64),
+            l3_index=(
+                np.asarray(self._l2_l3_index, dtype=np.int64)
+                if self.l3_cache is not None
+                else np.zeros(0, dtype=np.int64)
+            ),
+            l3_hit_start=np.asarray(self._l3_rec[0], dtype=np.int64),
+            l3_hit_end=np.asarray(self._l3_rec[1], dtype=np.int64),
+            l3_miss_start=np.asarray(self._l3_rec[2], dtype=np.int64),
+            l3_miss_end=np.asarray(self._l3_rec[3], dtype=np.int64),
+            l3_is_miss=np.asarray(self._l3_rec[4], dtype=bool),
+            l3_is_secondary=np.asarray(self._l3_rec[5], dtype=bool),
+            l3_mem_index=np.asarray(self._l3_rec[6], dtype=np.int64),
+        )
+        instructions = InstructionRecords(
+            dispatch=dispatch, complete=complete, retire=retire,
+            is_mem=np.asarray(is_mem, dtype=bool).copy(),
+        )
+        stats = {
+            "l1_port_mean_wait": self.l1_ports.mean_wait,
+            "l2_bank_mean_wait": self.l2_banks.mean_wait,
+            "l1_mshr_coalescing": self.l1_mshrs.coalescing_ratio,
+            "l1_mshr_peak": self.l1_mshrs.peak_occupancy,
+            "l2_mshr_peak": self.l2_mshrs.peak_occupancy,
+            "dram_row_hit_rate": self.dram.row_hit_rate,
+            "dram_mean_bank_wait": self.dram.mean_bank_wait,
+        }
+        if self.prefetcher is not None:
+            stats.update(
+                prefetches_issued=self.prefetcher.issued,
+                prefetches_useful=self.prefetcher.useful,
+                prefetches_late=self.prefetcher.late,
+                prefetch_accuracy=self.prefetcher.accuracy,
+            )
+        if self.bypass is not None:
+            stats.update(
+                l1_bypassed_fills=self.bypass.bypassed,
+                l1_bypass_rate=self.bypass.bypass_rate,
+            )
+        return SimulationResult(
+            config=cfg,
+            trace_name=trace.name,
+            accesses=accesses,
+            instructions=instructions,
+            component_stats=stats,
+            instructions_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    def _memory_access(
+        self, addr, t_request, mem_i,
+        l1_hs, l1_he, l1_ms, l1_me, l1_miss, l1_sec, l1_complete, l2_index,
+        l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+        mem_index, mem_s, mem_e,
+    ) -> int:
+        """Walk one access through L1/L2/DRAM; fills record arrays; returns
+        the data-ready cycle."""
+        cfg = self.config
+        h1 = cfg.l1_hit_time
+        block = addr >> self._offset_bits
+
+        # L1: port grant, lazy fill application, lookup.
+        t_port = self.l1_ports.acquire(t_request, 1 if cfg.l1_pipelined else h1)
+        self._l1_fills.apply_until(self.l1_cache, t_port)
+        hit = self.l1_cache.lookup(addr)
+        l1_hs[mem_i] = t_port
+        hit_end = t_port + h1
+        l1_he[mem_i] = hit_end
+        # Selective replacement: train the stream detector on every access;
+        # a confirmed-stream miss will skip L1 allocation below.
+        bypass_fill = (
+            self.bypass.observe_and_classify(addr) if self.bypass is not None else False
+        )
+        prefetcher = self.prefetcher
+        if hit:
+            if prefetcher is not None:
+                if self._prefetch_fills.pop(block, None) is not None:
+                    prefetcher.useful += 1
+                self._issue_prefetches(
+                    addr, hit_end,
+                    l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+                    mem_index, mem_s, mem_e,
+                )
+            l1_complete[mem_i] = hit_end
+            return hit_end
+
+        # L1 miss.
+        l1_miss[mem_i] = True
+        miss_start = hit_end
+        if prefetcher is not None:
+            pending = self._prefetch_fills.pop(block, None)
+            if pending is not None and pending > t_port:
+                # Late prefetch: the fill is already on its way; ride it.
+                prefetcher.late += 1
+                done = pending if pending > hit_end else hit_end
+                l1_sec[mem_i] = True
+                l1_ms[mem_i] = miss_start
+                l1_me[mem_i] = done
+                l1_complete[mem_i] = done
+                self._issue_prefetches(
+                    addr, hit_end,
+                    l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+                    mem_index, mem_s, mem_e,
+                )
+                return done
+        res = self.l1_mshrs.present(block, miss_start)
+        if res.is_secondary:
+            done = res.fill_time if res.fill_time > hit_end else hit_end
+            l1_sec[mem_i] = True
+            l1_ms[mem_i] = miss_start
+            l1_me[mem_i] = done
+            l1_complete[mem_i] = done
+            return done
+
+        # Primary miss -> L2 request (in-order miss queue: clamp monotonic).
+        t_l2_req = res.grant_time + cfg.l1_to_l2_delay
+        l2_row, data_at_l1 = self._access_l2(
+            addr, block, t_l2_req,
+            l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+            mem_index, mem_s, mem_e,
+        )
+        l2_index[mem_i] = l2_row
+
+        if not bypass_fill:
+            self._l1_fills.schedule(data_at_l1, addr)
+        self.l1_mshrs.complete_primary(block, data_at_l1)
+        l1_ms[mem_i] = miss_start
+        l1_me[mem_i] = data_at_l1 if data_at_l1 > miss_start else miss_start
+        l1_complete[mem_i] = data_at_l1 if data_at_l1 > hit_end else hit_end
+        if prefetcher is not None:
+            self._issue_prefetches(
+                addr, hit_end,
+                l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+                mem_index, mem_s, mem_e,
+            )
+        return int(l1_complete[mem_i])
+
+    def _access_l2(
+        self, addr, block, t_l2_req,
+        l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+        mem_index, mem_s, mem_e,
+    ) -> tuple[int, int]:
+        """L2 (and, on miss, DRAM) walk shared by demand misses and
+        prefetches; returns (L2 record row, data-at-L1 cycle)."""
+        cfg = self.config
+        h2 = cfg.l2_hit_time
+        if t_l2_req < self._last_l2_req:
+            t_l2_req = self._last_l2_req
+        self._last_l2_req = t_l2_req
+
+        l2_occ = 1 if cfg.l2_pipelined else h2
+        t_bank = self.l2_banks.acquire(block, t_l2_req, l2_occ)
+        self._l2_fills.apply_until(self.l2_cache, t_l2_req)
+        l2_hit = self.l2_cache.lookup(addr)
+        l2_row = len(l2_hs)
+        l2_hs.append(t_bank)
+        l2_hit_end = t_bank + h2
+        l2_he.append(l2_hit_end)
+
+        if l2_hit:
+            l2_ms.append(0)
+            l2_me.append(0)
+            l2_miss.append(False)
+            l2_sec.append(False)
+            mem_index.append(-1)
+            self._l2_l3_index.append(-1)
+            data_at_l1 = l2_hit_end + cfg.l1_to_l2_delay
+        else:
+            l2_miss.append(True)
+            l2_miss_start = l2_hit_end
+            res2 = self.l2_mshrs.present(block, l2_miss_start)
+            if res2.is_secondary:
+                l2_sec.append(True)
+                mem_index.append(-1)
+                self._l2_l3_index.append(-1)
+                mem_ready = res2.fill_time if res2.fill_time > l2_hit_end else l2_hit_end
+            else:
+                l2_sec.append(False)
+                if self.l3_cache is not None:
+                    t_l3_req = res2.grant_time + cfg.l2_to_l3_delay
+                    l3_row, mem_ready = self._access_l3(
+                        addr, block, t_l3_req, mem_s, mem_e
+                    )
+                    mem_index.append(-1)
+                    self._l2_l3_index.append(l3_row)
+                else:
+                    t_mem_req = res2.grant_time + cfg.l2_to_mem_delay
+                    if t_mem_req < self._last_mem_req:
+                        t_mem_req = self._last_mem_req
+                    self._last_mem_req = t_mem_req
+                    dres = self.dram.access(block, t_mem_req)
+                    mem_index.append(len(mem_s))
+                    mem_s.append(dres.service_start)
+                    mem_e.append(dres.service_end)
+                    mem_ready = dres.data_ready + cfg.l2_to_mem_delay
+                    self._l2_l3_index.append(-1)
+                self._l2_fills.schedule(mem_ready, addr)
+                self.l2_mshrs.complete_primary(block, mem_ready)
+            l2_ms.append(l2_miss_start)
+            l2_me.append(mem_ready if mem_ready > l2_miss_start else l2_miss_start)
+            data_at_l1 = mem_ready + cfg.l1_to_l2_delay
+        return l2_row, data_at_l1
+
+    def _access_l3(
+        self, addr, block, t_l3_req, mem_s, mem_e
+    ) -> tuple[int, int]:
+        """Optional L3 walk (mirrors :meth:`_access_l2`); returns the L3
+        record row and the cycle data is back at the L2."""
+        cfg = self.config
+        h3 = cfg.l3_hit_time
+        if t_l3_req < self._last_l3_req:
+            t_l3_req = self._last_l3_req
+        self._last_l3_req = t_l3_req
+
+        l3_hs, l3_he, l3_ms, l3_me, l3_miss, l3_sec, l3_mem_index = self._l3_rec
+        l3_occ = 1 if cfg.l3_pipelined else h3
+        t_bank = self.l3_banks.acquire(block, t_l3_req, l3_occ)
+        self._l3_fills.apply_until(self.l3_cache, t_l3_req)
+        l3_hit = self.l3_cache.lookup(addr)
+        l3_row = len(l3_hs)
+        l3_hs.append(t_bank)
+        l3_hit_end = t_bank + h3
+        l3_he.append(l3_hit_end)
+
+        if l3_hit:
+            l3_ms.append(0)
+            l3_me.append(0)
+            l3_miss.append(False)
+            l3_sec.append(False)
+            l3_mem_index.append(-1)
+            data_at_l2 = l3_hit_end + cfg.l2_to_l3_delay
+        else:
+            l3_miss.append(True)
+            miss_start = l3_hit_end
+            res3 = self.l3_mshrs.present(block, miss_start)
+            if res3.is_secondary:
+                l3_sec.append(True)
+                l3_mem_index.append(-1)
+                mem_ready = res3.fill_time if res3.fill_time > miss_start else miss_start
+            else:
+                l3_sec.append(False)
+                t_mem_req = res3.grant_time + cfg.l2_to_mem_delay
+                if t_mem_req < self._last_mem_req:
+                    t_mem_req = self._last_mem_req
+                self._last_mem_req = t_mem_req
+                dres = self.dram.access(block, t_mem_req)
+                l3_mem_index.append(len(mem_s))
+                mem_s.append(dres.service_start)
+                mem_e.append(dres.service_end)
+                mem_ready = dres.data_ready + cfg.l2_to_mem_delay
+                self._l3_fills.schedule(mem_ready, addr)
+                self.l3_mshrs.complete_primary(block, mem_ready)
+            l3_ms.append(miss_start)
+            l3_me.append(mem_ready if mem_ready > miss_start else miss_start)
+            data_at_l2 = mem_ready + cfg.l2_to_l3_delay
+        return l3_row, data_at_l2
+
+    def _issue_prefetches(
+        self, addr, now,
+        l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+        mem_index, mem_s, mem_e,
+    ) -> None:
+        """Train the prefetcher on *addr* and turn candidates into traffic.
+
+        Prefetches consume real L2 bank slots (and DRAM banks on L2 misses)
+        through :meth:`_access_l2`, and their fills land in the L1 through
+        the same lazy fill queue as demand fills — including the cache
+        pollution that implies.  Candidates already resident, in flight, or
+        beyond the outstanding budget are dropped.
+        """
+        prefetcher = self.prefetcher
+        assert prefetcher is not None
+        candidates = prefetcher.observe(addr)
+        if not candidates:
+            return
+        offset_bits = self._offset_bits
+        outstanding = sum(1 for t in self._prefetch_fills.values() if t > now)
+        budget = prefetcher.config.max_outstanding - outstanding
+        for pf_block in candidates:
+            if budget <= 0:
+                break
+            if pf_block < 0:
+                continue
+            pf_addr = pf_block << offset_bits
+            if pf_block in self._prefetch_fills and self._prefetch_fills[pf_block] > now:
+                continue
+            if self.l1_cache.contains(pf_addr):
+                continue
+            _, data_at_l1 = self._access_l2(
+                pf_addr, pf_block, now + 1,
+                l2_hs, l2_he, l2_ms, l2_me, l2_miss, l2_sec,
+                mem_index, mem_s, mem_e,
+            )
+            self._l1_fills.schedule(data_at_l1, pf_addr)
+            self._prefetch_fills[pf_block] = data_at_l1
+            prefetcher.issued += 1
+            budget -= 1

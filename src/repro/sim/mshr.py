@@ -1,0 +1,163 @@
+"""Miss Status Holding Registers with primary/secondary miss coalescing.
+
+A non-blocking cache tracks outstanding misses in MSHRs.  The first miss to
+a block (the *primary* miss) allocates an MSHR and sends one request to the
+next level; later misses to the same block while the fill is outstanding
+(*secondary* misses) attach to the existing MSHR and complete when the same
+fill returns — no extra downstream traffic.  When all MSHRs are busy the
+cache stalls new misses until one frees.
+
+The MSHR count is one of the six Case Study I knobs: it directly bounds
+miss-level parallelism and therefore the pure-miss concurrency ``C_M`` the
+LPM model optimizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.util.validation import check_int
+
+__all__ = ["MSHRFile", "MissLookup"]
+
+
+class MissLookup:
+    """Outcome of presenting a miss to the MSHR file."""
+
+    __slots__ = ("is_secondary", "grant_time", "fill_time")
+
+    def __init__(self, is_secondary: bool, grant_time: int, fill_time: int | None) -> None:
+        self.is_secondary = is_secondary
+        self.grant_time = grant_time
+        #: For secondary misses: the primary's fill time (completion).
+        #: For primary misses: None — the caller computes the downstream
+        #: path and then calls :meth:`MSHRFile.complete_primary`.
+        self.fill_time = fill_time
+
+
+class MSHRFile:
+    """Bounded MSHR file keyed by block address.
+
+    Usage per miss (in non-decreasing arrival order)::
+
+        res = mshrs.present(block, arrival)
+        if res.is_secondary:
+            done = res.fill_time           # ride the outstanding fill
+        else:
+            done = <downstream latency from res.grant_time>
+            mshrs.complete_primary(block, done)
+    """
+
+    def __init__(self, capacity: int, *, in_order: bool = True) -> None:
+        check_int("capacity", capacity, minimum=1)
+        self.capacity = capacity
+        #: In-order files (single requester) clamp arrivals to a
+        #: never-rewinding clock, which makes the capacity invariant exact.
+        #: Shared files fed by multiple cores with skewed local clocks must
+        #: run out-of-order: no clamp, and occupancy is counted against the
+        #: presented arrival time instead (conservative: an entry occupies
+        #: its register until its fill time, regardless of when it was
+        #: allocated).
+        self.in_order = in_order
+        self._outstanding: dict[int, int] = {}  # block -> fill time
+        self._releases: list[tuple[int, int]] = []  # (fill time, block) heap
+        self._now = 0  # in-order miss queue: the file's clock never rewinds
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.full_stall_cycles = 0
+        self.peak_occupancy = 0
+
+    def _expire(self, now: int) -> None:
+        while self._releases and self._releases[0][0] <= now:
+            _, block = heapq.heappop(self._releases)
+            # A block may have been re-allocated; only drop matching entries.
+            fill = self._outstanding.get(block)
+            if fill is not None and fill <= now:
+                del self._outstanding[block]
+
+    def present(self, block: int, arrival: int) -> MissLookup:
+        """Present a miss for *block* at *arrival*; coalesce or allocate.
+
+        For a primary miss, the returned ``grant_time`` is the cycle at
+        which an MSHR is actually held (>= arrival when the file was full);
+        the caller must finish the allocation with :meth:`complete_primary`
+        before presenting the next miss.
+
+        Misses are handled in order: a request presented with an arrival
+        earlier than the last grant is processed at the file's current
+        clock (hardware miss queues do not reorder), which also keeps the
+        capacity invariant exact under out-of-order upstream timing.
+        """
+        if self.in_order:
+            arrival = max(arrival, self._now)
+            self._expire(arrival)
+        fill = self._outstanding.get(block)
+        if fill is not None and fill > arrival:
+            self.secondary_misses += 1
+            return MissLookup(True, arrival, fill)
+        grant = arrival
+        if self.in_order:
+            if len(self._outstanding) >= self.capacity:
+                # Stall until the earliest outstanding fill returns.
+                earliest_fill, _ = self._releases[0]
+                grant = max(arrival, earliest_fill)
+                self._expire(grant)
+            self._now = grant
+        else:
+            # Out-of-order: count registers live at this arrival time.
+            live = sorted(f for f in self._outstanding.values() if f > arrival)
+            if len(live) >= self.capacity:
+                grant = live[len(live) - self.capacity]
+            self._expire_oo()
+        self.primary_misses += 1
+        self.full_stall_cycles += grant - arrival
+        return MissLookup(False, grant, None)
+
+    def _expire_oo(self) -> None:
+        """Bound state growth for out-of-order files.
+
+        Without a global clock we cannot expire by time; instead drop
+        heap/dict entries beyond a generous multiple of capacity (oldest
+        fills first) — they can no longer influence capacity decisions that
+        matter.
+        """
+        limit = 8 * self.capacity
+        while len(self._releases) > limit:
+            fill, block = heapq.heappop(self._releases)
+            if self._outstanding.get(block) == fill:
+                del self._outstanding[block]
+
+    def complete_primary(self, block: int, fill_time: int) -> None:
+        """Record the fill time of the primary miss just granted for *block*."""
+        if self.in_order and len(self._outstanding) >= self.capacity:
+            raise RuntimeError("MSHR file over capacity; present() not honoured")
+        self._outstanding[block] = fill_time
+        heapq.heappush(self._releases, (fill_time, block))
+        occ = len(self._outstanding)
+        if occ > self.peak_occupancy:
+            self.peak_occupancy = occ
+
+    def outstanding_at(self, cycle: int) -> int:
+        """Number of MSHRs held at *cycle* (fills not yet returned)."""
+        return sum(1 for f in self._outstanding.values() if f > cycle)
+
+    @property
+    def total_misses(self) -> int:
+        """Primary plus secondary misses presented so far."""
+        return self.primary_misses + self.secondary_misses
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Secondary misses per presented miss (0 when none presented)."""
+        total = self.total_misses
+        return self.secondary_misses / total if total else 0.0
+
+    def reset(self) -> None:
+        """Drop all outstanding entries and zero statistics."""
+        self._outstanding.clear()
+        self._releases.clear()
+        self._now = 0
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.full_stall_cycles = 0
+        self.peak_occupancy = 0

@@ -1,0 +1,312 @@
+"""Timed multicore co-execution with a genuinely shared L2 and DRAM.
+
+Case Study II's headline numbers use an analytic shared-L2 contention
+model (:mod:`repro.sched.contention`) — the same information NUCA-SA has.
+This module provides the ground truth to validate it against: N traces
+executing on N cores whose L2 bank schedulers, L2 MSHR file, L2 functional
+contents and DRAM banks are *one shared set of objects*, so co-runners
+contend for real.
+
+Scheduling discipline: each core owns a private
+:class:`~repro.sim.engine.HierarchySimulator` (L1, ports, MSHRs, fill
+queues) whose L2/DRAM components are replaced by the shared instances.
+Execution proceeds in barrier-synchronized *cycle windows* of ``quantum``
+cycles: every active core executes within the current window (its pipeline
+state resuming across windows via the engine's ``resume`` support) before
+any core enters the next one, and the per-window service order rotates.
+Cross-core ordering error at shared resources is therefore bounded by the
+window length — shrink ``quantum`` for interleaving fidelity, grow it for
+speed.  A single core run through this machinery reproduces its solo
+timing bit-exactly (see ``tests/sim/test_multicore.py``).
+
+Fairness caveat: cores that finish their trace stop producing load, so the
+tail of a co-run is progressively less contended (as in real multiprogram
+measurement up to the first completion).  Metrics here follow the common
+"first N instructions of each application" convention: every trace
+contributes its full instruction count, and per-core IPC is measured over
+each core's own busy span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.engine import HierarchySimulator, SimulationResult
+from repro.sim.params import MachineConfig
+from repro.sim.stats import HierarchyStats, measure_hierarchy
+from repro.util.validation import check_int
+from repro.workloads.trace import Trace
+
+__all__ = ["CoRunResult", "MulticoreSimulator"]
+
+
+@dataclass
+class CoRunResult:
+    """Per-core outcomes of one timed co-run."""
+
+    core_results: list[SimulationResult]
+    core_stats: list[HierarchyStats]
+    quantum: int
+
+    @property
+    def n_cores(self) -> int:
+        """Number of co-running cores."""
+        return len(self.core_results)
+
+    def ipcs(self) -> list[float]:
+        """Per-core achieved IPC over each core's busy span."""
+        return [s.ipc for s in self.core_stats]
+
+    def total_cycles(self) -> int:
+        """Wall-clock cycles until the last core finished."""
+        return max(
+            int(r.instructions.retire.max()) if r.instructions.n_instructions else 0
+            for r in self.core_results
+        )
+
+
+class MulticoreSimulator:
+    """Run one trace per core against a shared L2/DRAM back end.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`MachineConfig` per core (heterogeneous L1s allowed).
+        L2/L3 geometry and DRAM timing must agree across cores — the
+        shared components are built from core 0's configuration.
+    quantum:
+        Cycles per barrier-synchronized window (cross-core interleaving
+        granularity).
+    """
+
+    def __init__(
+        self,
+        configs: "list[MachineConfig]",
+        *,
+        quantum: int = 250,
+        seed: int = 0,
+    ) -> None:
+        if not configs:
+            raise ValueError("need at least one core configuration")
+        check_int("quantum", quantum, minimum=1)
+        base = configs[0]
+        for i, cfg in enumerate(configs[1:], start=1):
+            if cfg.l2 != base.l2 or cfg.dram != base.dram or cfg.l3 != base.l3:
+                raise ValueError(
+                    f"core {i} disagrees with core 0 on shared L2/L3/DRAM "
+                    "configuration"
+                )
+        self.configs = list(configs)
+        self.quantum = quantum
+        self.seed = seed
+        self.cores = [
+            HierarchySimulator(cfg, seed=seed + 17 * i)
+            for i, cfg in enumerate(configs)
+        ]
+        # Share the back end: every core's engine points at core 0's L2,
+        # L2 MSHRs, L2 bank scheduler, fill queue, DRAM (and L3 if any).
+        # Shared MSHR files must run out-of-order: the cores' local clocks
+        # are only quantum-synchronized, so a global in-order clamp would
+        # let a fast core's timestamps stall everyone else.
+        from repro.sim.mshr import MSHRFile
+
+        shared = self.cores[0]
+        shared.l2_mshrs = MSHRFile(base.l2_mshr_count, in_order=False)
+        if shared.l3_cache is not None:
+            shared.l3_mshrs = MSHRFile(base.l3_mshr_count, in_order=False)
+        for core in self.cores[1:]:
+            core.l2_cache = shared.l2_cache
+            core.l2_banks = shared.l2_banks
+            core.l2_mshrs = shared.l2_mshrs
+            core._l2_fills = shared._l2_fills
+            core.dram = shared.dram
+            if shared.l3_cache is not None:
+                core.l3_cache = shared.l3_cache
+                core.l3_banks = shared.l3_banks
+                core.l3_mshrs = shared.l3_mshrs
+                core._l3_fills = shared._l3_fills
+
+    def warm_caches(self, traces: "list[Trace]") -> None:
+        """Warm private L1s with their own trace, the shared L2 with all."""
+        for core, trace in zip(self.cores, traces):
+            core.l1_cache.warm_lookup_array(trace.memory_addresses)
+        shared_l2 = self.cores[0].l2_cache
+        for trace in traces:
+            shared_l2.warm_lookup_array(trace.memory_addresses)
+
+    def run(self, traces: "list[Trace]") -> CoRunResult:
+        """Co-execute the traces; returns per-core records and measurements.
+
+        Per-core ``CPI_exe`` for the stats is measured by a private
+        perfect-cache run of each trace (contention-free compute demand).
+        """
+        if len(traces) != len(self.cores):
+            raise ValueError(
+                f"need one trace per core: {len(traces)} traces for "
+                f"{len(self.cores)} cores"
+            )
+        n_cores = len(self.cores)
+        positions = [0] * n_cores
+        clocks = [0] * n_cores
+        chunks: list[list[SimulationResult]] = [[] for _ in range(n_cores)]
+
+        # Barrier-synchronized cycle windows: every core executes within
+        # [window_start, window_end) before anyone proceeds, so shared-
+        # resource reservations never run more than ~one window (plus one
+        # in-flight miss) ahead of any co-runner.
+        window_start = 0
+        window_no = 0
+        active = {i for i in range(n_cores) if traces[i].n_instructions > 0}
+        while active:
+            window_end = window_start + self.quantum
+            # Rotate the per-window service order: within a window the
+            # cores are simulated sequentially, so a fixed order would
+            # systematically favour the first core at shared resources.
+            order = sorted(active)
+            rot = window_no % max(len(order), 1)
+            for core_idx in order[rot:] + order[:rot]:
+                if clocks[core_idx] >= window_end:
+                    continue
+                trace = traces[core_idx]
+                lo = positions[core_idx]
+                # Bounded lookahead: at most issue_width instructions can
+                # dispatch per cycle, so a window never consumes more than
+                # quantum * issue_width of the trace (slicing the whole
+                # tail each window would be quadratic in trace length).
+                max_consume = self.quantum * self.configs[core_idx].core.issue_width
+                hi = min(lo + max_consume + 64, trace.n_instructions)
+                window = trace.slice(lo, hi)
+                result = self.cores[core_idx].run(
+                    window,
+                    start_cycle=max(clocks[core_idx], window_start),
+                    stop_cycle=window_end,
+                    resume=positions[core_idx] > 0,
+                )
+                executed = result.instructions_executed
+                if executed:
+                    chunks[core_idx].append(result)
+                    positions[core_idx] += executed
+                    # The core's clock is where dispatch stopped, not where
+                    # the last in-flight op retires: with resumed pipeline
+                    # state the next window overlaps those completions.
+                    clocks[core_idx] = max(
+                        int(result.instructions.dispatch.max()), window_end
+                    )
+                else:
+                    clocks[core_idx] = window_end
+                if positions[core_idx] >= trace.n_instructions:
+                    active.discard(core_idx)
+            window_start = window_end
+            window_no += 1
+
+        core_results = [
+            _merge_chunks(self.configs[i], traces[i].name, chunks[i])
+            for i in range(n_cores)
+        ]
+        core_stats = []
+        for i, result in enumerate(core_results):
+            perfect = HierarchySimulator(self.configs[i], seed=self.seed).run(
+                traces[i], perfect=True
+            )
+            core_stats.append(measure_hierarchy(result, cpi_exe=perfect.cpi))
+        return CoRunResult(
+            core_results=core_results, core_stats=core_stats, quantum=self.quantum
+        )
+
+
+def _concat(arrays: "list[np.ndarray]") -> np.ndarray:
+    return np.concatenate(arrays) if arrays else np.zeros(0, dtype=np.int64)
+
+
+def _merge_chunks(
+    config: MachineConfig, trace_name: str, chunks: "list[SimulationResult]"
+) -> SimulationResult:
+    """Stitch a core's per-quantum results into one SimulationResult.
+
+    Row indices into the L2/memory tables are per-chunk, so they are
+    rebased by the running row counts while concatenating.
+    """
+    from repro.sim.records import AccessRecords, InstructionRecords
+
+    if not chunks:
+        empty = np.zeros(0, dtype=np.int64)
+        empty_b = np.zeros(0, dtype=bool)
+        return SimulationResult(
+            config=config,
+            trace_name=trace_name,
+            accesses=AccessRecords(
+                l1_hit_start=empty, l1_hit_end=empty, l1_miss_start=empty,
+                l1_miss_end=empty, l1_is_miss=empty_b, l1_is_secondary=empty_b,
+                complete=empty, l2_index=empty,
+                l2_hit_start=empty, l2_hit_end=empty, l2_miss_start=empty,
+                l2_miss_end=empty, l2_is_miss=empty_b, l2_is_secondary=empty_b,
+                mem_index=empty, mem_start=empty, mem_end=empty,
+            ),
+            instructions=InstructionRecords(
+                dispatch=empty, complete=empty, retire=empty, is_mem=empty_b
+            ),
+        )
+
+    l2_offsets, mem_offsets, l3_offsets = [], [], []
+    l2_total = mem_total = l3_total = 0
+    for chunk in chunks:
+        l2_offsets.append(l2_total)
+        mem_offsets.append(mem_total)
+        l3_offsets.append(l3_total)
+        l2_total += chunk.accesses.n_l2_accesses
+        mem_total += chunk.accesses.n_mem_accesses
+        l3_total += chunk.accesses.n_l3_accesses
+    has_l3 = any(c.accesses.has_l3 for c in chunks)
+
+    def rebased(attr: str, offsets: "list[int]") -> np.ndarray:
+        parts = []
+        for chunk, off in zip(chunks, offsets):
+            idx = getattr(chunk.accesses, attr).copy()
+            idx[idx >= 0] += off
+            parts.append(idx)
+        return _concat(parts)
+
+    acc = AccessRecords(
+        l1_hit_start=_concat([c.accesses.l1_hit_start for c in chunks]),
+        l1_hit_end=_concat([c.accesses.l1_hit_end for c in chunks]),
+        l1_miss_start=_concat([c.accesses.l1_miss_start for c in chunks]),
+        l1_miss_end=_concat([c.accesses.l1_miss_end for c in chunks]),
+        l1_is_miss=_concat([c.accesses.l1_is_miss for c in chunks]),
+        l1_is_secondary=_concat([c.accesses.l1_is_secondary for c in chunks]),
+        complete=_concat([c.accesses.complete for c in chunks]),
+        l2_index=rebased("l2_index", l2_offsets),
+        l2_hit_start=_concat([c.accesses.l2_hit_start for c in chunks]),
+        l2_hit_end=_concat([c.accesses.l2_hit_end for c in chunks]),
+        l2_miss_start=_concat([c.accesses.l2_miss_start for c in chunks]),
+        l2_miss_end=_concat([c.accesses.l2_miss_end for c in chunks]),
+        l2_is_miss=_concat([c.accesses.l2_is_miss for c in chunks]),
+        l2_is_secondary=_concat([c.accesses.l2_is_secondary for c in chunks]),
+        mem_index=rebased("mem_index", mem_offsets),
+        mem_start=_concat([c.accesses.mem_start for c in chunks]),
+        mem_end=_concat([c.accesses.mem_end for c in chunks]),
+        l3_index=rebased("l3_index", l3_offsets) if has_l3 else np.zeros(0, np.int64),
+        l3_hit_start=_concat([c.accesses.l3_hit_start for c in chunks]),
+        l3_hit_end=_concat([c.accesses.l3_hit_end for c in chunks]),
+        l3_miss_start=_concat([c.accesses.l3_miss_start for c in chunks]),
+        l3_miss_end=_concat([c.accesses.l3_miss_end for c in chunks]),
+        l3_is_miss=_concat([c.accesses.l3_is_miss for c in chunks]),
+        l3_is_secondary=_concat([c.accesses.l3_is_secondary for c in chunks]),
+        l3_mem_index=rebased("l3_mem_index", mem_offsets) if has_l3
+        else np.zeros(0, np.int64),
+    )
+    instructions = InstructionRecords(
+        dispatch=_concat([c.instructions.dispatch for c in chunks]),
+        complete=_concat([c.instructions.complete for c in chunks]),
+        retire=_concat([c.instructions.retire for c in chunks]),
+        is_mem=_concat([c.instructions.is_mem for c in chunks]),
+    )
+    stats: dict = dict(chunks[-1].component_stats)
+    return SimulationResult(
+        config=config,
+        trace_name=trace_name,
+        accesses=acc,
+        instructions=instructions,
+        component_stats=stats,
+    )

@@ -1,0 +1,199 @@
+"""Stream/stride prefetcher for the L1 (an optional engine component).
+
+The paper situates LPM above a "toolkit or technique pool" of specific
+memory optimizations (Hennessy & Patterson's sixteen mechanisms); hardware
+prefetching is the classic member that trades bandwidth for latency —
+converting demand pure misses into hits (lower pMR) at the cost of extra
+L2/DRAM traffic.  This module provides a region-based stride prefetcher in
+the style of hardware stream prefetchers:
+
+* accesses are tracked per aligned region (default 4 KB); a region entry
+  holds the last block touched and the current stride candidate;
+* once the same block stride repeats (``confirm_after`` matches), the
+  entry is *trained* and every further matching access issues prefetches
+  for the next ``degree`` blocks at ``distance`` strides ahead;
+* the engine turns candidates into real L2/DRAM traffic through the same
+  bank/row-buffer schedulers demand misses use, so prefetching consumes —
+  and can exhaust — downstream supply, exactly the tension the LPM model
+  arbitrates.
+
+Usefulness accounting (issued / useful / late) feeds the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_int, check_power_of_two
+
+__all__ = ["PrefetchConfig", "StridePrefetcher", "BypassConfig", "StreamDetector"]
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stride-prefetcher parameters.
+
+    ``degree`` blocks are requested per trigger, starting ``distance``
+    strides ahead of the current access; at most ``max_outstanding``
+    prefetches may be in flight (the prefetch queue depth).
+    """
+
+    degree: int = 2
+    distance: int = 1
+    region_bytes: int = 4096
+    table_size: int = 64
+    confirm_after: int = 2
+    max_outstanding: int = 8
+
+    def __post_init__(self) -> None:
+        check_int("degree", self.degree, minimum=1)
+        check_int("distance", self.distance, minimum=1)
+        check_power_of_two("region_bytes", self.region_bytes)
+        check_int("table_size", self.table_size, minimum=1)
+        check_int("confirm_after", self.confirm_after, minimum=1)
+        check_int("max_outstanding", self.max_outstanding, minimum=1)
+
+
+class _RegionEntry:
+    __slots__ = ("last_block", "stride", "confidence")
+
+    def __init__(self, block: int) -> None:
+        self.last_block = block
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Region-keyed stride detector producing prefetch block candidates."""
+
+    def __init__(self, config: PrefetchConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self._region_shift = config.region_bytes.bit_length() - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        self._table: dict[int, _RegionEntry] = {}
+        self.issued = 0
+        self.useful = 0
+        self.late = 0
+        self.trained_triggers = 0
+
+    def observe(self, address: int) -> list[int]:
+        """Record a demand access; return block numbers to prefetch."""
+        block = address >> self._line_shift
+        region = address >> self._region_shift
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.config.table_size:
+                # Evict the oldest region entry (dict preserves insertion).
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = _RegionEntry(block)
+            return []
+
+        stride = block - entry.last_block
+        entry.last_block = block
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            if entry.confidence < self.config.confirm_after:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+            return []
+        if entry.confidence < self.config.confirm_after:
+            return []
+
+        self.trained_triggers += 1
+        base = block + stride * self.config.distance
+        return [base + k * stride for k in range(self.config.degree)]
+
+    def reset(self) -> None:
+        """Clear training state and statistics."""
+        self._table.clear()
+        self.issued = 0
+        self.useful = 0
+        self.late = 0
+        self.trained_triggers = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches over issued (0 when none issued)."""
+        return self.useful / self.issued if self.issued else 0.0
+
+
+@dataclass(frozen=True)
+class BypassConfig:
+    """Selective-replacement (stream bypass) parameters.
+
+    The paper lists "selective cache replacement" among the LPM-enabling
+    future-work mechanisms: blocks belonging to detected streams carry no
+    reuse, so inserting them into the L1 only evicts useful lines.  With
+    bypass enabled, fills whose region shows a confirmed stride skip L1
+    allocation — data still returns to the core with normal timing and the
+    L2 retains the line.
+    """
+
+    region_bytes: int = 4096
+    table_size: int = 64
+    confirm_after: int = 3
+
+    def __post_init__(self) -> None:
+        check_power_of_two("region_bytes", self.region_bytes)
+        check_int("table_size", self.table_size, minimum=1)
+        check_int("confirm_after", self.confirm_after, minimum=1)
+
+
+class StreamDetector:
+    """Region-keyed stride confirmation used by the bypass policy.
+
+    Same training structure as the prefetcher's table, but consumed as a
+    predicate: :meth:`observe_and_classify` returns True when the access
+    belongs to a confirmed stream (so its fill should bypass the L1).
+    """
+
+    def __init__(self, config: BypassConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self._region_shift = config.region_bytes.bit_length() - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        self._table: dict[int, _RegionEntry] = {}
+        self.bypassed = 0
+        self.observed = 0
+
+    def observe_and_classify(self, address: int) -> bool:
+        """Train on one access; True if it belongs to a confirmed stream."""
+        self.observed += 1
+        block = address >> self._line_shift
+        region = address >> self._region_shift
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.config.table_size:
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = _RegionEntry(block)
+            return False
+        stride = block - entry.last_block
+        entry.last_block = block
+        if stride == 0:
+            # Re-touch of the same line: definitely reused, not a stream.
+            entry.confidence = 0
+            return False
+        if stride == entry.stride:
+            if entry.confidence < self.config.confirm_after:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+            return False
+        streaming = entry.confidence >= self.config.confirm_after
+        if streaming:
+            self.bypassed += 1
+        return streaming
+
+    @property
+    def bypass_rate(self) -> float:
+        """Fraction of observed accesses classified as streaming."""
+        return self.bypassed / self.observed if self.observed else 0.0
+
+    def reset(self) -> None:
+        """Clear training state and statistics."""
+        self._table.clear()
+        self.bypassed = 0
+        self.observed = 0

@@ -1,0 +1,205 @@
+"""Per-access and per-instruction timing records produced by the engine.
+
+The timing engine emits *intervals*, not aggregates: each memory access's
+hit-operation and miss-penalty windows at every layer it touched.  The
+C-AMAT analyzer (:mod:`repro.core.analyzer`) then derives C_H, C_M, pMR,
+pAMP per layer from these arrays — mirroring the paper's separation between
+the HCD/MCD detectors and the model.
+
+All interval columns are half-open ``[start, end)`` int64 arrays; an empty
+interval (``start == end == 0``) means "phase absent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _empty_int() -> np.ndarray:
+    return np.zeros(0, dtype=np.int64)
+
+
+def _empty_bool() -> np.ndarray:
+    return np.zeros(0, dtype=bool)
+
+__all__ = ["AccessRecords", "InstructionRecords"]
+
+
+@dataclass
+class AccessRecords:
+    """Timing of every memory access through the hierarchy.
+
+    L1 columns have one row per memory instruction.  L2 columns have one
+    row per *primary* L1 miss (coalesced secondary misses ride the primary
+    fill and create no L2 traffic).  When the machine has no L3, memory
+    columns have one row per L2 primary miss, referenced by ``mem_index``
+    on the L2 rows.  With an L3 configured, L3 columns have one row per L2
+    primary miss (``l3_index``), and memory rows hang off the L3 rows via
+    ``l3_mem_index``.  All index columns hold -1 where absent.
+    """
+
+    # L1 layer (one row per access)
+    l1_hit_start: np.ndarray
+    l1_hit_end: np.ndarray
+    l1_miss_start: np.ndarray
+    l1_miss_end: np.ndarray
+    l1_is_miss: np.ndarray          # bool: functional L1 miss (incl. secondary)
+    l1_is_secondary: np.ndarray     # bool: coalesced into an outstanding MSHR
+    complete: np.ndarray            # data-ready cycle per access
+    l2_index: np.ndarray            # int: row in the L2 columns, -1 if none
+
+    # L2 layer (one row per primary L1 miss)
+    l2_hit_start: np.ndarray
+    l2_hit_end: np.ndarray
+    l2_miss_start: np.ndarray
+    l2_miss_end: np.ndarray
+    l2_is_miss: np.ndarray
+    l2_is_secondary: np.ndarray
+    mem_index: np.ndarray           # int: row in the memory columns, -1 if none
+
+    # Main-memory layer (one row per last-level-cache miss)
+    mem_start: np.ndarray
+    mem_end: np.ndarray
+
+    # Optional L3 layer (one row per L2 primary miss when configured).
+    l3_index: np.ndarray = field(default_factory=_empty_int)      # on L2 rows
+    l3_hit_start: np.ndarray = field(default_factory=_empty_int)
+    l3_hit_end: np.ndarray = field(default_factory=_empty_int)
+    l3_miss_start: np.ndarray = field(default_factory=_empty_int)
+    l3_miss_end: np.ndarray = field(default_factory=_empty_int)
+    l3_is_miss: np.ndarray = field(default_factory=_empty_bool)
+    l3_is_secondary: np.ndarray = field(default_factory=_empty_bool)
+    l3_mem_index: np.ndarray = field(default_factory=_empty_int)  # on L3 rows
+
+    def __post_init__(self) -> None:
+        n1 = self.l1_hit_start.shape[0]
+        for name in ("l1_hit_end", "l1_miss_start", "l1_miss_end", "l1_is_miss",
+                     "l1_is_secondary", "complete", "l2_index"):
+            if getattr(self, name).shape[0] != n1:
+                raise ValueError(f"{name} must have {n1} rows")
+        n2 = self.l2_hit_start.shape[0]
+        for name in ("l2_hit_end", "l2_miss_start", "l2_miss_end", "l2_is_miss",
+                     "l2_is_secondary", "mem_index"):
+            if getattr(self, name).shape[0] != n2:
+                raise ValueError(f"{name} must have {n2} rows")
+        if self.mem_start.shape[0] != self.mem_end.shape[0]:
+            raise ValueError("mem_start and mem_end must have equal length")
+        if self.l3_index.shape[0] not in (0, n2):
+            raise ValueError("l3_index must be empty or have one entry per L2 row")
+        n3 = self.l3_hit_start.shape[0]
+        for name in ("l3_hit_end", "l3_miss_start", "l3_miss_end", "l3_is_miss",
+                     "l3_is_secondary", "l3_mem_index"):
+            if getattr(self, name).shape[0] != n3:
+                raise ValueError(f"{name} must have {n3} rows")
+
+    @property
+    def n_accesses(self) -> int:
+        """Number of L1 accesses (memory instructions)."""
+        return int(self.l1_hit_start.shape[0])
+
+    @property
+    def n_l2_accesses(self) -> int:
+        """Number of L2 accesses (primary L1 misses)."""
+        return int(self.l2_hit_start.shape[0])
+
+    @property
+    def n_mem_accesses(self) -> int:
+        """Number of main-memory accesses (L2 misses)."""
+        return int(self.mem_start.shape[0])
+
+    @property
+    def l1_miss_count(self) -> int:
+        """All functional L1 misses, secondary included."""
+        return int(np.count_nonzero(self.l1_is_miss))
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """Conventional MR1 (misses over accesses)."""
+        n = self.n_accesses
+        return self.l1_miss_count / n if n else 0.0
+
+    @property
+    def l2_per_l1_access(self) -> float:
+        """L2 request rate per L1 access — the request-rate MR1 after coalescing."""
+        n = self.n_accesses
+        return self.n_l2_accesses / n if n else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Conventional MR2 at the L2 (misses over L2 accesses)."""
+        n = self.n_l2_accesses
+        return int(np.count_nonzero(self.l2_is_miss)) / n if n else 0.0
+
+    @property
+    def mem_per_l2_access(self) -> float:
+        """Memory request rate per L2 access (after L2 MSHR coalescing).
+
+        With an L3 configured this is zero (memory traffic hangs off L3).
+        """
+        n = self.n_l2_accesses
+        return self.n_mem_accesses / n if n and not self.has_l3 else 0.0
+
+    # -- optional L3 layer -------------------------------------------------
+    @property
+    def has_l3(self) -> bool:
+        """Whether this run had a third cache level configured."""
+        return self.l3_index.shape[0] > 0 or self.l3_hit_start.shape[0] > 0
+
+    @property
+    def n_l3_accesses(self) -> int:
+        """Number of L3 accesses (L2 primary misses) when L3 is present."""
+        return int(self.l3_hit_start.shape[0])
+
+    @property
+    def l3_per_l2_access(self) -> float:
+        """L3 request rate per L2 access."""
+        n = self.n_l2_accesses
+        return self.n_l3_accesses / n if n else 0.0
+
+    @property
+    def l3_miss_rate(self) -> float:
+        """Conventional miss rate at the L3."""
+        n = self.n_l3_accesses
+        return int(np.count_nonzero(self.l3_is_miss)) / n if n else 0.0
+
+    @property
+    def mem_per_l3_access(self) -> float:
+        """Memory request rate per L3 access (after L3 MSHR coalescing)."""
+        n = self.n_l3_accesses
+        return self.n_mem_accesses / n if n else 0.0
+
+
+@dataclass
+class InstructionRecords:
+    """Pipeline timing of every instruction (memory and compute)."""
+
+    dispatch: np.ndarray   # dispatch (issue) cycle per instruction
+    complete: np.ndarray   # execution/data-ready cycle
+    retire: np.ndarray     # in-order retire cycle
+    is_mem: np.ndarray     # bool
+
+    def __post_init__(self) -> None:
+        n = self.dispatch.shape[0]
+        for name in ("complete", "retire", "is_mem"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"{name} must have {n} rows")
+
+    @property
+    def n_instructions(self) -> int:
+        """Instruction count."""
+        return int(self.dispatch.shape[0])
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end execution time in cycles (first dispatch to last retire)."""
+        if self.n_instructions == 0:
+            return 0
+        return int(self.retire.max() - self.dispatch.min())
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction over the whole run."""
+        n = self.n_instructions
+        return self.total_cycles / n if n else 0.0

@@ -1,0 +1,234 @@
+"""From simulator records to the paper's quantities.
+
+:func:`measure_hierarchy` feeds each layer's activity intervals into the
+C-AMAT analyzer and combines the per-layer measurements with the
+processor-side observations (CPI, CPI_exe, f_mem, overlap ratio) into a
+:class:`HierarchyStats`, which in turn assembles the paper's
+:class:`~repro.core.lpm.LPMRReport` (Eqs. 9-11) for the LPM algorithm.
+
+Measurement conventions (DESIGN.md section 5):
+
+* ``MR1`` reported two ways: the conventional miss rate (all misses over
+  accesses) and the *request-rate* miss ratio (primary misses only — what
+  actually reaches L2 after MSHR coalescing).  The LPMR formulas use the
+  request-rate version, because LPMR is literally request rate over supply
+  rate; the conventional one is kept for AMAT-style comparisons.
+* ``CPI_exe`` is measured by re-running the trace with a perfect L1
+  (``perfect=True``), exactly the paper's "computation cycles per
+  instruction under perfect cache".
+* Data stall time per instruction = ``CPI - CPI_exe`` (clamped at 0); the
+  overlap ratio of Eq. (8) then follows from Eq. (7) as
+  ``1 - stall_cycles / memory_active_cycles`` — this is the definitional
+  equivalence proved in the paper's reference [17].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import LayerMeasurement, measure_layer
+from repro.core.lpm import LPMRReport
+from repro.core.stall import StallModel
+from repro.sim.engine import HierarchySimulator, SimulationResult
+from repro.sim.params import MachineConfig
+from repro.workloads.trace import Trace
+
+__all__ = ["HierarchyStats", "measure_hierarchy", "simulate_and_measure"]
+
+#: Overlap ratios are capped strictly below 1 so threshold formulas stay
+#: finite; a measured 1.0 means "no observable stall at all".
+_MAX_OVERLAP = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Per-layer C-AMAT measurements plus processor-side context."""
+
+    l1: LayerMeasurement
+    l2: LayerMeasurement
+    mem: LayerMeasurement
+    cpi: float
+    cpi_exe: float
+    f_mem: float
+    n_instructions: int
+    mr1_conventional: float
+    mr1_request: float
+    mr2_conventional: float
+    mr2_request: float
+    #: Present only when the machine has a third cache level.
+    l3: "LayerMeasurement | None" = None
+    mr3_conventional: float = 0.0
+    mr3_request: float = 0.0
+
+    @property
+    def stall_per_instruction(self) -> float:
+        """Measured data stall time per instruction (CPI - CPI_exe)."""
+        return max(self.cpi - self.cpi_exe, 0.0)
+
+    @property
+    def stall_fraction_of_compute(self) -> float:
+        """Stall as a fraction of pure compute time (the Δ% quantity)."""
+        return self.stall_per_instruction / self.cpi_exe if self.cpi_exe else 0.0
+
+    @property
+    def overlap_ratio_cm(self) -> float:
+        """Eq. (8) overlap ratio, measured via the Eq. (7) identity."""
+        active = self.l1.active_cycles
+        if active == 0:
+            return 0.0
+        stall_cycles = self.stall_per_instruction * self.n_instructions
+        ratio = 1.0 - stall_cycles / active
+        return min(max(ratio, 0.0), _MAX_OVERLAP)
+
+    @property
+    def eta_combined(self) -> float:
+        """The Eq. (13) effectiveness factor (pure cycles / miss cycles at L1)."""
+        if self.l1.miss_active_cycles == 0:
+            return 0.0
+        return self.l1.pure_miss_cycles / self.l1.miss_active_cycles
+
+    @property
+    def lpmr1(self) -> float:
+        """Eq. (9)."""
+        if self.cpi_exe == 0:
+            return 0.0
+        return self.l1.camat * self.f_mem / self.cpi_exe
+
+    @property
+    def lpmr2(self) -> float:
+        """Eq. (10), with the request-rate MR1 (post-coalescing)."""
+        if self.cpi_exe == 0:
+            return 0.0
+        return self.l2.camat * self.f_mem * self.mr1_request / self.cpi_exe
+
+    @property
+    def lpmr3(self) -> float:
+        """Eq. (11), with request-rate miss ratios.
+
+        With two cache levels this matches the paper's (LLC, MM) pair; with
+        a third level configured it becomes the (L2, L3) matching ratio and
+        :attr:`lpmr4` carries the (L3, MM) pair.
+        """
+        if self.cpi_exe == 0:
+            return 0.0
+        third = self.l3 if self.l3 is not None else self.mem
+        return (
+            third.camat * self.f_mem * self.mr1_request * self.mr2_request / self.cpi_exe
+        )
+
+    @property
+    def lpmr4(self) -> float:
+        """The (L3, main memory) matching ratio; 0 without an L3."""
+        if self.l3 is None or self.cpi_exe == 0:
+            return 0.0
+        return (
+            self.mem.camat * self.f_mem * self.mr1_request
+            * self.mr2_request * self.mr3_request / self.cpi_exe
+        )
+
+    @property
+    def stall_model(self) -> StallModel:
+        """Processor-side parameter bundle for the stall formulas."""
+        return StallModel(
+            f_mem=min(self.f_mem, 1.0),
+            cpi_exe=max(self.cpi_exe, 1e-12),
+            overlap_ratio_cm=self.overlap_ratio_cm,
+        )
+
+    def lpmr_report(self) -> LPMRReport:
+        """The full matching snapshot consumed by the LPM algorithm."""
+        return LPMRReport(
+            lpmr1=self.lpmr1,
+            lpmr2=self.lpmr2,
+            lpmr3=self.lpmr3,
+            camat1=self.l1.camat,
+            camat2=self.l2.camat,
+            camat3=self.mem.camat,
+            mr1=self.mr1_request,
+            mr2=self.mr2_request,
+            f_mem=min(self.f_mem, 1.0),
+            cpi_exe=max(self.cpi_exe, 1e-12),
+            overlap_ratio_cm=self.overlap_ratio_cm,
+            eta_combined=self.eta_combined,
+            hit_time1=max(self.l1.hit_time, 1e-12),
+            hit_concurrency1=self.l1.hit_concurrency,
+        )
+
+    @property
+    def apc1(self) -> float:
+        """L1 accesses per memory-active cycle (Fig. 6 quantity)."""
+        return self.l1.apc
+
+    @property
+    def apc2(self) -> float:
+        """L2 accesses per L2-active cycle (Fig. 7 quantity)."""
+        return self.l2.apc
+
+    @property
+    def ipc(self) -> float:
+        """Achieved instructions per cycle."""
+        return 1.0 / self.cpi if self.cpi else 0.0
+
+
+def measure_hierarchy(result: SimulationResult, cpi_exe: float) -> HierarchyStats:
+    """Run the C-AMAT analyzer over a simulation's records."""
+    acc = result.accesses
+    l1 = measure_layer(acc.l1_hit_start, acc.l1_hit_end, acc.l1_miss_start, acc.l1_miss_end)
+    l2 = measure_layer(acc.l2_hit_start, acc.l2_hit_end, acc.l2_miss_start, acc.l2_miss_end)
+    mem = measure_layer(
+        acc.mem_start, acc.mem_end,
+        acc.mem_start, acc.mem_start,  # main memory has no miss phase
+    ) if acc.n_mem_accesses else measure_layer([], [], [], [])
+    l3 = None
+    mr2_request = acc.mem_per_l2_access
+    mr3_conventional = 0.0
+    mr3_request = 0.0
+    if acc.has_l3:
+        l3 = measure_layer(
+            acc.l3_hit_start, acc.l3_hit_end, acc.l3_miss_start, acc.l3_miss_end
+        ) if acc.n_l3_accesses else measure_layer([], [], [], [])
+        mr2_request = acc.l3_per_l2_access
+        mr3_conventional = acc.l3_miss_rate
+        mr3_request = acc.mem_per_l3_access
+    n_instr = result.instructions.n_instructions
+    n_mem_ops = acc.n_accesses
+    return HierarchyStats(
+        l1=l1,
+        l2=l2,
+        mem=mem,
+        cpi=result.cpi,
+        cpi_exe=cpi_exe,
+        f_mem=n_mem_ops / n_instr if n_instr else 0.0,
+        n_instructions=n_instr,
+        mr1_conventional=acc.l1_miss_rate,
+        mr1_request=acc.l2_per_l1_access,
+        mr2_conventional=acc.l2_miss_rate,
+        mr2_request=mr2_request,
+        l3=l3,
+        mr3_conventional=mr3_conventional,
+        mr3_request=mr3_request,
+    )
+
+
+def simulate_and_measure(
+    config: MachineConfig,
+    trace: Trace,
+    *,
+    seed: int = 0,
+    warm: bool = True,
+) -> tuple[SimulationResult, HierarchyStats]:
+    """Convenience path: perfect run for CPI_exe, real run, analyzer pass.
+
+    ``warm=True`` touches the trace's addresses functionally first, so the
+    measured window reflects steady-state locality rather than cold-start
+    compulsory misses (the paper samples long-running SPEC regions).
+    """
+    perfect_sim = HierarchySimulator(config, seed=seed)
+    perfect = perfect_sim.run(trace, perfect=True)
+
+    sim = HierarchySimulator(config, seed=seed)
+    if warm:
+        sim.warm_caches(trace)
+    result = sim.run(trace)
+    stats = measure_hierarchy(result, cpi_exe=perfect.cpi)
+    return result, stats

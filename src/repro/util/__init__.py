@@ -1,0 +1,27 @@
+"""Shared utilities: argument validation and seeded RNG plumbing."""
+
+from repro.util.rng import derive_seed, make_rng, spawn
+from repro.util.validation import (
+    check_at_least,
+    check_fraction,
+    check_int,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability_vector,
+    require,
+)
+
+__all__ = [
+    "check_at_least",
+    "check_fraction",
+    "check_int",
+    "check_non_negative",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability_vector",
+    "derive_seed",
+    "make_rng",
+    "require",
+    "spawn",
+]

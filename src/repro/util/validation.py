@@ -1,0 +1,116 @@
+"""Argument-validation helpers shared across the library.
+
+The simulator and the analytical models are configured by many numeric
+parameters (cycle counts, rates, concurrencies).  Mis-typed or out-of-range
+values produce silently wrong results rather than crashes, so every public
+constructor validates its inputs through these helpers and fails fast with a
+precise message.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_at_least",
+    "check_int",
+    "check_power_of_two",
+    "check_probability_vector",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def _check_real(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    return value
+
+
+def check_positive(name: str, value: Any, *, allow_inf: bool = False) -> float:
+    """Validate that *value* is a strictly positive real number."""
+    value = _check_real(name, value)
+    if not allow_inf and math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Any, *, allow_inf: bool = False) -> float:
+    """Validate that *value* is a real number >= 0."""
+    value = _check_real(name, value)
+    if not allow_inf and math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: Any, *, inclusive_high: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (or [0, 1) if not inclusive)."""
+    value = _check_real(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    if inclusive_high:
+        if value > 1:
+            raise ValueError(f"{name} must be <= 1, got {value}")
+    elif value >= 1:
+        raise ValueError(f"{name} must be < 1, got {value}")
+    return value
+
+
+def check_at_least(name: str, value: Any, minimum: float) -> float:
+    """Validate that *value* is a finite real number >= *minimum*."""
+    value = _check_real(name, value)
+    if math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_int(name: str, value: Any, *, minimum: int | None = None) -> int:
+    """Validate that *value* is an integer (optionally >= *minimum*)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_power_of_two(name: str, value: Any) -> int:
+    """Validate that *value* is a positive power of two."""
+    value = check_int(name, value, minimum=1)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_probability_vector(name: str, values: Any, *, atol: float = 1e-9) -> list[float]:
+    """Validate that *values* is a non-empty vector of probabilities summing to 1."""
+    try:
+        vec = [float(v) for v in values]
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an iterable of numbers") from exc
+    if not vec:
+        raise ValueError(f"{name} must be non-empty")
+    for i, v in enumerate(vec):
+        if math.isnan(v) or v < 0:
+            raise ValueError(f"{name}[{i}] must be >= 0, got {v}")
+    total = sum(vec)
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1 (got {total})")
+    return vec

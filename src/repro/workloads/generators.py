@@ -1,0 +1,262 @@
+"""Synthetic address-stream kernels (the SPEC CPU2006 substitute).
+
+Each kernel produces a numpy array of byte addresses with a controlled
+locality/concurrency signature; :func:`mixture_addresses` interleaves
+kernels per-access to compose benchmark-like behaviour, and
+:class:`KernelSpec` describes one kernel declaratively so benchmark
+profiles (:mod:`repro.workloads.spec`) are plain data.
+
+Kernel vocabulary and the behaviours they model:
+
+``strided``
+    A sequential sweep over an array (stencil/streaming codes such as
+    bwaves, milc, libquantum).  Perfect spatial locality: consecutive
+    accesses fall in the same or the next cache line, so line-granularity
+    misses coalesce in the MSHRs and DRAM sees row-buffer hits — high
+    memory concurrency, size-insensitive miss behaviour once the footprint
+    exceeds the cache.
+
+``working_set``
+    Uniform random accesses within a footprint (hash tables, hot data
+    structures).  Miss rate collapses once the cache covers the footprint —
+    the knee that Fig. 6/7 sweep across L1 sizes.
+
+``zipf``
+    Skewed accesses within a footprint (hot/cold separation typical of
+    integer codes such as gcc, gobmk); miss rate falls gradually with
+    cache size rather than at a single knee.
+
+``chase``
+    A random-permutation pointer walk (mcf, omnetpp): every access depends
+    on the previous one (dependent loads), destroying memory-level
+    parallelism; misses are almost all *pure* misses in C-AMAT terms.
+
+All kernels are vectorized (numpy) and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_fraction, check_int
+
+__all__ = [
+    "strided_addresses",
+    "working_set_addresses",
+    "zipf_addresses",
+    "pointer_chase_addresses",
+    "KernelSpec",
+    "mixture_addresses",
+    "MixtureResult",
+]
+
+_LINE = 64  # address granularity used by generators; the caches re-derive
+
+
+def strided_addresses(
+    n: int,
+    *,
+    footprint_bytes: int,
+    stride_bytes: int = 8,
+    base: int = 0,
+    start_offset: int = 0,
+) -> np.ndarray:
+    """Sequential sweep: ``base + (offset + i*stride) mod footprint``."""
+    check_int("n", n, minimum=0)
+    check_int("footprint_bytes", footprint_bytes, minimum=1)
+    check_int("stride_bytes", stride_bytes, minimum=1)
+    offsets = (start_offset + np.arange(n, dtype=np.int64) * stride_bytes) % footprint_bytes
+    return base + offsets
+
+
+def working_set_addresses(
+    n: int,
+    *,
+    footprint_bytes: int,
+    base: int = 0,
+    seed: "int | np.random.Generator | None" = 0,
+) -> np.ndarray:
+    """Uniform random line-granularity accesses within a footprint."""
+    check_int("n", n, minimum=0)
+    check_int("footprint_bytes", footprint_bytes, minimum=1)
+    rng = make_rng(seed)
+    n_lines = max(footprint_bytes // _LINE, 1)
+    lines = rng.integers(0, n_lines, size=n)
+    within = rng.integers(0, _LINE // 8, size=n) * 8
+    return base + lines * _LINE + within
+
+
+def zipf_addresses(
+    n: int,
+    *,
+    footprint_bytes: int,
+    alpha: float = 1.2,
+    base: int = 0,
+    seed: "int | np.random.Generator | None" = 0,
+) -> np.ndarray:
+    """Zipf-skewed line accesses: line ranks drawn with P(r) ~ 1/r^alpha.
+
+    Ranks are scattered over the footprint with a fixed pseudo-random
+    permutation so hot lines are not physically adjacent (no accidental
+    spatial locality).
+    """
+    check_int("n", n, minimum=0)
+    check_int("footprint_bytes", footprint_bytes, minimum=1)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    rng = make_rng(seed)
+    n_lines = max(footprint_bytes // _LINE, 1)
+    # Inverse-CDF sampling over a truncated zeta distribution.
+    ranks = np.arange(1, n_lines + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    u = rng.random(n)
+    line_ranks = np.searchsorted(cdf, u)
+    perm = make_rng(12345).permutation(n_lines)
+    lines = perm[np.clip(line_ranks, 0, n_lines - 1)]
+    return base + lines.astype(np.int64) * _LINE
+
+
+def pointer_chase_addresses(
+    n: int,
+    *,
+    footprint_bytes: int,
+    base: int = 0,
+    seed: "int | np.random.Generator | None" = 0,
+) -> np.ndarray:
+    """Walk a random-permutation cycle over the footprint's lines.
+
+    The walk visits every line once per lap in a scattered order — the
+    classic latency-bound microbenchmark pattern and a stand-in for
+    pointer-heavy codes.  Pair with ``depends=True`` accesses so the
+    simulator serializes them.
+    """
+    check_int("n", n, minimum=0)
+    check_int("footprint_bytes", footprint_bytes, minimum=1)
+    rng = make_rng(seed)
+    n_lines = max(footprint_bytes // _LINE, 1)
+    perm = rng.permutation(n_lines).astype(np.int64)
+    idx = np.arange(n, dtype=np.int64) % n_lines
+    lines = perm[idx]
+    return base + lines * _LINE
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declarative description of one mixture component.
+
+    ``kind`` is one of ``strided``, ``working_set``, ``zipf``, ``chase``.
+    ``weight`` is the fraction of accesses drawn from this kernel.
+    ``dependent`` marks the kernel's accesses as serialized (dependent
+    loads); it defaults to True for ``chase``.
+    """
+
+    kind: str
+    weight: float
+    footprint_bytes: int
+    stride_bytes: int = 64
+    alpha: float = 1.2
+    base: int | None = None
+    dependent: bool | None = None
+    #: Accesses from this kernel arrive in back-to-back runs of this length
+    #: (e.g. a row of a remote array touched at once).  Bursts are what let
+    #: a well-provisioned machine overlap the resulting misses (high C_M)
+    #: while a starved one serializes them — the paper's central effect.
+    burst_length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("strided", "working_set", "zipf", "chase"):
+            raise ValueError(f"unknown kernel kind {self.kind!r}")
+        check_fraction("weight", self.weight)
+        check_int("footprint_bytes", self.footprint_bytes, minimum=1)
+        check_int("burst_length", self.burst_length, minimum=1)
+
+    @property
+    def is_dependent(self) -> bool:
+        """Whether accesses from this kernel serialize on the previous access."""
+        if self.dependent is not None:
+            return self.dependent
+        return self.kind == "chase"
+
+
+@dataclass
+class MixtureResult:
+    """Addresses plus the per-access dependency flags of a mixture draw."""
+
+    addresses: np.ndarray
+    depends: np.ndarray
+    component: np.ndarray = field(repr=False)
+
+
+def mixture_addresses(
+    n: int,
+    kernels: "list[KernelSpec]",
+    *,
+    seed: "int | np.random.Generator | None" = 0,
+    region_gap_bytes: int = 1 << 30,
+) -> MixtureResult:
+    """Interleave kernels per access according to their weights.
+
+    Each kernel gets a disjoint address region (``region_gap_bytes`` apart,
+    unless the spec pins ``base``) so components never alias.  Within a
+    kernel the access order is preserved (a strided component stays a
+    coherent stream even when interleaved with others).
+    """
+    check_int("n", n, minimum=0)
+    if not kernels:
+        raise ValueError("need at least one kernel")
+    total_w = sum(k.weight for k in kernels)
+    if total_w <= 0:
+        raise ValueError("kernel weights must sum to a positive value")
+    rng = make_rng(seed)
+    if all(k.burst_length == 1 for k in kernels):
+        probs = np.array([k.weight / total_w for k in kernels])
+        choice = rng.choice(len(kernels), size=n, p=probs)
+    else:
+        # Draw whole runs: a kernel with burst_length b is selected with
+        # probability proportional to weight/b and then emits b consecutive
+        # accesses, preserving the long-run per-access weights.
+        run_w = np.array([k.weight / k.burst_length for k in kernels])
+        run_p = run_w / run_w.sum()
+        max_runs = n  # upper bound; each run emits >= 1 access
+        draws = rng.choice(len(kernels), size=max_runs, p=run_p)
+        lengths = np.array([kernels[d].burst_length for d in draws])
+        cum = np.cumsum(lengths)
+        n_runs = int(np.searchsorted(cum, n) + 1)
+        choice = np.repeat(draws[:n_runs], lengths[:n_runs])[:n]
+
+    addresses = np.zeros(n, dtype=np.int64)
+    depends = np.zeros(n, dtype=bool)
+    for ki, spec in enumerate(kernels):
+        mask = choice == ki
+        cnt = int(mask.sum())
+        if cnt == 0:
+            continue
+        base = spec.base if spec.base is not None else ki * region_gap_bytes
+        sub_seed = make_rng(rng.integers(0, 2**63 - 1))
+        if spec.kind == "strided":
+            addrs = strided_addresses(
+                cnt, footprint_bytes=spec.footprint_bytes,
+                stride_bytes=spec.stride_bytes, base=base,
+            )
+        elif spec.kind == "working_set":
+            addrs = working_set_addresses(
+                cnt, footprint_bytes=spec.footprint_bytes, base=base, seed=sub_seed
+            )
+        elif spec.kind == "zipf":
+            addrs = zipf_addresses(
+                cnt, footprint_bytes=spec.footprint_bytes, alpha=spec.alpha,
+                base=base, seed=sub_seed,
+            )
+        else:  # chase
+            addrs = pointer_chase_addresses(
+                cnt, footprint_bytes=spec.footprint_bytes, base=base, seed=sub_seed
+            )
+        addresses[mask] = addrs
+        if spec.is_dependent:
+            depends[mask] = True
+    return MixtureResult(addresses=addresses, depends=depends, component=choice)

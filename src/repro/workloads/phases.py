@@ -1,0 +1,159 @@
+"""Phase behaviour and the measurement-interval study (Section V, E7).
+
+The paper: "programs have periodic behaviors, and their data access patterns
+are predictable"; the LPM algorithm is invoked per measurement interval and
+must *perceive* a burst of data accesses (a full measurement interval falls
+inside the burst) and *process* it *timely* (the reconfiguration/scheduling
+cost is paid before the burst ends).  The paper reports that with a
+reconfiguration cost of 4 cycles, intervals of 10 and 20 cycles catch 96%
+and 89% of bursts; the software path (40-cycle scheduling cost) at a
+40-cycle interval catches 73%.
+
+This module provides:
+
+* :func:`generate_bursts` — a stochastic burst timeline (lognormal
+  durations, exponential gaps) standing in for SPEC phase behaviour
+  (Sherwood et al.'s periodic program phases);
+* :class:`IntervalDetector` — the interval-based perception model: a burst
+  is caught iff some interval boundary starts a full measurement interval
+  inside it and the reaction cost still fits;
+* :func:`detection_rate` — the E7 sweep quantity;
+* :func:`bursty_trace` — an instruction trace whose memory intensity
+  alternates between quiet and burst phases, for end-to-end simulator runs.
+
+The default duration distribution (median ~258 cycles, sigma 1.6) is
+calibrated so the three paper operating points land within a few percent —
+see EXPERIMENTS.md (E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_int, check_positive
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "Burst",
+    "generate_bursts",
+    "IntervalDetector",
+    "detection_rate",
+    "bursty_trace",
+    "DEFAULT_DURATION_MU",
+    "DEFAULT_DURATION_SIGMA",
+]
+
+#: Lognormal parameters of burst durations (cycles), calibrated against the
+#: paper's three (interval, cost, rate) operating points.
+DEFAULT_DURATION_MU = 5.551
+DEFAULT_DURATION_SIGMA = 1.6
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One burst of intensive data accesses: ``[start, start + duration)``."""
+
+    start: int
+    duration: int
+
+    @property
+    def end(self) -> int:
+        """First cycle after the burst."""
+        return self.start + self.duration
+
+
+def generate_bursts(
+    n_bursts: int,
+    *,
+    mean_gap: float = 500.0,
+    duration_mu: float = DEFAULT_DURATION_MU,
+    duration_sigma: float = DEFAULT_DURATION_SIGMA,
+    seed: "int | np.random.Generator | None" = 0,
+) -> list[Burst]:
+    """Sample a burst timeline: exponential gaps, lognormal durations."""
+    check_int("n_bursts", n_bursts, minimum=1)
+    check_positive("mean_gap", mean_gap)
+    rng = make_rng(seed)
+    gaps = rng.exponential(mean_gap, n_bursts)
+    durations = np.maximum(rng.lognormal(duration_mu, duration_sigma, n_bursts), 1.0)
+    bursts = []
+    t = 0.0
+    for gap, dur in zip(gaps, durations):
+        start = int(t + gap)
+        bursts.append(Burst(start=start, duration=int(round(dur))))
+        t = start + dur
+    return bursts
+
+
+class IntervalDetector:
+    """Interval-based burst perception (the C-AMAT analyzer's sampling).
+
+    The analyzer's counters are read every ``interval`` cycles; a burst is
+    *perceived* when a complete measurement interval lies inside it, and
+    *processed timely* when the reaction cost (reconfiguration: the paper
+    uses 4 cycles; scheduling: 40 cycles) also completes before the burst
+    ends.
+    """
+
+    def __init__(self, interval: int, reaction_cost: int) -> None:
+        check_int("interval", interval, minimum=1)
+        check_int("reaction_cost", reaction_cost, minimum=0)
+        self.interval = interval
+        self.reaction_cost = reaction_cost
+
+    def perceives(self, burst: Burst) -> bool:
+        """Whether some full measurement interval fits inside the burst."""
+        first_boundary = -(-burst.start // self.interval) * self.interval
+        return first_boundary + self.interval <= burst.end
+
+    def processes_timely(self, burst: Burst) -> bool:
+        """Perceived and reacted to before the burst ends."""
+        first_boundary = -(-burst.start // self.interval) * self.interval
+        return first_boundary + self.interval + self.reaction_cost <= burst.end
+
+
+def detection_rate(bursts: "list[Burst]", interval: int, reaction_cost: int) -> float:
+    """Fraction of bursts perceived and processed timely (the E7 metric)."""
+    if not bursts:
+        raise ValueError("need at least one burst")
+    det = IntervalDetector(interval, reaction_cost)
+    return sum(det.processes_timely(b) for b in bursts) / len(bursts)
+
+
+def bursty_trace(
+    n_mem: int,
+    *,
+    burst_intensity: int = 0,
+    quiet_intensity: int = 8,
+    burst_accesses: int = 40,
+    quiet_accesses: int = 120,
+    footprint_bytes: int = 4 << 20,
+    name: str = "bursty",
+    seed: int = 0,
+) -> Trace:
+    """A trace alternating quiet and burst phases of memory intensity.
+
+    During a burst, memory accesses come back to back
+    (``burst_intensity`` compute ops between them); during quiet phases
+    they are spaced by ``quiet_intensity`` compute ops.  Addresses are
+    random within *footprint_bytes* so bursts stress the miss path.
+    """
+    check_int("n_mem", n_mem, minimum=1)
+    rng = make_rng(seed)
+    gaps = np.empty(n_mem, dtype=np.int64)
+    in_burst = False
+    filled = 0
+    while filled < n_mem:
+        length = int(rng.integers(1, (burst_accesses if in_burst else quiet_accesses) + 1))
+        length = min(length, n_mem - filled)
+        gaps[filled : filled + length] = burst_intensity if in_burst else quiet_intensity
+        filled += length
+        in_burst = not in_burst
+    n_lines = max(footprint_bytes // 64, 1)
+    addresses = rng.integers(0, n_lines, n_mem) * 64
+    return Trace.from_memory_addresses(
+        addresses, compute_per_access=gaps, name=name, seed=seed
+    )

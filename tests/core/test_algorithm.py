@@ -1,0 +1,171 @@
+"""Unit tests of the LPM algorithm loop (Fig. 3) against scripted backends."""
+
+import pytest
+
+from repro.core.algorithm import (
+    LPMAlgorithm,
+    LPMCase,
+    LPMStatus,
+    classify_case,
+)
+from repro.core.lpm import LPMRReport, MatchingThresholds
+
+
+def make_report(lpmr1: float, lpmr2: float, *, overlap: float = 0.5) -> LPMRReport:
+    return LPMRReport(
+        lpmr1=lpmr1, lpmr2=lpmr2, lpmr3=lpmr2 * 1.5,
+        camat1=lpmr1 * 2.0, camat2=lpmr2 * 10.0, camat3=lpmr2 * 40.0,
+        mr1=0.1, mr2=0.4, f_mem=0.4, cpi_exe=0.8,
+        overlap_ratio_cm=overlap, eta_combined=0.5,
+        hit_time1=2.0, hit_concurrency1=8.0,
+    )
+
+
+class ScriptedBackend:
+    """Backend whose measurements walk down a predefined LPMR schedule."""
+
+    def __init__(self, schedule, deprovision_schedule=()):
+        self.schedule = list(schedule)
+        self.deprovision_schedule = list(deprovision_schedule)
+        self.position = 0
+        self.optimize_calls = []
+        self.deprovision_calls = 0
+
+    def measure(self):
+        lpmr1, lpmr2 = self.schedule[self.position]
+        return make_report(lpmr1, lpmr2)
+
+    def optimize(self, l1, l2):
+        self.optimize_calls.append((l1, l2))
+        if self.position + 1 >= len(self.schedule):
+            return False
+        self.position += 1
+        return True
+
+    def deprovision(self):
+        self.deprovision_calls += 1
+        if not self.deprovision_schedule:
+            return False
+        self.schedule[self.position] = self.deprovision_schedule.pop(0)
+        return True
+
+    def describe(self):
+        return f"cfg-{self.position}"
+
+
+class TestClassifyCase:
+    def _thresholds(self, t1, t2):
+        return MatchingThresholds(delta_percent=1.0, t1=t1, t2=t2)
+
+    def test_case_i_both_layers_mismatch(self):
+        r = make_report(8.0, 9.0)
+        assert classify_case(r, self._thresholds(1.0, 2.0), 0.5) is LPMCase.OPTIMIZE_BOTH
+
+    def test_case_ii_only_l1_mismatch(self):
+        r = make_report(8.0, 1.0)
+        assert classify_case(r, self._thresholds(1.0, 2.0), 0.5) is LPMCase.OPTIMIZE_L1
+
+    def test_case_iii_overprovision(self):
+        r = make_report(0.1, 1.0)
+        assert classify_case(r, self._thresholds(1.0, 2.0), 0.5) is LPMCase.DEPROVISION
+
+    def test_case_iv_matched_band(self):
+        r = make_report(0.7, 1.0)
+        assert classify_case(r, self._thresholds(1.0, 2.0), 0.5) is LPMCase.MATCHED
+
+    def test_boundary_exactly_t1_is_matched(self):
+        r = make_report(1.0, 5.0)
+        assert classify_case(r, self._thresholds(1.0, 2.0), 0.5) is LPMCase.MATCHED
+
+    def test_boundary_t1_minus_delta_is_matched(self):
+        r = make_report(0.5, 1.0)
+        assert classify_case(r, self._thresholds(1.0, 2.0), 0.5) is LPMCase.MATCHED
+
+
+class TestAlgorithmRun:
+    def test_walks_until_matched(self):
+        # LPMR trajectory mimicking Table I: both high, then L2 fine, then done.
+        backend = ScriptedBackend([(8.0, 9.0), (2.0, 0.001), (0.19, 0.001)])
+        algo = LPMAlgorithm(delta_percent=10.0, delta_slack_fraction=0.5, max_steps=20)
+        result = algo.run(backend)
+        assert result.status is LPMStatus.MATCHED
+        cases = [s.case for s in result.steps]
+        assert cases[0] is LPMCase.OPTIMIZE_BOTH
+        assert LPMCase.MATCHED in cases
+
+    def test_case_ii_only_touches_l1(self):
+        backend = ScriptedBackend([(8.0, 0.0001), (0.19, 0.0001)])
+        algo = LPMAlgorithm(delta_percent=10.0, max_steps=10)
+        result = algo.run(backend)
+        assert result.status is LPMStatus.MATCHED
+        assert backend.optimize_calls[0] == (True, False)
+
+    def test_exhausted_backend(self):
+        backend = ScriptedBackend([(8.0, 9.0)])  # cannot improve
+        algo = LPMAlgorithm(delta_percent=1.0, max_steps=10)
+        result = algo.run(backend)
+        assert result.status is LPMStatus.EXHAUSTED
+        assert result.steps[-1].action_taken is False
+
+    def test_step_limit(self):
+        class Oscillating(ScriptedBackend):
+            def optimize(self, l1, l2):
+                return True  # claims progress but measurement never improves
+
+        backend = Oscillating([(8.0, 9.0)])
+        algo = LPMAlgorithm(delta_percent=1.0, max_steps=5)
+        result = algo.run(backend)
+        assert result.status is LPMStatus.STEP_LIMIT
+        assert len(result.steps) == 5
+
+    def test_deprovision_path(self):
+        # Starts massively over-provisioned; one deprovision lands in band.
+        backend = ScriptedBackend([(0.001, 0.001)], deprovision_schedule=[(0.15, 0.001)])
+        algo = LPMAlgorithm(delta_percent=10.0, delta_slack_fraction=0.5, max_steps=10)
+        result = algo.run(backend)
+        assert result.status is LPMStatus.MATCHED
+        assert backend.deprovision_calls == 1
+
+    def test_deprovision_disabled(self):
+        backend = ScriptedBackend([(0.001, 0.001)])
+        algo = LPMAlgorithm(delta_percent=10.0, max_steps=10)
+        result = algo.run(backend, allow_deprovision=False)
+        assert result.status is LPMStatus.MATCHED
+        assert backend.deprovision_calls == 0
+
+    def test_trajectory_labels(self):
+        backend = ScriptedBackend([(8.0, 9.0), (0.19, 0.001)])
+        algo = LPMAlgorithm(delta_percent=10.0, max_steps=10)
+        result = algo.run(backend)
+        labels = [c for c, _, _ in result.trajectory()]
+        assert labels[0] == "cfg-0"
+
+    def test_fixed_delta_slack(self):
+        algo = LPMAlgorithm(delta_percent=1.0, delta_slack=0.05, delta_slack_fraction=None)
+        backend = ScriptedBackend([(0.001, 0.001)])
+        result = algo.run(backend)
+        # T1 = 0.02 with overlap 0.5; LPMR1 + 0.05 > T1 so this is matched.
+        assert result.status is LPMStatus.MATCHED
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LPMAlgorithm(delta_percent=0.0)
+        with pytest.raises(ValueError):
+            LPMAlgorithm(delta_slack=0.1, delta_slack_fraction=0.5)
+        with pytest.raises(ValueError):
+            LPMAlgorithm(delta_slack=None, delta_slack_fraction=None)
+
+    def test_result_accessors_raise_when_empty(self):
+        from repro.core.algorithm import LPMRunResult
+
+        empty = LPMRunResult(status=LPMStatus.MATCHED)
+        with pytest.raises(ValueError):
+            _ = empty.final_report
+        with pytest.raises(ValueError):
+            _ = empty.final_case
+
+    def test_optimization_steps_counts_actions(self):
+        backend = ScriptedBackend([(8.0, 9.0), (2.0, 9.0), (0.19, 0.001)])
+        algo = LPMAlgorithm(delta_percent=10.0, max_steps=10)
+        result = algo.run(backend)
+        assert result.optimization_steps == 2

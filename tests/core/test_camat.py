@@ -1,0 +1,160 @@
+"""Unit tests for the C-AMAT / AMAT value objects (Eqs. 1-4)."""
+
+import pytest
+
+from repro.core.camat import (
+    AMATParams,
+    CAMATParams,
+    CAMATStack,
+    amat,
+    apc_from_camat,
+    camat,
+    camat_from_apc,
+    eta,
+    recursive_camat,
+)
+
+
+class TestAMAT:
+    def test_value(self):
+        assert amat(2.0, 0.1, 20.0) == pytest.approx(4.0)
+
+    def test_zero_miss_rate(self):
+        assert amat(1.0, 0.0, 100.0) == pytest.approx(1.0)
+
+    def test_rejects_negative_hit_time(self):
+        with pytest.raises(ValueError):
+            AMATParams(-1.0, 0.1, 10.0)
+
+    def test_rejects_miss_rate_above_one(self):
+        with pytest.raises(ValueError):
+            AMATParams(1.0, 1.5, 10.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            AMATParams(float("nan"), 0.1, 10.0)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            AMATParams("3", 0.1, 10.0)  # type: ignore[arg-type]
+
+
+class TestCAMAT:
+    def test_fig1_values(self):
+        assert camat(3.0, 2.5, 0.2, 2.0, 1.0) == pytest.approx(1.6)
+
+    def test_degenerates_to_amat_without_concurrency(self):
+        # C_H = C_M = 1, pMR = MR, pAMP = AMP -> C-AMAT == AMAT
+        p = CAMATParams(2.0, 1.0, 0.3, 15.0, 1.0)
+        assert p.value == pytest.approx(amat(2.0, 0.3, 15.0))
+
+    def test_components_sum(self):
+        p = CAMATParams(3.0, 2.0, 0.1, 8.0, 2.0)
+        assert p.hit_component + p.miss_component == pytest.approx(p.value)
+
+    def test_with_replaces_one_parameter(self):
+        p = CAMATParams(3.0, 2.0, 0.1, 8.0, 2.0)
+        q = p.with_(hit_concurrency=4.0)
+        assert q.hit_concurrency == 4.0
+        assert q.hit_time == p.hit_time
+        assert q.value < p.value
+
+    def test_increasing_ch_decreases_camat(self):
+        base = CAMATParams(3.0, 1.0, 0.2, 10.0, 1.0)
+        better = base.with_(hit_concurrency=3.0)
+        assert better.value < base.value
+
+    def test_increasing_cm_decreases_camat(self):
+        base = CAMATParams(3.0, 2.0, 0.2, 10.0, 1.0)
+        better = base.with_(pure_miss_concurrency=4.0)
+        assert better.value < base.value
+
+    def test_rejects_concurrency_below_one(self):
+        with pytest.raises(ValueError):
+            CAMATParams(3.0, 0.5, 0.2, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            CAMATParams(3.0, 1.0, 0.2, 10.0, 0.0)
+
+    def test_degenerate_amat_constructor(self):
+        p = CAMATParams(3.0, 2.0, 0.1, 8.0, 2.0)
+        a = p.degenerate_amat(miss_rate=0.4, avg_miss_penalty=2.0)
+        assert a.value == pytest.approx(3.8)
+
+
+class TestAPC:
+    def test_roundtrip(self):
+        assert camat_from_apc(apc_from_camat(1.6)) == pytest.approx(1.6)
+
+    def test_fig1(self):
+        assert camat_from_apc(5.0 / 8.0) == pytest.approx(1.6)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            camat_from_apc(0.0)
+
+
+class TestEta:
+    def test_unit_when_no_overlap(self):
+        # pure == conventional in every respect -> eta = 1
+        assert eta(10.0, 10.0, 2.0, 2.0) == pytest.approx(1.0)
+
+    def test_small_when_overlap_hides_misses(self):
+        assert eta(1.0, 10.0, 2.0, 2.0) == pytest.approx(0.1)
+
+    def test_concurrency_ratio(self):
+        assert eta(10.0, 10.0, 1.0, 4.0) == pytest.approx(0.25)
+
+
+class TestRecursiveCAMAT:
+    def test_eq4_manual(self):
+        upper = CAMATParams(2.0, 2.0, 0.1, 12.0, 2.0)
+        # eta1 * C-AMAT2 must replace pAMP1/C_M1 for the identity to hold.
+        lower_camat = 10.0
+        eta1 = (12.0 / 2.0) / lower_camat  # pAMP1/C_M1 / C-AMAT2
+        value = recursive_camat(upper, eta1, lower_camat)
+        assert value == pytest.approx(upper.value)
+
+    def test_zero_eta_removes_lower_layer_impact(self):
+        upper = CAMATParams(2.0, 2.0, 0.5, 100.0, 1.0)
+        assert recursive_camat(upper, 0.0, 1000.0) == pytest.approx(upper.hit_component)
+
+
+class TestCAMATStack:
+    def _stack(self):
+        l1 = CAMATParams(2.0, 2.0, 0.10, 8.0, 2.0)
+        l2 = CAMATParams(8.0, 1.5, 0.20, 40.0, 2.0)
+        # Choose etas so the recursion reproduces each direct value exactly.
+        eta1 = (l1.pure_miss_penalty / l1.pure_miss_concurrency) / l2.value
+        return CAMATStack(layers=(l1, l2), miss_rates=(0.2, 0.3), etas=(eta1,))
+
+    def test_depth(self):
+        assert self._stack().depth == 2
+
+    def test_bottom_layer_recursion_is_direct_value(self):
+        s = self._stack()
+        assert s.recursive_camat_of(1) == pytest.approx(s.camat_of(1))
+
+    def test_top_camat_matches_direct_when_etas_consistent(self):
+        s = self._stack()
+        assert s.top_camat() == pytest.approx(s.camat_of(0))
+
+    def test_rejects_mismatched_lengths(self):
+        l1 = CAMATParams(2.0, 2.0, 0.10, 8.0, 2.0)
+        with pytest.raises(ValueError):
+            CAMATStack(layers=(l1,), miss_rates=(0.2, 0.3), etas=())
+        with pytest.raises(ValueError):
+            CAMATStack(layers=(l1, l1), miss_rates=(0.2, 0.3), etas=())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CAMATStack(layers=(), miss_rates=(), etas=())
+
+    def test_three_level_recursion(self):
+        l1 = CAMATParams(2.0, 2.0, 0.10, 8.0, 2.0)
+        l2 = CAMATParams(8.0, 1.5, 0.20, 40.0, 2.0)
+        l3 = CAMATParams(60.0, 1.2, 0.0, 0.0, 1.0)
+        eta2 = (l2.pure_miss_penalty / l2.pure_miss_concurrency) / l3.value
+        eta1 = (l1.pure_miss_penalty / l1.pure_miss_concurrency) / l2.value
+        s = CAMATStack(layers=(l1, l2, l3), miss_rates=(0.2, 0.3, 0.9), etas=(eta1, eta2))
+        assert s.top_camat() == pytest.approx(l1.value)
+        assert s.recursive_camat_of(1) == pytest.approx(l2.value)

@@ -1,0 +1,85 @@
+"""Tests for the bottleneck diagnosis module."""
+
+import pytest
+
+from repro.core.diagnosis import Finding, diagnose, render_diagnosis
+from repro.sim import DEFAULT_MACHINE, simulate_and_measure, table1_config
+from repro.workloads.spec import get_benchmark
+
+
+def measure(bench, config, n=12000, seed=7):
+    trace = get_benchmark(bench).trace(n, seed=seed)
+    _, stats = simulate_and_measure(config, trace, seed=0)
+    return stats
+
+
+class TestDiagnose:
+    def test_port_starved_machine_flags_ch(self):
+        cfg = table1_config("A")  # one non-pipelined port
+        stats = measure("410.bwaves", cfg)
+        findings = diagnose(stats, cfg)
+        assert findings[0].dimension == "C_H"
+        assert findings[0].layer == "L1"
+        assert any("port" in t for t in findings[0].techniques)
+
+    def test_pointer_chase_flags_pmr_and_deep_latency(self):
+        cfg = table1_config("D")
+        stats = measure("429.mcf", cfg)
+        findings = diagnose(stats, cfg)
+        dims = {f.dimension for f in findings}
+        assert "pMR" in dims
+        assert "pAMP" in dims
+        # Locality techniques recommended for the chase.
+        top = findings[0]
+        assert any("locality" in t or "prefetch" in t for t in top.techniques)
+
+    def test_matched_run_yields_single_finding(self):
+        cfg = table1_config("D")
+        stats = measure("401.bzip2", cfg)
+        findings = diagnose(stats, cfg)
+        assert len(findings) == 1
+        assert findings[0].dimension == "matched"
+        assert "Case III" in findings[0].techniques[0]
+
+    def test_findings_sorted_by_severity(self):
+        cfg = table1_config("A")
+        stats = measure("429.mcf", cfg)
+        findings = diagnose(stats, cfg)
+        sev = [f.severity for f in findings]
+        assert sev == sorted(sev, reverse=True)
+
+    def test_mshr_starved_machine_flags_cm(self):
+        cfg = DEFAULT_MACHINE.with_knobs(
+            mshr_count=2, l1_ports=4, iw_size=256, rob_size=256
+        ).with_(l1_pipelined=True)
+        import numpy as np
+        from repro.workloads.trace import Trace
+
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 23, 10000) >> 6) << 6
+        trace = Trace.from_memory_addresses(addrs, compute_per_access=1)
+        _, stats = simulate_and_measure(cfg, trace, seed=0)
+        findings = diagnose(stats, cfg)
+        dims = [f.dimension for f in findings]
+        assert "C_M" in dims
+
+    def test_finding_is_frozen_dataclass(self):
+        f = Finding("H", "L1", 0.5, "x", ("t",))
+        with pytest.raises(Exception):
+            f.severity = 1.0  # type: ignore[misc]
+
+
+class TestRenderDiagnosis:
+    def test_report_structure(self):
+        cfg = table1_config("A")
+        stats = measure("410.bwaves", cfg, n=6000)
+        text = render_diagnosis(stats, cfg)
+        assert "C-AMAT1" in text
+        assert "recommended techniques" in text
+        assert "dimension" in text
+
+    def test_matched_report(self):
+        cfg = table1_config("D")
+        stats = measure("401.bzip2", cfg, n=6000)
+        text = render_diagnosis(stats, cfg)
+        assert "matched" in text

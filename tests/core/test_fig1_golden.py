@@ -1,0 +1,102 @@
+"""Golden test: the paper's Fig. 1 worked example (Section II).
+
+Five accesses, each with 3 cycles of cache hit operations.  Accesses 3 and
+4 miss; access 3's penalty contains 2 pure miss cycles, access 4's single
+overlapped miss cycle is hidden by access 5's hit activity.  The paper
+states the resulting parameter values exactly:
+
+    AMAT   = 3 + 0.4 * 2 = 3.8
+    C_H    = (2*2 + 4*1 + 3*2 + 1*1) / 6 = 5/2
+    C_M    = 1 * 2 / 2 = 1
+    pAMP   = 2 / 1 = 2
+    pMR    = 1/5
+    C-AMAT = 3/(5/2) + (1/5) * 2/1 = 1.6  (= 8 active cycles / 5 accesses)
+
+Timeline used here (cycles 1..9, half-open intervals), consistent with all
+the quantities above:
+
+    A1: hit  cycles 1-3                -> [1, 4)
+    A2: hit  cycles 1-3                -> [1, 4)
+    A3: hit-op cycles 3-5, miss 6-8    -> hit [3, 6), miss [6, 9); cycles 7,8 pure
+    A4: hit-op cycles 3-5, miss 6      -> hit [3, 6), miss [6, 7); overlapped by A5
+    A5: hit  cycles 4-6                -> [4, 7)
+
+Per-cycle hit concurrency: c1-2: 2, c3: 4, c4-5: 3, c6: 1 — the four hit
+phases of Fig. 1 (2 accesses x 2 cycles, 4 x 1, 3 x 2, 1 x 1).
+"""
+
+import pytest
+
+from repro.core import CAMATAnalyzer, measure_layer
+from repro.core.camat import amat, camat
+
+HIT_START = [1, 1, 3, 3, 4]
+HIT_END = [4, 4, 6, 6, 7]
+MISS_START = [0, 0, 6, 6, 0]
+MISS_END = [0, 0, 9, 7, 0]
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    return measure_layer(HIT_START, HIT_END, MISS_START, MISS_END)
+
+
+class TestFig1Vectorized:
+    def test_hit_time(self, measurement):
+        assert measurement.hit_time == pytest.approx(3.0)
+
+    def test_hit_concurrency(self, measurement):
+        # C_H = (2*2 + 4*1 + 3*2 + 1*1)/6 = 5/2
+        assert measurement.hit_concurrency == pytest.approx(2.5)
+
+    def test_miss_rate_and_amp(self, measurement):
+        assert measurement.miss_count == 2
+        assert measurement.miss_rate == pytest.approx(0.4)
+        # AMP = (3 + 1)/2 = 2
+        assert measurement.avg_miss_penalty == pytest.approx(2.0)
+
+    def test_pure_miss_parameters(self, measurement):
+        assert measurement.pure_miss_count == 1
+        assert measurement.pure_miss_rate == pytest.approx(0.2)
+        assert measurement.pure_miss_penalty == pytest.approx(2.0)
+        assert measurement.pure_miss_concurrency == pytest.approx(1.0)
+        assert measurement.pure_miss_cycles == 2
+
+    def test_amat_value(self, measurement):
+        assert measurement.amat == pytest.approx(3.8)
+        assert amat(3.0, 0.4, 2.0) == pytest.approx(3.8)
+
+    def test_camat_value(self, measurement):
+        assert measurement.camat == pytest.approx(1.6)
+        assert camat(3.0, 2.5, 0.2, 2.0, 1.0) == pytest.approx(1.6)
+
+    def test_camat_via_apc(self, measurement):
+        # 8 memory-active cycles for 5 accesses
+        assert measurement.active_cycles == 8
+        assert measurement.apc == pytest.approx(5.0 / 8.0)
+        assert 1.0 / measurement.apc == pytest.approx(measurement.camat)
+
+    def test_eq2_matches_apc_measurement(self, measurement):
+        assert measurement.camat_model == pytest.approx(measurement.camat)
+
+    def test_concurrency_doubles_memory_performance(self, measurement):
+        # "In this example, concurrency has doubled memory performance."
+        assert measurement.amat / measurement.camat == pytest.approx(3.8 / 1.6)
+
+
+class TestFig1Streaming:
+    def test_streaming_detectors_agree_with_vectorized(self, measurement):
+        analyzer = CAMATAnalyzer()
+        for hs, he, ms, me in zip(HIT_START, HIT_END, MISS_START, MISS_END):
+            analyzer.add_access(hs, he, ms, me)
+        streamed = analyzer.run()
+        assert streamed.hit_concurrency == pytest.approx(measurement.hit_concurrency)
+        assert streamed.pure_miss_concurrency == pytest.approx(
+            measurement.pure_miss_concurrency
+        )
+        assert streamed.pure_miss_rate == pytest.approx(measurement.pure_miss_rate)
+        assert streamed.pure_miss_penalty == pytest.approx(measurement.pure_miss_penalty)
+        assert streamed.camat == pytest.approx(measurement.camat)
+        assert streamed.amat == pytest.approx(measurement.amat)
+        assert streamed.active_cycles == measurement.active_cycles
+        assert streamed.miss_concurrency == pytest.approx(measurement.miss_concurrency)

@@ -1,0 +1,136 @@
+"""Unit tests for the LPM model: LPMRs, request rates, thresholds."""
+
+import pytest
+
+from repro.core.lpm import (
+    LPMRReport,
+    MatchingThresholds,
+    lpmr1,
+    lpmr2,
+    lpmr3,
+    request_rate,
+    threshold_t1,
+    threshold_t2,
+)
+from repro.core.stall import StallModel, stall_time_lpmr1, stall_time_lpmr2
+
+
+class TestRequestRates:
+    def test_l1_request_rate(self):
+        # IPC_exe * f_mem
+        assert request_rate(2.0, 0.4) == pytest.approx(0.8)
+
+    def test_llc_request_rate_filters_by_mr1(self):
+        assert request_rate(2.0, 0.4, 0.1) == pytest.approx(0.08)
+
+    def test_mm_request_rate_filters_by_both(self):
+        assert request_rate(2.0, 0.4, 0.1, 0.5) == pytest.approx(0.04)
+
+    def test_rejects_bad_miss_rate(self):
+        with pytest.raises(ValueError):
+            request_rate(2.0, 0.4, 1.1)
+
+
+class TestLPMRs:
+    def test_lpmr1_eq9(self):
+        assert lpmr1(1.6, 0.4, 0.5) == pytest.approx(1.28)
+
+    def test_lpmr2_eq10(self):
+        assert lpmr2(10.0, 0.4, 0.1, 0.5) == pytest.approx(0.8)
+
+    def test_lpmr3_eq11(self):
+        assert lpmr3(100.0, 0.4, 0.1, 0.5, 0.5) == pytest.approx(4.0)
+
+    def test_lpmr_is_request_over_supply(self):
+        # LPMR1 = (IPC_exe * f_mem) / APC1 with APC1 = 1/C-AMAT1
+        ipc_exe, f_mem, camat1 = 2.0, 0.4, 1.6
+        apc1 = 1.0 / camat1
+        assert lpmr1(camat1, f_mem, 1.0 / ipc_exe) == pytest.approx(
+            request_rate(ipc_exe, f_mem) / apc1
+        )
+
+
+class TestThresholds:
+    def test_t1_eq14(self):
+        assert threshold_t1(1.0, 0.0) == pytest.approx(0.01)
+        assert threshold_t1(10.0, 0.5) == pytest.approx(0.2)
+
+    def test_t1_grows_with_overlap(self):
+        assert threshold_t1(1.0, 0.9) > threshold_t1(1.0, 0.1)
+
+    def test_t2_eq15(self):
+        t2 = threshold_t2(
+            delta_percent=10.0, overlap_ratio_cm=0.5, eta_combined=0.5,
+            hit_time=2.0, hit_concurrency=2.0, f_mem=0.4, cpi_exe=1.0,
+        )
+        budget = 0.1 / 0.5
+        hit_cost = 2.0 * 0.4 / (2.0 * 1.0)
+        assert t2 == pytest.approx((budget - hit_cost) / 0.5)
+
+    def test_t2_can_be_negative_when_hit_cost_exceeds_budget(self):
+        t2 = threshold_t2(1.0, 0.0, 0.5, 4.0, 1.0, 0.5, 1.0)
+        assert t2 < 0
+
+    def test_meeting_t1_bounds_stall_eq12(self):
+        # If LPMR1 == T1 exactly, Eq. 12 stall equals delta% * CPI_exe.
+        delta, ov, cpi_exe = 5.0, 0.4, 1.5
+        t1 = threshold_t1(delta, ov)
+        stall = stall_time_lpmr1(cpi_exe, ov, t1)
+        assert stall == pytest.approx(delta / 100.0 * cpi_exe)
+
+    def test_meeting_t2_bounds_stall_eq13(self):
+        # If LPMR2 == T2 exactly, substituting into Eq. 13 collapses to the
+        # stall budget: stall/instruction == delta% * CPI_exe.
+        delta, ov, cpi_exe = 10.0, 0.5, 2.0
+        eta_c, h1, ch1, f_mem = 0.5, 1.0, 4.0, 0.2
+        t2 = threshold_t2(delta, ov, eta_c, h1, ch1, f_mem, cpi_exe)
+        stall = stall_time_lpmr2(h1, ch1, f_mem, cpi_exe, eta_c, t2, ov)
+        assert stall == pytest.approx(delta / 100.0 * cpi_exe)
+
+    def test_compute_classmethod(self):
+        sm = StallModel(f_mem=0.4, cpi_exe=1.0, overlap_ratio_cm=0.5)
+        th = MatchingThresholds.compute(10.0, sm, 0.5, 2.0, 2.0)
+        assert th.t1 == pytest.approx(0.2)
+        assert th.delta_percent == 10.0
+
+
+def _report(**overrides) -> LPMRReport:
+    base = dict(
+        lpmr1=2.0, lpmr2=3.0, lpmr3=4.0,
+        camat1=1.6, camat2=10.0, camat3=60.0,
+        mr1=0.1, mr2=0.4, f_mem=0.4, cpi_exe=0.8,
+        overlap_ratio_cm=0.5, eta_combined=0.5,
+        hit_time1=2.0, hit_concurrency1=2.0,
+    )
+    base.update(overrides)
+    return LPMRReport(**base)
+
+
+class TestLPMRReport:
+    def test_predicted_stall_matches_eq12(self):
+        r = _report()
+        assert r.predicted_stall_per_instruction() == pytest.approx(
+            stall_time_lpmr1(r.cpi_exe, r.overlap_ratio_cm, r.lpmr1)
+        )
+
+    def test_stall_fraction(self):
+        r = _report()
+        frac = r.predicted_stall_fraction_of_compute()
+        assert frac == pytest.approx(r.predicted_stall_per_instruction() / r.cpi_exe)
+
+    def test_is_matched_respects_threshold(self):
+        tight = _report(lpmr1=0.001)
+        assert tight.is_matched(1.0)
+        loose = _report(lpmr1=8.0)
+        assert not loose.is_matched(1.0)
+
+    def test_thresholds_delegate(self):
+        r = _report()
+        th = r.thresholds(10.0)
+        assert th.t1 == pytest.approx(0.2)
+
+    def test_stall_model_roundtrip(self):
+        r = _report()
+        sm = r.stall_model
+        assert sm.f_mem == r.f_mem
+        assert sm.cpi_exe == r.cpi_exe

@@ -1,0 +1,184 @@
+"""Tests for the online interval-driven LPM controller."""
+
+import pytest
+
+from repro.core.algorithm import LPMCase
+from repro.core.online import (
+    KnobPolicy,
+    LadderKnobPolicy,
+    OnlineLPMController,
+    OnlineRunResult,
+)
+from repro.reconfig.space import DesignSpace
+from repro.sim.engine import HierarchySimulator
+from repro.sim.params import DEFAULT_MACHINE
+from repro.workloads.spec import get_benchmark
+from repro.workloads.trace import Trace
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_benchmark("410.bwaves").trace(16000, seed=7)
+
+
+class TestEngineReconfigure:
+    def test_keeps_cache_contents(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        tr = Trace.from_memory_addresses(np.arange(50, dtype=np.int64) * 64,
+                                         compute_per_access=1)
+        sim.warm_caches(tr)
+        sim.reconfigure(DEFAULT_MACHINE.with_knobs(l1_ports=4, mshr_count=16))
+        res = sim.run(tr)
+        assert res.accesses.l1_miss_count == 0  # warm contents survived
+
+    def test_rejects_geometry_change(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        with pytest.raises(ValueError):
+            sim.reconfigure(DEFAULT_MACHINE.with_knobs(l1_size_bytes=64 * 1024))
+
+    def test_run_start_cycle_offsets_timeline(self):
+        tr = Trace.from_memory_addresses(np.zeros(20, dtype=np.int64),
+                                         compute_per_access=1)
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        res = sim.run(tr, start_cycle=1000)
+        assert res.instructions.dispatch.min() >= 1000
+
+    def test_chunked_run_timeline_is_continuous(self):
+        tr = get_benchmark("401.bzip2").trace(2000, seed=1)
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        half = tr.n_instructions // 2
+        first = sim.run(tr.slice(0, half))
+        second = sim.run(tr.slice(half, tr.n_instructions),
+                         start_cycle=int(first.instructions.retire.max()))
+        assert second.instructions.dispatch.min() >= first.instructions.retire.max()
+
+
+class TestLadderKnobPolicy:
+    def test_matched_keeps_point(self, space):
+        policy = LadderKnobPolicy()
+        p = space.minimum_point()
+        assert policy.next_point(space, p, LPMCase.MATCHED) is None
+
+    def test_case_i_upgrades_l1_and_l2(self, space):
+        policy = LadderKnobPolicy()
+        p = space.minimum_point()
+        nxt = policy.next_point(space, p, LPMCase.OPTIMIZE_BOTH)
+        assert nxt is not None
+        assert nxt.l2_banks > p.l2_banks
+        changed_l1 = (nxt.l1_ports, nxt.mshr_count, nxt.iw_size, nxt.rob_size) != (
+            p.l1_ports, p.mshr_count, p.iw_size, p.rob_size)
+        assert changed_l1
+
+    def test_case_ii_upgrades_only_l1(self, space):
+        policy = LadderKnobPolicy()
+        p = space.minimum_point()
+        nxt = policy.next_point(space, p, LPMCase.OPTIMIZE_L1)
+        assert nxt is not None
+        assert nxt.l2_banks == p.l2_banks
+
+    def test_round_robin_spreads_upgrades(self, space):
+        policy = LadderKnobPolicy()
+        p = space.minimum_point()
+        seen_knobs = set()
+        for _ in range(4):
+            nxt = policy.next_point(space, p, LPMCase.OPTIMIZE_L1)
+            for knob in ("l1_ports", "mshr_count", "iw_size", "rob_size"):
+                if getattr(nxt, knob) != getattr(p, knob):
+                    seen_knobs.add(knob)
+            p = nxt
+        assert len(seen_knobs) >= 3
+
+    def test_deprovision_downgrades(self, space):
+        policy = LadderKnobPolicy()
+        p = space.maximum_point()
+        nxt = policy.next_point(space, p, LPMCase.DEPROVISION)
+        assert nxt is not None
+        assert nxt.cost() < p.cost()
+
+    def test_ceiling_returns_none(self, space):
+        policy = LadderKnobPolicy()
+        top = space.maximum_point()
+        assert policy.next_point(space, top, LPMCase.OPTIMIZE_L1) is None
+
+    def test_base_policy_is_abstract(self, space):
+        with pytest.raises(NotImplementedError):
+            KnobPolicy().next_point(space, space.minimum_point(), LPMCase.MATCHED)
+
+
+class TestController:
+    def test_adaptive_run_produces_intervals(self, space, workload):
+        ctrl = OnlineLPMController(space, interval_instructions=8000, seed=0)
+        result = ctrl.run(workload)
+        assert len(result.intervals) == -(-workload.n_instructions // 8000)
+        assert result.instructions == workload.n_instructions
+        assert result.total_cycles > 0
+
+    def test_adaptation_improves_over_static_weakest(self, space, workload):
+        # A tight stall target drives upgrades away from the weakest point.
+        adaptive = OnlineLPMController(space, interval_instructions=4000,
+                                       delta_percent=60.0, seed=0)
+        adaptive_result = adaptive.run(workload)
+        static = OnlineLPMController(space, interval_instructions=4000,
+                                     delta_percent=60.0, seed=0)
+        static_result = static.run(workload, adapt=False)
+        assert adaptive_result.cpi < static_result.cpi
+        assert adaptive_result.reconfigurations >= 1
+
+    def test_tighter_target_drives_more_adaptation(self, space, workload):
+        loose = OnlineLPMController(space, interval_instructions=4000,
+                                    delta_percent=120.0, seed=0).run(workload)
+        tight = OnlineLPMController(space, interval_instructions=4000,
+                                    delta_percent=40.0, seed=0).run(workload)
+        assert tight.reconfigurations >= loose.reconfigurations
+        assert tight.cpi <= loose.cpi + 1e-9
+
+    def test_static_mode_never_reconfigures(self, space, workload):
+        ctrl = OnlineLPMController(space, interval_instructions=4000, seed=0)
+        result = ctrl.run(workload, adapt=False)
+        assert result.reconfigurations == 0
+        labels = {r.config_label for r in result.intervals}
+        assert len(labels) == 1
+
+    def test_reconfiguration_cost_charged(self, space, workload):
+        cheap = OnlineLPMController(space, interval_instructions=4000,
+                                    delta_percent=60.0, reconfiguration_cost=0, seed=0)
+        r_cheap = cheap.run(workload)
+        costly = OnlineLPMController(space, interval_instructions=4000,
+                                     delta_percent=60.0, reconfiguration_cost=5000, seed=0)
+        r_costly = costly.run(workload)
+        assert r_costly.reconfiguration_cycles >= r_cheap.reconfiguration_cycles
+        if r_costly.reconfigurations:
+            assert r_costly.reconfiguration_cycles == 5000 * r_costly.reconfigurations
+
+    def test_interval_records_carry_running_config(self, space, workload):
+        ctrl = OnlineLPMController(space, interval_instructions=4000, seed=0)
+        result = ctrl.run(workload)
+        # First interval always runs on the starting (minimum) point.
+        assert result.intervals[0].config_label == space.minimum_point().label()
+
+    def test_mean_hardware_cost_between_min_and_max(self, space, workload):
+        ctrl = OnlineLPMController(space, interval_instructions=4000, seed=0)
+        result = ctrl.run(workload)
+        assert space.minimum_point().cost() <= result.mean_hardware_cost
+        assert result.mean_hardware_cost <= space.maximum_point().cost()
+
+    def test_empty_result_accessors(self):
+        r = OnlineRunResult()
+        assert r.cpi == 0.0
+        assert r.mean_hardware_cost == 0.0
+        assert r.cases() == []
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            OnlineLPMController(space, interval_instructions=0)
+        with pytest.raises(ValueError):
+            OnlineLPMController(space, delta_percent=0.0)
+        with pytest.raises(ValueError):
+            OnlineLPMController(space, reconfiguration_cost=-1)

@@ -1,0 +1,71 @@
+"""Tests for the human-readable report renderers."""
+
+import pytest
+
+from repro.core.algorithm import LPMAlgorithm
+from repro.core.analyzer import measure_layer
+from repro.core.lpm import LPMRReport
+from repro.core.report import (
+    format_layer_measurement,
+    format_lpmr_report,
+    format_run_result,
+)
+
+
+def make_report(lpmr1=2.0, lpmr2=3.0):
+    return LPMRReport(
+        lpmr1=lpmr1, lpmr2=lpmr2, lpmr3=1.0,
+        camat1=1.6, camat2=10.0, camat3=40.0,
+        mr1=0.1, mr2=0.4, f_mem=0.4, cpi_exe=0.8,
+        overlap_ratio_cm=0.5, eta_combined=0.5,
+        hit_time1=3.0, hit_concurrency1=2.0,
+    )
+
+
+class TestFormatLayerMeasurement:
+    def test_contains_all_camat_parameters(self):
+        m = measure_layer([1, 1], [4, 4], [4, 0], [9, 0])
+        text = format_layer_measurement("L1", m)
+        for token in ("C_H", "C_M", "pMR", "pAMP", "C-AMAT", "AMAT", "APC", "eta"):
+            assert token in text
+        assert "[L1]" in text
+
+
+class TestFormatLPMRReport:
+    def test_contains_three_ratios_and_stall(self):
+        text = format_lpmr_report(make_report())
+        assert "LPMR1" in text and "LPMR3" in text
+        assert "stall" in text
+        assert "overlapRatio_cm" in text
+
+
+class TestFormatRunResult:
+    def test_walk_table(self):
+        class Backend:
+            def __init__(self):
+                self.step = 0
+
+            def measure(self):
+                return make_report(lpmr1=2.0 - self.step, lpmr2=0.0001)
+
+            def optimize(self, l1, l2):
+                self.step += 1
+                return self.step < 3
+
+            def deprovision(self):
+                return False
+
+            def describe(self):
+                return f"cfg{self.step}"
+
+        result = LPMAlgorithm(delta_percent=120.0, max_steps=8).run(Backend())
+        text = format_run_result(result)
+        assert "cfg0" in text
+        assert "Case" in text
+        assert result.status.value in text
+
+    def test_empty_history_renders(self):
+        from repro.core.algorithm import LPMRunResult, LPMStatus
+
+        text = format_run_result(LPMRunResult(status=LPMStatus.MATCHED))
+        assert "matched" in text

@@ -1,0 +1,137 @@
+"""Unit tests for the stall-time formulations (Eqs. 5-8, 12-13)."""
+
+import pytest
+
+from repro.core.stall import (
+    StallModel,
+    combined_eta,
+    cpu_time,
+    overlap_ratio,
+    stall_time_amat,
+    stall_time_amat_classic,
+    stall_time_camat,
+    stall_time_lpmr1,
+    stall_time_lpmr2,
+)
+
+
+class TestCpuTime:
+    def test_eq5(self):
+        # 1000 instructions, CPI_exe 1.5, stall 0.5 cycles/instr, 1ns cycle
+        assert cpu_time(1000, 1.5, 0.5, 1e-9) == pytest.approx(2e-6)
+
+    def test_no_stall(self):
+        assert cpu_time(100, 2.0, 0.0) == pytest.approx(200.0)
+
+    def test_rejects_negative_stall(self):
+        with pytest.raises(ValueError):
+            cpu_time(100, 2.0, -0.1)
+
+
+class TestAmatStall:
+    def test_eq6(self):
+        assert stall_time_amat(0.4, 3.8) == pytest.approx(1.52)
+
+    def test_classic_form_counts_only_penalty(self):
+        assert stall_time_amat_classic(0.4, 0.4, 2.0) == pytest.approx(0.32)
+
+    def test_classic_below_eq6(self):
+        assert stall_time_amat_classic(0.4, 0.4, 2.0) < stall_time_amat(0.4, 3.8)
+
+
+class TestOverlapRatio:
+    def test_eq8(self):
+        assert overlap_ratio(30.0, 100.0) == pytest.approx(0.3)
+
+    def test_full_overlap(self):
+        assert overlap_ratio(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_rejects_overlap_exceeding_total(self):
+        with pytest.raises(ValueError):
+            overlap_ratio(101.0, 100.0)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            overlap_ratio(0.0, 0.0)
+
+
+class TestCamatStall:
+    def test_eq7(self):
+        assert stall_time_camat(0.4, 1.6, 0.5) == pytest.approx(0.32)
+
+    def test_full_overlap_means_no_stall(self):
+        assert stall_time_camat(0.4, 1.6, 1.0) == pytest.approx(0.0)
+
+    def test_reduces_to_eq6_without_overlap(self):
+        assert stall_time_camat(0.4, 3.8, 0.0) == pytest.approx(stall_time_amat(0.4, 3.8))
+
+
+class TestLpmrStall:
+    def test_eq12(self):
+        # stall = CPI_exe * (1 - overlap) * LPMR1
+        assert stall_time_lpmr1(1.0, 0.5, 2.0) == pytest.approx(1.0)
+
+    def test_eq12_equals_eq7(self):
+        # LPMR1 = C-AMAT1 * f_mem / CPI_exe, so Eq. 12 == Eq. 7 identically.
+        f_mem, camat1, cpi_exe, ov = 0.4, 1.6, 1.25, 0.3
+        lpmr1 = camat1 * f_mem / cpi_exe
+        assert stall_time_lpmr1(cpi_exe, ov, lpmr1) == pytest.approx(
+            stall_time_camat(f_mem, camat1, ov)
+        )
+
+    def test_eq13_monotone_in_lpmr2(self):
+        lo = stall_time_lpmr2(2.0, 2.0, 0.4, 1.0, 0.5, 1.0, 0.3)
+        hi = stall_time_lpmr2(2.0, 2.0, 0.4, 1.0, 0.5, 4.0, 0.3)
+        assert hi > lo
+
+    def test_eq13_small_eta_shrinks_l2_impact(self):
+        args = dict(hit_time=2.0, hit_concurrency=2.0, f_mem=0.4, cpi_exe=1.0,
+                    lpmr2=5.0, overlap_ratio_cm=0.0)
+        near_zero = stall_time_lpmr2(eta_combined=0.01, **args)
+        big = stall_time_lpmr2(eta_combined=0.9, **args)
+        assert near_zero < big
+        # with eta -> 0 the stall approaches the pure L1-hit term
+        assert near_zero == pytest.approx(2.0 / 2.0 * 0.4, rel=0.15)
+
+
+class TestCombinedEta:
+    def test_bounds(self):
+        # no overlap at all: pure == conventional -> eta = 1
+        assert combined_eta(10.0, 10.0, 2.0, 2.0, 0.3, 0.3) == pytest.approx(1.0)
+
+    def test_fig1_eta(self):
+        # pAMP=2, AMP=2, Cm=1, C_M=1, pMR=0.2, MR=0.4 -> eta = 0.5
+        assert combined_eta(2.0, 2.0, 1.0, 1.0, 0.2, 0.4) == pytest.approx(0.5)
+
+    def test_rejects_zero_miss_rate(self):
+        with pytest.raises(ValueError):
+            combined_eta(2.0, 2.0, 1.0, 1.0, 0.2, 0.0)
+
+
+class TestStallModel:
+    def test_ipc_exe(self):
+        assert StallModel(0.4, 2.0, 0.3).ipc_exe == pytest.approx(0.5)
+
+    def test_stall_budget_fine_grained(self):
+        m = StallModel(0.4, 2.0, 0.3)
+        assert m.stall_budget(1.0) == pytest.approx(0.02)
+
+    def test_stall_budget_coarse_grained(self):
+        m = StallModel(0.4, 2.0, 0.3)
+        assert m.stall_budget(10.0) == pytest.approx(0.2)
+
+    def test_stall_from_camat_matches_free_function(self):
+        m = StallModel(0.4, 2.0, 0.3)
+        assert m.stall_from_camat(1.6) == pytest.approx(stall_time_camat(0.4, 1.6, 0.3))
+
+    def test_cpu_time_per_instruction(self):
+        m = StallModel(0.4, 2.0, 0.3)
+        assert m.cpu_time_per_instruction(0.5) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StallModel(1.5, 2.0, 0.3)
+        with pytest.raises(ValueError):
+            StallModel(0.4, 0.0, 0.3)
+        with pytest.raises(ValueError):
+            StallModel(0.4, 2.0, 1.5)

@@ -1,0 +1,65 @@
+"""Build a CAMATStack from simulator measurements (the Eq. 4 chain).
+
+MODEL.md section 4: the recursion is exact in the *hierarchical view*,
+where each lower layer's activity intervals are the layer above's miss
+intervals.  This test constructs that view for L1/L2 from real simulator
+records, derives the consistent etas, and checks the stack's recursive
+top-level C-AMAT against the direct measurement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import measure_layer
+from repro.core.camat import CAMATStack
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+from repro.workloads.spec import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def records():
+    trace = get_benchmark("403.gcc").trace(8000, seed=5)
+    sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+    res = sim.run(trace)
+    return res.accesses
+
+
+def hierarchical_layers(acc):
+    """(L1 measurement, hierarchical-view L2 measurement) from records."""
+    l1 = measure_layer(acc.l1_hit_start, acc.l1_hit_end,
+                       acc.l1_miss_start, acc.l1_miss_end)
+    miss = acc.l1_is_miss
+    n_miss = int(miss.sum())
+    lower = measure_layer(
+        acc.l1_miss_start[miss], acc.l1_miss_end[miss],
+        np.zeros(n_miss, np.int64), np.zeros(n_miss, np.int64),
+    )
+    return l1, lower
+
+
+class TestStackFromSim:
+    def test_two_level_stack_recursion_matches_direct(self, records):
+        l1, lower = hierarchical_layers(records)
+        eta1 = l1.eta  # (pAMP1/AMP1)*(Cm1/C_M1)
+        stack = CAMATStack(
+            layers=(l1.camat_params, lower.camat_params),
+            miss_rates=(l1.miss_rate, 0.0),
+            etas=(eta1,),
+        )
+        assert stack.top_camat() == pytest.approx(l1.camat, rel=1e-9)
+
+    def test_lower_layer_camat_is_amp_over_cm(self, records):
+        l1, lower = hierarchical_layers(records)
+        assert lower.camat == pytest.approx(
+            l1.avg_miss_penalty / l1.miss_concurrency, rel=1e-9
+        )
+
+    def test_stack_depth_and_validation(self, records):
+        l1, lower = hierarchical_layers(records)
+        stack = CAMATStack(
+            layers=(l1.camat_params, lower.camat_params),
+            miss_rates=(l1.miss_rate, 0.0),
+            etas=(l1.eta,),
+        )
+        assert stack.depth == 2
+        assert stack.recursive_camat_of(1) == pytest.approx(lower.camat_params.value)

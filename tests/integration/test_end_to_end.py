@@ -1,0 +1,149 @@
+"""End-to-end integration tests: workload -> simulator -> analyzer -> LPM.
+
+These exercise the full pipeline the way the benchmark harness does, and
+pin down the cross-module invariants the paper's evaluation relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import LPMAlgorithm, LPMStatus
+from repro.core.analyzer import measure_layer
+from repro.reconfig.explorer import LadderBackend
+from repro.sim import DEFAULT_MACHINE, simulate_and_measure, table1_config
+from repro.workloads.spec import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def bwaves():
+    return get_benchmark("410.bwaves").trace(15000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def table1_stats(bwaves):
+    out = {}
+    for label in "ABCDE":
+        _, st = simulate_and_measure(table1_config(label), bwaves, seed=0)
+        out[label] = st
+    return out
+
+
+class TestTable1Shape:
+    """The Table I reproduction facts (E2) at test scale."""
+
+    def test_lpmr1_falls_from_a_to_d(self, table1_stats):
+        assert table1_stats["A"].lpmr1 > table1_stats["B"].lpmr1
+        assert table1_stats["B"].lpmr1 >= table1_stats["C"].lpmr1 * 0.95
+        assert table1_stats["C"].lpmr1 > table1_stats["D"].lpmr1
+
+    def test_d_is_the_best_configuration(self, table1_stats):
+        d = table1_stats["D"].lpmr1
+        for label in "ABCE":
+            assert table1_stats[label].lpmr1 >= d
+
+    def test_e_slightly_above_d(self, table1_stats):
+        # E trims IW/ROB from D: slightly worse matching, cheaper hardware.
+        assert table1_stats["E"].lpmr1 > table1_stats["D"].lpmr1
+        assert table1_stats["E"].lpmr1 < table1_stats["A"].lpmr1
+
+    def test_stall_tracks_lpmr1(self, table1_stats):
+        stalls = {k: v.stall_fraction_of_compute for k, v in table1_stats.items()}
+        lpmrs = {k: v.lpmr1 for k, v in table1_stats.items()}
+        order_by_stall = sorted(stalls, key=stalls.get)
+        order_by_lpmr = sorted(lpmrs, key=lpmrs.get)
+        assert order_by_stall == order_by_lpmr
+
+    def test_lpmr2_not_below_lpmr3(self, table1_stats):
+        # Request rates thin out down the hierarchy, and layer supply rates
+        # shrink too; in our machine LPMR2 >= LPMR3 throughout the walk.
+        for st in table1_stats.values():
+            assert st.lpmr2 >= st.lpmr3 * 0.9
+
+
+class TestAnalyzerSimConsistency:
+    def test_l1_analysis_matches_record_counts(self, bwaves):
+        res, st = simulate_and_measure(DEFAULT_MACHINE, bwaves, seed=0)
+        acc = res.accesses
+        assert st.l1.accesses == acc.n_accesses
+        assert st.l1.miss_count == acc.l1_miss_count
+        assert st.l2.accesses == acc.n_l2_accesses
+        assert st.mem.accesses == acc.n_mem_accesses
+
+    def test_camat_identity_holds_on_sim_output(self, bwaves):
+        res, st = simulate_and_measure(DEFAULT_MACHINE, bwaves, seed=0)
+        assert st.l1.camat_model == pytest.approx(st.l1.camat, rel=1e-9)
+        if st.l2.accesses:
+            assert st.l2.camat_model == pytest.approx(st.l2.camat, rel=1e-9)
+
+    def test_pure_misses_do_not_exceed_misses_at_every_layer(self, bwaves):
+        _, st = simulate_and_measure(DEFAULT_MACHINE, bwaves, seed=0)
+        for layer in (st.l1, st.l2):
+            assert layer.pure_miss_count <= layer.miss_count
+
+    def test_eq4_identity_under_hierarchical_view(self, bwaves):
+        """Eq. (4) holds exactly when C-AMAT2 is defined over the L1 miss
+        intervals (the hierarchical view of DESIGN.md section 5)."""
+        res, st = simulate_and_measure(DEFAULT_MACHINE, bwaves, seed=0)
+        acc = res.accesses
+        miss = acc.l1_is_miss
+        if not miss.any():
+            pytest.skip("no misses")
+        # Treat the L1 miss intervals as the lower layer's access activity.
+        lower = measure_layer(
+            acc.l1_miss_start[miss], acc.l1_miss_end[miss],
+            np.zeros(int(miss.sum()), np.int64), np.zeros(int(miss.sum()), np.int64),
+        )
+        l1 = st.l1
+        eta1 = (l1.pure_miss_penalty / l1.avg_miss_penalty) * (
+            l1.miss_concurrency / l1.pure_miss_concurrency
+        )
+        # C-AMAT2 (hierarchical view) = AMP1 / Cm1.
+        camat2_view = l1.avg_miss_penalty / l1.miss_concurrency
+        assert lower.camat == pytest.approx(camat2_view, rel=1e-9)
+        recursive = l1.hit_time / l1.hit_concurrency + l1.pure_miss_rate * eta1 * camat2_view
+        assert recursive == pytest.approx(l1.camat, rel=1e-9)
+
+
+class TestAlgorithmOverSimulator:
+    def test_full_table1_walk_with_substrate_thresholds(self, bwaves):
+        backend = LadderBackend(
+            [table1_config(c) for c in "ABCD"], bwaves,
+            deprovision_configs=[table1_config("E")],
+        )
+        algo = LPMAlgorithm(delta_percent=200.0, delta_slack_fraction=0.5, max_steps=10)
+        result = algo.run(backend)
+        assert result.status in (LPMStatus.MATCHED, LPMStatus.EXHAUSTED)
+        assert result.optimization_steps >= 1
+        # Matching never worsened along the accepted walk.
+        lpmr1s = [s.report.lpmr1 for s in result.steps]
+        assert lpmr1s[-1] <= lpmr1s[0]
+
+
+class TestDeterminismAcrossStack:
+    def test_identical_pipelines_identical_reports(self):
+        trace = get_benchmark("403.gcc").trace(5000, seed=11)
+        _, a = simulate_and_measure(table1_config("C"), trace, seed=2)
+        _, b = simulate_and_measure(table1_config("C"), trace, seed=2)
+        assert a.lpmr1 == b.lpmr1
+        assert a.l1.pure_miss_penalty == b.l1.pure_miss_penalty
+        assert a.cpi == b.cpi
+
+
+class TestWorkloadContractsUnderSim:
+    @pytest.mark.parametrize("name", ["401.bzip2", "429.mcf", "433.milc"])
+    def test_profiles_run_clean(self, name):
+        trace = get_benchmark(name).trace(4000, seed=5)
+        res, st = simulate_and_measure(DEFAULT_MACHINE, trace, seed=0)
+        assert st.cpi > 0
+        assert 0 <= st.overlap_ratio_cm < 1
+        assert st.l1.hit_concurrency >= 1.0
+
+    def test_mcf_has_low_concurrency_high_pure_miss_character(self):
+        mcf = get_benchmark("429.mcf").trace(6000, seed=5)
+        milc = get_benchmark("433.milc").trace(6000, seed=5)
+        _, st_mcf = simulate_and_measure(DEFAULT_MACHINE, mcf, seed=0)
+        _, st_milc = simulate_and_measure(DEFAULT_MACHINE, milc, seed=0)
+        # Pointer chasing: nearly every miss is a pure miss...
+        assert st_mcf.l1.pure_miss_count / max(st_mcf.l1.miss_count, 1) > 0.8
+        # ...and the streaming code overlaps far better.
+        assert st_milc.l1.pure_miss_concurrency > st_mcf.l1.pure_miss_concurrency

@@ -1,0 +1,75 @@
+"""Seed robustness of the headline reproduced orderings.
+
+The benchmark harness fixes seeds for exact regeneration; these tests
+guard against the calibration having over-fit those seeds: the Table I
+configuration ordering and the Fig. 8 policy ordering must hold for
+workload seeds the calibration never saw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    NUCAMachine,
+    evaluate_schedule,
+    nuca_sa,
+    profile_benchmarks,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.sim import simulate_and_measure, table1_config
+from repro.workloads.spec import SELECTED_16, get_benchmark
+
+
+@pytest.mark.parametrize("seed", [1, 42])
+def test_table1_ordering_holds_across_seeds(seed):
+    trace = get_benchmark("410.bwaves").trace(20000, seed=seed)
+    lpmr1 = {}
+    for label in "ABCDE":
+        _, st = simulate_and_measure(table1_config(label), trace, seed=0)
+        lpmr1[label] = st.lpmr1
+    assert lpmr1["A"] > lpmr1["B"]
+    assert lpmr1["B"] >= lpmr1["C"] * 0.95
+    assert lpmr1["C"] > lpmr1["D"]
+    assert lpmr1["D"] < lpmr1["E"] < lpmr1["A"]
+    assert lpmr1["D"] == min(lpmr1.values())
+
+
+@pytest.mark.parametrize("seed", [1, 11])
+def test_fig8_ordering_holds_across_seeds(seed):
+    machine = NUCAMachine()
+    db = profile_benchmarks(
+        machine, [get_benchmark(n) for n in SELECTED_16], n_mem=8000, seed=seed
+    )
+    apps = list(SELECTED_16)
+    rand = float(np.mean([
+        evaluate_schedule(random_schedule(apps, machine, seed=s), db, machine).hsp
+        for s in range(4)
+    ]))
+    rr = evaluate_schedule(round_robin_schedule(apps, machine), db, machine).hsp
+    cg = evaluate_schedule(nuca_sa(apps, machine, db, grain="coarse"), db, machine).hsp
+    fg = evaluate_schedule(nuca_sa(apps, machine, db, grain="fine"), db, machine).hsp
+    assert fg >= cg - 1e-9
+    assert cg > rr
+    assert cg > rand
+
+
+@pytest.mark.parametrize("seed", [5, 23])
+def test_fig67_per_benchmark_facts_hold_across_seeds(seed):
+    machine = NUCAMachine()
+    sizes = machine.distinct_l1_sizes
+    db = profile_benchmarks(
+        machine,
+        [get_benchmark(n) for n in ("401.bzip2", "403.gcc", "433.milc")],
+        n_mem=14000, seed=seed,
+    )
+    bzip2 = [db.apc1("401.bzip2", s) for s in sizes]
+    gcc = [db.apc1("403.gcc", s) for s in sizes]
+    milc = [db.apc1("433.milc", s) for s in sizes]
+    # 4 KB suffices; allow a whisker of slack for the short-trace boundary
+    # where the stream's touched span hovers near the 64 KB L1 size.
+    assert max(bzip2) / min(bzip2) < 1.15
+    assert gcc[-1] > 1.10 * gcc[0]              # keeps gaining to 64 KB
+    assert max(milc) / min(milc) < 1.10         # streaming, insensitive
+    gcc2 = [db.apc2("403.gcc", s) for s in sizes]
+    assert all(b <= a + 1e-9 for a, b in zip(gcc2, gcc2[1:]))

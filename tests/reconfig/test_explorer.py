@@ -1,0 +1,132 @@
+"""Integration tests: the LPM algorithm driving architecture exploration."""
+
+import pytest
+
+from repro.core.algorithm import LPMAlgorithm, LPMStatus
+from repro.reconfig.explorer import GreedyReconfigBackend, LadderBackend
+from repro.reconfig.space import DesignPoint, DesignSpace
+from repro.sim.params import TABLE1_CONFIGS, table1_config
+from repro.workloads.spec import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def bwaves_trace():
+    return get_benchmark("410.bwaves").trace(12000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ladder_backend(bwaves_trace):
+    configs = [table1_config(label) for label in "ABCD"]
+    return LadderBackend(configs, bwaves_trace, deprovision_configs=[table1_config("E")])
+
+
+class TestLadderBackend:
+    def test_measure_caches_simulations(self, ladder_backend):
+        before = ladder_backend.log.evaluations
+        ladder_backend.measure()
+        mid = ladder_backend.log.evaluations
+        ladder_backend.measure()
+        assert ladder_backend.log.evaluations == mid
+        assert mid >= before
+
+    def test_optimize_advances_rung(self, bwaves_trace):
+        backend = LadderBackend([table1_config(c) for c in "AB"], bwaves_trace)
+        assert backend.describe() == "A"
+        assert backend.optimize(l1=True, l2=True)
+        assert backend.describe() == "B"
+        assert not backend.optimize(l1=True, l2=False)
+
+    def test_deprovision_switches_to_trim_config(self, bwaves_trace):
+        backend = LadderBackend(
+            [table1_config("D")], bwaves_trace,
+            deprovision_configs=[table1_config("E")],
+        )
+        assert backend.deprovision()
+        assert backend.describe() == "E"
+        assert not backend.deprovision()
+
+    def test_lpmr_decreases_along_table1_ladder(self, ladder_backend):
+        # The Table I shape: LPMR1 falls from A to D.
+        values = []
+        backend = LadderBackend(
+            [table1_config(c) for c in "ABCD"], ladder_backend.trace
+        )
+        while True:
+            values.append(backend.measure().lpmr1)
+            if not backend.optimize(l1=True, l2=True):
+                break
+        assert values[0] > values[-1]
+        assert values[-1] == min(values)
+
+    def test_rejects_empty_ladder(self, bwaves_trace):
+        with pytest.raises(ValueError):
+            LadderBackend([], bwaves_trace)
+
+
+class TestAlgorithmOnLadder:
+    def test_walk_reduces_stall(self, bwaves_trace):
+        configs = [table1_config(c) for c in "ABCD"]
+        backend = LadderBackend(configs, bwaves_trace)
+        # Generous delta so the substrate can reach the matched band.
+        algo = LPMAlgorithm(delta_percent=120.0, delta_slack_fraction=0.5, max_steps=10)
+        result = algo.run(backend, allow_deprovision=False)
+        assert result.status in (LPMStatus.MATCHED, LPMStatus.EXHAUSTED)
+        first, last = result.steps[0], result.steps[-1]
+        assert last.report.lpmr1 <= first.report.lpmr1
+
+    def test_unreachable_target_exhausts_ladder(self, bwaves_trace):
+        configs = [table1_config(c) for c in "AB"]
+        backend = LadderBackend(configs, bwaves_trace)
+        algo = LPMAlgorithm(delta_percent=0.0001, max_steps=10)
+        result = algo.run(backend)
+        assert result.status is LPMStatus.EXHAUSTED
+
+
+class TestGreedyBackend:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return DesignSpace()
+
+    def test_optimize_improves_lpmr1(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(space, bwaves_trace, seed=1)
+        before = backend.measure().lpmr1
+        assert backend.optimize(l1=True, l2=True)
+        after = backend.measure().lpmr1
+        assert after < before
+
+    def test_optimize_l1_only_touches_l1_knobs(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(space, bwaves_trace, seed=1)
+        start = backend.point
+        backend.measure()
+        if backend.optimize(l1=True, l2=False):
+            assert backend.point.l2_banks == start.l2_banks
+
+    def test_optimize_returns_false_at_ceiling(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(
+            space, bwaves_trace, start=space.maximum_point(), seed=1
+        )
+        backend.measure()
+        assert not backend.optimize(l1=True, l2=True)
+
+    def test_deprovision_requires_prior_measure(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(space, bwaves_trace, seed=1)
+        assert not backend.deprovision()
+
+    def test_describe_is_point_label(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(space, bwaves_trace, seed=1)
+        assert backend.describe() == backend.point.label()
+
+    def test_evaluation_count_tracks_unique_configs(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(space, bwaves_trace, seed=1)
+        backend.measure()
+        backend.measure()
+        assert backend.log.evaluations == 1
+
+    def test_full_algorithm_run_converges_or_exhausts(self, space, bwaves_trace):
+        backend = GreedyReconfigBackend(space, bwaves_trace, seed=1, delta_percent=150.0)
+        algo = LPMAlgorithm(delta_percent=150.0, delta_slack_fraction=0.5, max_steps=12)
+        result = algo.run(backend, allow_deprovision=False)
+        assert result.status in (LPMStatus.MATCHED, LPMStatus.EXHAUSTED,
+                                 LPMStatus.STEP_LIMIT)
+        # Guided search must visit a tiny fraction of the design space.
+        assert backend.log.evaluations < space.size() / 100

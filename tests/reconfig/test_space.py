@@ -1,0 +1,110 @@
+"""Unit tests for the Case Study I design space."""
+
+import pytest
+
+from repro.reconfig.space import DEFAULT_LADDERS, DesignPoint, DesignSpace
+
+
+def point(**kw):
+    base = dict(issue_width=4, iw_size=32, rob_size=32, l1_ports=1,
+                mshr_count=4, l2_banks=4)
+    base.update(kw)
+    return DesignPoint(**base)
+
+
+class TestDesignPoint:
+    def test_as_dict_roundtrip(self):
+        p = point()
+        assert DesignPoint(**p.as_dict()) == p
+
+    def test_with_knob(self):
+        p = point().with_knob("mshr_count", 8)
+        assert p.mshr_count == 8
+        assert p.issue_width == 4
+
+    def test_with_unknown_knob(self):
+        with pytest.raises(KeyError):
+            point().with_knob("l3_banks", 2)
+
+    def test_cost_monotone(self):
+        assert point(mshr_count=8).cost() > point(mshr_count=4).cost()
+
+    def test_label(self):
+        assert point().label() == "w4/iw32/rob32/p1/m4/b4"
+
+
+class TestDesignSpace:
+    def test_size_counts_product(self):
+        space = DesignSpace()
+        expected = 1
+        for ladder in DEFAULT_LADDERS.values():
+            expected *= len(ladder)
+        assert space.size() == expected
+
+    def test_paper_scale_space(self):
+        # With 10 values per knob the paper's space has 10^6 points; our
+        # default ladders still yield a space far too big to enumerate
+        # during online optimization.
+        assert DesignSpace().size() >= 10_000
+
+    def test_validate_accepts_ladder_values(self):
+        DesignSpace().validate(point())
+
+    def test_validate_rejects_off_ladder(self):
+        with pytest.raises(ValueError):
+            DesignSpace().validate(point(mshr_count=5))
+
+    def test_min_max_points(self):
+        space = DesignSpace()
+        lo, hi = space.minimum_point(), space.maximum_point()
+        for knob, ladder in space.ladders.items():
+            assert getattr(lo, knob) == ladder[0]
+            assert getattr(hi, knob) == ladder[-1]
+
+    def test_upgrade_steps_one_rung(self):
+        space = DesignSpace()
+        up = space.upgrade(point(), "mshr_count")
+        assert up.mshr_count == 8
+
+    def test_upgrade_at_top_returns_none(self):
+        space = DesignSpace()
+        top = space.maximum_point()
+        assert space.upgrade(top, "mshr_count") is None
+
+    def test_downgrade_at_bottom_returns_none(self):
+        space = DesignSpace()
+        assert space.downgrade(space.minimum_point(), "l1_ports") is None
+
+    def test_upgrade_candidates_restricted(self):
+        space = DesignSpace()
+        cands = space.upgrade_candidates(point(), ("mshr_count", "l1_ports"))
+        assert {k for k, _ in cands} == {"mshr_count", "l1_ports"}
+
+    def test_downgrade_candidates_sorted_by_savings(self):
+        space = DesignSpace()
+        p = point(issue_width=8, iw_size=64, rob_size=64, l1_ports=4,
+                  mshr_count=16, l2_banks=8)
+        cands = space.downgrade_candidates(p)
+        savings = [p.cost() - c.cost() for _, c in cands]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_to_machine_applies_knobs(self):
+        space = DesignSpace()
+        cfg = space.to_machine(point(mshr_count=8, l1_ports=2))
+        assert cfg.mshr_count == 8
+        assert cfg.l1_ports == 2
+        assert cfg.core.issue_width == 4
+
+    def test_rejects_bad_ladder(self):
+        with pytest.raises(ValueError):
+            DesignSpace(ladders={**DEFAULT_LADDERS, "mshr_count": (8, 4)})
+
+    def test_rejects_missing_ladder(self):
+        bad = dict(DEFAULT_LADDERS)
+        del bad["l2_banks"]
+        with pytest.raises(ValueError):
+            DesignSpace(ladders=bad)
+
+    def test_rejects_unknown_ladder(self):
+        with pytest.raises(ValueError):
+            DesignSpace(ladders={**DEFAULT_LADDERS, "l3_size": (1, 2)})

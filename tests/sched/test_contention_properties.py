@@ -1,0 +1,81 @@
+"""Property-style tests for the shared-L2 contention model."""
+
+import itertools
+
+import pytest
+
+from repro.sched.contention import L2ContentionModel
+from repro.sched.nuca import NUCAMachine, profile_benchmarks
+from repro.workloads.spec import get_benchmark
+
+KB = 1024
+NAMES = ("401.bzip2", "403.gcc", "433.milc")
+SIZES = (4 * KB, 16 * KB, 32 * KB, 64 * KB)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return NUCAMachine()
+
+
+@pytest.fixture(scope="module")
+def db(machine):
+    return profile_benchmarks(
+        machine, [get_benchmark(n) for n in NAMES], n_mem=6000, seed=2
+    )
+
+
+def _assignments():
+    """A spread of co-run assignments: singletons, pairs, and dense mixes."""
+    cases = []
+    for name, size in itertools.product(NAMES, (4 * KB, 64 * KB)):
+        cases.append([(name, size)])
+    cases.append([(n, 16 * KB) for n in NAMES] * 2)
+    cases.append([("403.gcc", 4 * KB)] * 16)
+    cases.append([(n, s) for n, s in zip(NAMES * 6, itertools.cycle(SIZES))][:16])
+    return cases
+
+
+class TestContentionProperties:
+    @pytest.mark.parametrize("assigned", _assignments())
+    def test_shared_never_faster_than_alone(self, assigned, db, machine):
+        model = L2ContentionModel(machine)
+        for o in model.co_run(assigned, db):
+            assert o.ipc_shared <= o.ipc_alone + 1e-9
+            assert o.extra_stall_per_instruction >= 0.0
+            assert o.slowdown >= 1.0 - 1e-9
+
+    @pytest.mark.parametrize("assigned", _assignments())
+    def test_utilization_non_negative_and_additive(self, assigned, db, machine):
+        model = L2ContentionModel(machine)
+        total = model.utilization(assigned, db)
+        parts = sum(model.utilization([a], db) for a in assigned)
+        assert total == pytest.approx(parts)
+        assert total >= 0.0
+
+    def test_utilization_monotone_in_corunners(self, db, machine):
+        model = L2ContentionModel(machine)
+        base = [("403.gcc", 4 * KB)]
+        assert model.utilization(base + [("433.milc", 4 * KB)], db) > \
+            model.utilization(base, db)
+
+    def test_slowdown_monotone_in_aggregate_demand(self, db, machine):
+        model = L2ContentionModel(machine)
+        victim = ("403.gcc", 64 * KB)
+        light = model.co_run([victim, ("401.bzip2", 64 * KB)], db)[0]
+        heavy = model.co_run([victim] + [("433.milc", 4 * KB)] * 8, db)[0]
+        assert heavy.ipc_shared <= light.ipc_shared + 1e-12
+
+    def test_bigger_l1_lowers_own_l2_demand(self, db, machine):
+        model = L2ContentionModel(machine)
+        assert model.utilization([("403.gcc", 64 * KB)], db) < \
+            model.utilization([("403.gcc", 4 * KB)], db)
+
+    def test_saturation_is_capped(self, db, machine):
+        model = L2ContentionModel(machine)
+        # A wildly oversubscribed assignment must still produce finite,
+        # positive shared IPCs (the rho/inflation caps).
+        assigned = [("403.gcc", 4 * KB)] * 16 + [("433.milc", 4 * KB)] * 16
+        outcomes = model.co_run(assigned, db)
+        for o in outcomes:
+            assert o.ipc_shared > 0.0

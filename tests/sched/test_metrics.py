@@ -1,0 +1,69 @@
+"""Unit and property tests for the multiprogram metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.metrics import (
+    fairness_index,
+    harmonic_weighted_speedup,
+    slowdowns,
+    weighted_speedup,
+)
+
+
+class TestHsp:
+    def test_no_interference_is_one(self):
+        assert harmonic_weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_uniform_halving(self):
+        assert harmonic_weighted_speedup([2.0, 2.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_single_starved_app_dominates(self):
+        # One app at 10% speed drags Hsp far below the arithmetic mean.
+        hsp = harmonic_weighted_speedup([1.0] * 4, [1.0, 1.0, 1.0, 0.1])
+        assert hsp < 0.4
+
+    def test_rejects_zero_ipc(self):
+        with pytest.raises(ValueError):
+            harmonic_weighted_speedup([1.0], [0.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            harmonic_weighted_speedup([1.0, 2.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_weighted_speedup([], [])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_one_when_shared_slower(self, alone):
+        shared = [a * 0.8 for a in alone]
+        assert harmonic_weighted_speedup(alone, shared) <= 1.0 + 1e-9
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.1, max_value=10),
+        st.floats(min_value=0.5, max_value=1.0),
+    ), min_size=2, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_harmonic_below_arithmetic(self, pairs):
+        alone = [a for a, _ in pairs]
+        shared = [a * f for a, f in pairs]
+        hsp = harmonic_weighted_speedup(alone, shared)
+        ws_mean = weighted_speedup(alone, shared) / len(pairs)
+        assert hsp <= ws_mean + 1e-9
+
+
+class TestOtherMetrics:
+    def test_slowdowns(self):
+        assert slowdowns([2.0], [1.0]) == [pytest.approx(2.0)]
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 2.0], [0.5, 1.0]) == pytest.approx(1.0)
+
+    def test_fairness_perfect(self):
+        assert fairness_index([1.0, 2.0], [0.5, 1.0]) == pytest.approx(1.0)
+
+    def test_fairness_skewed(self):
+        assert fairness_index([1.0, 1.0], [1.0, 0.5]) == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Tests for the Fig. 5 NUCA machine model and profiling database."""
+
+import pytest
+
+from repro.sched.contention import L2ContentionModel
+from repro.sched.nuca import BenchmarkProfileDB, CoreGroup, NUCAMachine, profile_benchmarks
+from repro.workloads.spec import get_benchmark
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return NUCAMachine()
+
+
+@pytest.fixture(scope="module")
+def small_db(machine):
+    profiles = [get_benchmark(n) for n in ("401.bzip2", "403.gcc", "433.milc")]
+    return profile_benchmarks(machine, profiles, n_mem=14000, seed=2)
+
+
+class TestMachine:
+    def test_default_fig5_shape(self, machine):
+        assert machine.n_cores == 16
+        assert machine.distinct_l1_sizes == (4 * KB, 16 * KB, 32 * KB, 64 * KB)
+        assert len(machine.core_l1_sizes) == 16
+        assert machine.core_l1_sizes[:4] == (4 * KB,) * 4
+
+    def test_mapping_space_is_paper_number(self, machine):
+        # 16!/(4!)^4 = 63,063,000 — quoted verbatim in Section V-B.
+        assert machine.mapping_space_size() == 63_063_000
+
+    def test_config_for_l1(self, machine):
+        cfg = machine.config_for_l1(16 * KB)
+        assert cfg.l1.size_bytes == 16 * KB
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            NUCAMachine(groups=())
+
+    def test_core_group_validation(self):
+        with pytest.raises(ValueError):
+            CoreGroup(l1_size_bytes=512, n_cores=4)
+        with pytest.raises(ValueError):
+            CoreGroup(l1_size_bytes=4 * KB, n_cores=0)
+
+    def test_custom_small_machine(self):
+        m = NUCAMachine(groups=(CoreGroup(4 * KB, 2), CoreGroup(64 * KB, 2)))
+        assert m.n_cores == 4
+        assert m.mapping_space_size() == 6
+
+
+class TestProfileDB:
+    def test_every_pair_profiled(self, small_db, machine):
+        assert len(small_db.stats) == 3 * len(machine.distinct_l1_sizes)
+
+    def test_get_and_accessors(self, small_db):
+        st = small_db.get("403.gcc", 4 * KB)
+        assert st.apc1 > 0
+        assert small_db.apc1("403.gcc", 4 * KB) == st.apc1
+        assert small_db.apc2("403.gcc", 4 * KB) == st.apc2
+        assert small_db.ipc("403.gcc", 4 * KB) == st.ipc
+
+    def test_missing_pair_raises(self, small_db):
+        with pytest.raises(KeyError):
+            small_db.get("429.mcf", 4 * KB)
+
+    def test_benchmarks_listing(self, small_db):
+        assert small_db.benchmarks() == ["401.bzip2", "403.gcc", "433.milc"]
+
+    def test_gcc_gains_with_l1_size(self, small_db):
+        # The Fig. 6 fact: 403.gcc keeps improving up to 64 KB.
+        apc = [small_db.apc1("403.gcc", s) for s in (4 * KB, 16 * KB, 32 * KB, 64 * KB)]
+        assert apc[-1] > apc[0]
+        assert apc == sorted(apc)
+
+    def test_milc_insensitive_to_l1_size(self, small_db):
+        apc = [small_db.apc1("433.milc", s) for s in (4 * KB, 64 * KB)]
+        assert abs(apc[1] - apc[0]) / apc[0] < 0.10
+
+
+class TestContentionModel:
+    def test_capacity_positive(self, machine):
+        model = L2ContentionModel(machine)
+        assert model.l2_capacity > 0
+
+    def test_utilization_additive(self, small_db, machine):
+        model = L2ContentionModel(machine)
+        one = model.utilization([("403.gcc", 4 * KB)], small_db)
+        two = model.utilization([("403.gcc", 4 * KB)] * 2, small_db)
+        assert two == pytest.approx(2 * one)
+
+    def test_co_run_slows_everyone(self, small_db, machine):
+        model = L2ContentionModel(machine)
+        assigned = [("403.gcc", 4 * KB), ("433.milc", 4 * KB)] * 8
+        outcomes = model.co_run(assigned, small_db)
+        assert len(outcomes) == 16
+        for o in outcomes:
+            assert o.ipc_shared <= o.ipc_alone + 1e-9
+            assert o.slowdown >= 1.0 - 1e-9
+
+    def test_more_corunners_more_slowdown(self, small_db, machine):
+        model = L2ContentionModel(machine)
+        light = model.co_run([("403.gcc", 64 * KB)], small_db)[0]
+        heavy_assign = [("403.gcc", 64 * KB)] + [("433.milc", 4 * KB)] * 15
+        heavy = model.co_run(heavy_assign, small_db)[0]
+        assert heavy.ipc_shared < light.ipc_shared
+
+    def test_empty_assignment_rejected(self, small_db, machine):
+        with pytest.raises(ValueError):
+            L2ContentionModel(machine).co_run([], small_db)

@@ -1,0 +1,107 @@
+"""Tests for memory parallelism partitioning of the shared L2."""
+
+import pytest
+
+from repro.sched.metrics import harmonic_weighted_speedup
+from repro.sched.nuca import NUCAMachine, profile_benchmarks
+from repro.sched.partition import (
+    co_run_partitioned,
+    demand_proportional_shares,
+    equal_shares,
+    lpm_guided_shares,
+)
+from repro.workloads.spec import get_benchmark
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return NUCAMachine()
+
+
+@pytest.fixture(scope="module")
+def db(machine):
+    names = ("403.gcc", "433.milc", "401.bzip2", "429.mcf")
+    return profile_benchmarks(
+        machine, [get_benchmark(n) for n in names], n_mem=10000, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def assigned(machine):
+    # A skewed mix: bandwidth-hungry gcc/milc next to light bzip2/mcf,
+    # replicated across the sixteen cores.
+    apps = ["403.gcc", "433.milc", "401.bzip2", "429.mcf"] * 4
+    return list(zip(apps, machine.core_l1_sizes))
+
+
+class TestShareFunctions:
+    def test_equal_shares(self):
+        s = equal_shares(4)
+        assert s == [0.25] * 4
+        with pytest.raises(ValueError):
+            equal_shares(0)
+
+    def test_demand_proportional_sums_to_one(self, assigned, db, machine):
+        s = demand_proportional_shares(assigned, db, machine)
+        assert sum(s) == pytest.approx(1.0)
+        assert all(x >= 0 for x in s)
+
+    def test_lpm_guided_sums_to_one(self, assigned, db, machine):
+        s = lpm_guided_shares(assigned, db, machine)
+        assert sum(s) == pytest.approx(1.0)
+        assert all(x > 0 for x in s)
+
+    def test_lpm_guided_covers_demand(self, assigned, db, machine):
+        from repro.sched.contention import L2ContentionModel
+
+        model = L2ContentionModel(machine)
+        shares = lpm_guided_shares(assigned, db, machine)
+        for (bench, size), share in zip(assigned, shares):
+            demand = model._l2_rate(db.get(bench, size))
+            assert share * model.l2_capacity >= demand * 0.999
+
+    def test_heavy_apps_get_bigger_slices(self, assigned, db, machine):
+        shares = lpm_guided_shares(assigned, db, machine)
+        by_app = dict()
+        for (bench, _), share in zip(assigned, shares):
+            by_app.setdefault(bench, []).append(share)
+        # gcc's demand dwarfs bzip2's at the profiled sizes.
+        assert min(by_app["403.gcc"]) > max(by_app["401.bzip2"])
+
+
+class TestPartitionedCoRun:
+    def test_default_uses_lpm_guided(self, assigned, db, machine):
+        outcomes = co_run_partitioned(assigned, db, machine)
+        assert len(outcomes) == len(assigned)
+        for o in outcomes:
+            assert 0 < o.ipc_shared <= o.ipc_alone + 1e-9
+
+    def test_share_validation(self, assigned, db, machine):
+        with pytest.raises(ValueError):
+            co_run_partitioned(assigned, db, machine, shares=[1.0])
+        bad = [0.5] + [0.5 / (len(assigned) - 1)] * (len(assigned) - 1)
+        bad[0] = -0.5
+        with pytest.raises(ValueError):
+            co_run_partitioned(assigned, db, machine, shares=bad)
+        with pytest.raises(ValueError):
+            co_run_partitioned([], db, machine)
+
+    def test_lpm_guided_beats_equal_shares(self, assigned, db, machine):
+        alone = [db.ipc(b, s) for b, s in assigned]
+        guided = co_run_partitioned(assigned, db, machine)
+        equal = co_run_partitioned(
+            assigned, db, machine, shares=equal_shares(len(assigned))
+        )
+        hsp_guided = harmonic_weighted_speedup(alone, [o.ipc_shared for o in guided])
+        hsp_equal = harmonic_weighted_speedup(alone, [o.ipc_shared for o in equal])
+        assert hsp_guided >= hsp_equal - 1e-9
+
+    def test_starving_a_heavy_app_hurts(self, assigned, db, machine):
+        n = len(assigned)
+        # Squeeze the first (gcc) slice to near its demand floor.
+        squeezed = [0.002] + [(1 - 0.002) / (n - 1)] * (n - 1)
+        outcomes = co_run_partitioned(assigned, db, machine, shares=squeezed)
+        fair = co_run_partitioned(assigned, db, machine)
+        assert outcomes[0].ipc_shared < fair[0].ipc_shared

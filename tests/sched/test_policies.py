@@ -1,0 +1,137 @@
+"""Tests for the scheduling policies, including Fig. 8's ordering facts."""
+
+import pytest
+
+from repro.sched.nuca import CoreGroup, NUCAMachine, profile_benchmarks
+from repro.sched.policies import (
+    Schedule,
+    evaluate_schedule,
+    exhaustive_schedule,
+    nuca_sa,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.workloads.spec import SELECTED_16, get_benchmark
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return NUCAMachine()
+
+
+@pytest.fixture(scope="module")
+def db(machine):
+    profiles = [get_benchmark(n) for n in SELECTED_16]
+    return profile_benchmarks(machine, profiles, n_mem=6000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return list(SELECTED_16)
+
+
+class TestBaselines:
+    def test_random_is_permutation(self, apps, machine):
+        s = random_schedule(apps, machine, seed=0)
+        assert sorted(s.apps) == sorted(apps)
+        assert s.policy == "random"
+
+    def test_random_deterministic_per_seed(self, apps, machine):
+        assert random_schedule(apps, machine, seed=4).apps == \
+            random_schedule(apps, machine, seed=4).apps
+
+    def test_round_robin_preserves_order(self, apps, machine):
+        s = round_robin_schedule(apps, machine)
+        assert s.apps == tuple(apps)
+
+    def test_wrong_app_count_rejected(self, machine):
+        with pytest.raises(ValueError):
+            round_robin_schedule(["401.bzip2"], machine)
+
+
+class TestNucaSA:
+    def test_is_permutation(self, apps, machine, db):
+        s = nuca_sa(apps, machine, db, grain="fine")
+        assert sorted(s.apps) == sorted(apps)
+
+    def test_grain_labels(self, apps, machine, db):
+        assert nuca_sa(apps, machine, db, grain="fine").policy == "nuca-sa-fg"
+        assert nuca_sa(apps, machine, db, grain="coarse").policy == "nuca-sa-cg"
+
+    def test_unknown_grain(self, apps, machine, db):
+        with pytest.raises(ValueError):
+            nuca_sa(apps, machine, db, grain="medium")
+
+    def test_fig8_ordering(self, apps, machine, db):
+        """The paper's headline: NUCA-SA(fg) >= NUCA-SA(cg) > both baselines."""
+        ev_fg = evaluate_schedule(nuca_sa(apps, machine, db, grain="fine"), db, machine)
+        ev_cg = evaluate_schedule(nuca_sa(apps, machine, db, grain="coarse"), db, machine)
+        ev_rr = evaluate_schedule(round_robin_schedule(apps, machine), db, machine)
+        ev_rand = evaluate_schedule(random_schedule(apps, machine, seed=0), db, machine)
+        assert ev_fg.hsp >= ev_cg.hsp - 1e-9
+        assert ev_cg.hsp > ev_rr.hsp
+        assert ev_cg.hsp > ev_rand.hsp
+
+    def test_fg_improvement_magnitude(self, apps, machine, db):
+        """Improvement over Random lands in the paper's ~10-15% band."""
+        import numpy as np
+
+        ev_fg = evaluate_schedule(nuca_sa(apps, machine, db, grain="fine"), db, machine)
+        rand = np.mean([
+            evaluate_schedule(random_schedule(apps, machine, seed=s), db, machine).hsp
+            for s in range(5)
+        ])
+        improvement = ev_fg.hsp / rand - 1.0
+        assert 0.04 < improvement < 0.30
+
+    def test_sensitive_apps_get_big_caches(self, apps, machine, db):
+        """gcc (needs 64 KB) must not land on a 4 KB core under NUCA-SA."""
+        s = nuca_sa(apps, machine, db, grain="fine")
+        assigned = dict(s.assigned_sizes(machine))
+        assert assigned["403.gcc"] >= 32 * KB
+        # bzip2 is content with any size, so it should cede big caches.
+        assert assigned["401.bzip2"] <= 32 * KB
+
+
+class TestEvaluation:
+    def test_evaluation_fields(self, apps, machine, db):
+        ev = evaluate_schedule(round_robin_schedule(apps, machine), db, machine)
+        assert 0 < ev.hsp <= 1.0
+        assert ev.ws > 0
+        assert 0 < ev.fairness <= 1.0
+        assert ev.l2_utilization > 0
+        assert len(ev.outcomes) == 16
+
+    def test_schedule_size_mismatch(self, machine, db):
+        bad = Schedule(apps=("401.bzip2",) * 4, policy="x")
+        with pytest.raises(ValueError):
+            evaluate_schedule(bad, db, machine)
+
+
+class TestExhaustiveValidation:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        machine = NUCAMachine(groups=(CoreGroup(4 * KB, 2), CoreGroup(64 * KB, 2)))
+        names = ["401.bzip2", "403.gcc", "416.gamess", "433.milc"]
+        profiles = [get_benchmark(n) for n in names]
+        db = profile_benchmarks(machine, profiles, n_mem=14000, seed=5)
+        return machine, db, names
+
+    def test_exhaustive_beats_or_matches_everything(self, tiny):
+        machine, db, names = tiny
+        _, best = exhaustive_schedule(names, machine, db)
+        for seed in range(4):
+            ev = evaluate_schedule(random_schedule(names, machine, seed=seed), db, machine)
+            assert best.hsp >= ev.hsp - 1e-9
+
+    def test_nuca_sa_near_optimal_on_tiny_instance(self, tiny):
+        machine, db, names = tiny
+        _, best = exhaustive_schedule(names, machine, db)
+        ev = evaluate_schedule(nuca_sa(names, machine, db, grain="fine"), db, machine)
+        assert ev.hsp >= 0.97 * best.hsp
+
+    def test_exhaustive_refuses_huge_spaces(self, apps, machine, db):
+        with pytest.raises(ValueError):
+            exhaustive_schedule(apps, machine, db, limit=1000)

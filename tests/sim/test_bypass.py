@@ -1,0 +1,119 @@
+"""Tests for selective replacement (stream bypass) at the L1."""
+
+import pytest
+
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator, simulate_and_measure
+from repro.sim.prefetch import BypassConfig, StreamDetector
+from repro.workloads.generators import KernelSpec
+from repro.workloads.spec import BenchmarkProfile
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def mixed_profile(ws_weight=0.6):
+    return BenchmarkProfile(
+        name="bypass-mix",
+        kernels=(
+            KernelSpec("working_set", ws_weight, 3 * KB),
+            KernelSpec("strided", 1.0 - ws_weight, 2 * MB, stride_bytes=64),
+        ),
+        compute_per_access=2.0,
+    )
+
+
+class TestStreamDetector:
+    def _det(self, **kw):
+        return StreamDetector(BypassConfig(**kw), line_bytes=64)
+
+    def test_sequential_stream_classified(self):
+        det = self._det(confirm_after=2)
+        decisions = [det.observe_and_classify(i * 64) for i in range(10)]
+        # Allocate, first stride match (conf 1), confirmed at the third.
+        assert not any(decisions[:2])
+        assert all(decisions[2:])
+
+    def test_retouch_resets_confidence(self):
+        det = self._det(confirm_after=2)
+        for i in range(5):
+            det.observe_and_classify(i * 64)
+        assert det.observe_and_classify(4 * 64) is False  # same line again
+        assert det.observe_and_classify(5 * 64) is False  # must reconfirm
+
+    def test_random_not_classified(self):
+        import numpy as np
+
+        det = self._det()
+        rng = np.random.default_rng(1)
+        flags = [det.observe_and_classify(int(a) & ~63)
+                 for a in rng.integers(0, 1 << 22, 500)]
+        assert sum(flags) < 10
+
+    def test_bypass_rate(self):
+        det = self._det(confirm_after=1)
+        for i in range(10):
+            det.observe_and_classify(i * 64)
+        assert 0.0 < det.bypass_rate < 1.0
+
+    def test_reset(self):
+        det = self._det()
+        det.observe_and_classify(0)
+        det.reset()
+        assert det.observed == 0
+        assert det.bypass_rate == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BypassConfig(region_bytes=100)
+        with pytest.raises(ValueError):
+            BypassConfig(confirm_after=0)
+
+
+class TestEngineIntegration:
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            HierarchySimulator(DEFAULT_MACHINE.with_(l1_bypass="yes"))
+
+    def test_bypass_preserves_hot_set(self):
+        trace = mixed_profile().trace(20000, seed=5)
+        base = DEFAULT_MACHINE.with_knobs(
+            l1_size_bytes=4 * KB, mshr_count=8, iw_size=64, rob_size=64
+        )
+        _, off = simulate_and_measure(base, trace, seed=0)
+        _, on = simulate_and_measure(base.with_(l1_bypass=BypassConfig()), trace, seed=0)
+        # The stream no longer evicts the hot working set: MR1 drops.
+        assert on.mr1_conventional < 0.8 * off.mr1_conventional
+        assert on.cpi <= off.cpi * 1.02
+
+    def test_bypassed_lines_still_return_data(self):
+        trace = mixed_profile(ws_weight=0.0).trace(3000, seed=5)
+        cfg = DEFAULT_MACHINE.with_(l1_bypass=BypassConfig(confirm_after=1))
+        sim = HierarchySimulator(cfg, seed=0)
+        res = sim.run(trace)
+        # All accesses completed even though most fills bypassed the L1.
+        assert int(res.accesses.complete.min()) > 0
+        assert res.component_stats["l1_bypassed_fills"] > 0
+
+    def test_stats_reported(self):
+        trace = mixed_profile().trace(4000, seed=5)
+        cfg = DEFAULT_MACHINE.with_(l1_bypass=BypassConfig())
+        res = HierarchySimulator(cfg, seed=0).run(trace)
+        assert "l1_bypass_rate" in res.component_stats
+        assert 0.0 <= res.component_stats["l1_bypass_rate"] <= 1.0
+
+    def test_no_stats_without_bypass(self):
+        trace = mixed_profile().trace(1000, seed=5)
+        res = HierarchySimulator(DEFAULT_MACHINE, seed=0).run(trace)
+        assert "l1_bypass_rate" not in res.component_stats
+
+    def test_pure_working_set_unaffected(self):
+        prof = BenchmarkProfile(
+            name="ws-only",
+            kernels=(KernelSpec("working_set", 1.0, 3 * KB),),
+            compute_per_access=2.0,
+        )
+        trace = prof.trace(6000, seed=5)
+        base = DEFAULT_MACHINE.with_knobs(l1_size_bytes=8 * KB)
+        _, off = simulate_and_measure(base, trace, seed=0)
+        _, on = simulate_and_measure(base.with_(l1_bypass=BypassConfig()), trace, seed=0)
+        assert on.cpi == pytest.approx(off.cpi, rel=0.03)

@@ -1,0 +1,240 @@
+"""Unit and property tests for the functional cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import FunctionalCache
+from repro.sim.params import CacheGeometry
+
+
+def small_cache(policy="lru", assoc=2, sets=4, line=64, seed=0):
+    geom = CacheGeometry(
+        size_bytes=line * assoc * sets, line_bytes=line, associativity=assoc,
+        replacement=policy,
+    )
+    return FunctionalCache(geom, seed=seed)
+
+
+def addr(set_idx, tag, line=64, sets=4):
+    return ((tag * sets + set_idx) * line)
+
+
+class TestGeometry:
+    def test_derived_fields(self):
+        geom = CacheGeometry(32 * 1024, line_bytes=64, associativity=8)
+        assert geom.n_sets == 64
+        assert geom.offset_bits == 6
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(30 * 1000)
+
+    def test_rejects_inconsistent_shape(self):
+        # 32 KB with 64 B lines and assoc 3: 170.67 sets — not a power of two.
+        with pytest.raises(ValueError):
+            CacheGeometry(32 * 1024, line_bytes=64, associativity=3)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(32 * 1024, replacement="belady")
+
+    def test_rejects_cache_smaller_than_one_set(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(64, line_bytes=64, associativity=2)
+
+
+class TestBasicOperation:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.lookup(0)
+        c.insert(0)
+        assert c.lookup(0)
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_same_line_different_word_hits(self):
+        c = small_cache()
+        c.insert(0)
+        assert c.lookup(8)
+        assert c.lookup(63)
+
+    def test_contains_does_not_touch_counters(self):
+        c = small_cache()
+        c.insert(0)
+        assert c.contains(0)
+        assert not c.contains(4096)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_insert_returns_victim_address(self):
+        c = small_cache(assoc=2)
+        a0, a1, a2 = addr(0, 0), addr(0, 1), addr(0, 2)
+        assert c.insert(a0) is None
+        assert c.insert(a1) is None
+        victim = c.insert(a2)
+        assert victim == a0  # LRU victim is the oldest
+        assert not c.contains(a0)
+        assert c.contains(a1) and c.contains(a2)
+
+    def test_evict(self):
+        c = small_cache()
+        c.insert(0)
+        assert c.evict(0)
+        assert not c.contains(0)
+        assert not c.evict(0)
+
+    def test_reinsert_resident_block_evicts_nothing(self):
+        c = small_cache(assoc=2)
+        c.insert(addr(0, 0))
+        c.insert(addr(0, 1))
+        assert c.insert(addr(0, 0)) is None
+        assert c.resident_blocks() == 2
+
+    def test_set_isolation(self):
+        c = small_cache(assoc=1, sets=4)
+        c.insert(addr(0, 0))
+        c.insert(addr(1, 0))
+        assert c.contains(addr(0, 0))
+        assert c.contains(addr(1, 0))
+
+    def test_miss_rate_property(self):
+        c = small_cache()
+        c.lookup(0)          # miss
+        c.insert(0)
+        c.lookup(0)          # hit
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_reset_counters_keeps_contents(self):
+        c = small_cache()
+        c.insert(0)
+        c.lookup(0)
+        c.reset_counters()
+        assert c.hits == 0
+        assert c.contains(0)
+
+
+class TestLRUStackProperty:
+    """LRU inclusion: a larger LRU cache contains everything a smaller one does."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_inclusion(self, lines):
+        # Fully-associative LRU pair (1 set) with assoc 4 and 8.
+        small = small_cache(assoc=4, sets=1)
+        big = small_cache(assoc=8, sets=1)
+        for line_no in lines:
+            a = line_no * 64
+            if not small.lookup(a):
+                small.insert(a)
+            if not big.lookup(a):
+                big.insert(a)
+        for line_no in set(lines):
+            a = line_no * 64
+            if small.contains(a):
+                assert big.contains(a)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_miss_count_monotone_in_size(self, lines):
+        small = small_cache(assoc=4, sets=1)
+        big = small_cache(assoc=8, sets=1)
+        for line_no in lines:
+            a = line_no * 64
+            if not small.lookup(a):
+                small.insert(a)
+            if not big.lookup(a):
+                big.insert(a)
+        assert big.misses <= small.misses
+
+
+class TestReplacementPolicies:
+    def test_lru_promotes_on_hit(self):
+        c = small_cache(assoc=2)
+        a0, a1, a2 = addr(0, 0), addr(0, 1), addr(0, 2)
+        c.insert(a0)
+        c.insert(a1)
+        c.lookup(a0)          # promote a0
+        victim = c.insert(a2)
+        assert victim == a1
+
+    def test_fifo_ignores_hits(self):
+        c = small_cache(policy="fifo", assoc=2)
+        a0, a1, a2 = addr(0, 0), addr(0, 1), addr(0, 2)
+        c.insert(a0)
+        c.insert(a1)
+        c.lookup(a0)          # should NOT promote under FIFO
+        victim = c.insert(a2)
+        assert victim == a0
+
+    def test_random_is_deterministic_given_seed(self):
+        def run(seed):
+            c = small_cache(policy="random", assoc=4, seed=seed)
+            victims = []
+            for tag in range(20):
+                victims.append(c.insert(addr(0, tag)))
+            return victims
+
+        assert run(1) == run(1)
+
+    def test_random_evicts_resident_block(self):
+        c = small_cache(policy="random", assoc=2)
+        c.insert(addr(0, 0))
+        c.insert(addr(0, 1))
+        victim = c.insert(addr(0, 2))
+        assert victim in (addr(0, 0), addr(0, 1))
+        assert c.resident_blocks() == 2
+
+    def test_plru_requires_power_of_two_assoc(self):
+        with pytest.raises(ValueError):
+            small_cache(policy="plru", assoc=3, sets=4)
+
+    def test_plru_basic_hit_miss(self):
+        c = small_cache(policy="plru", assoc=4)
+        for tag in range(4):
+            assert not c.lookup(addr(0, tag))
+            c.insert(addr(0, tag))
+        for tag in range(4):
+            assert c.lookup(addr(0, tag))
+        victim = c.insert(addr(0, 10))
+        assert victim is not None
+        assert c.resident_blocks() == 4
+
+    def test_plru_victim_is_not_most_recent(self):
+        c = small_cache(policy="plru", assoc=4)
+        for tag in range(4):
+            c.insert(addr(0, tag))
+        c.lookup(addr(0, 3))  # touch way holding tag 3
+        victim = c.insert(addr(0, 9))
+        assert victim != addr(0, 3)
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random", "plru"])
+    def test_capacity_never_exceeded(self, policy):
+        c = small_cache(policy=policy, assoc=4, sets=2)
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 64, 500):
+            line = int(a) * 64
+            if not c.lookup(line):
+                c.insert(line)
+        for s in range(2):
+            assert c.set_occupancy(s) <= 4
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random", "plru"])
+    def test_working_set_within_capacity_has_no_capacity_misses(self, policy):
+        c = small_cache(policy=policy, assoc=4, sets=2)
+        lines = [addr(s, t, sets=2) for s in range(2) for t in range(4)]
+        for a in lines:
+            c.insert(a)
+        c.reset_counters()
+        for _ in range(10):
+            for a in lines:
+                assert c.lookup(a)
+        assert c.misses == 0
+
+
+class TestWarming:
+    def test_warm_lookup_array_fills_without_stats(self):
+        c = small_cache(assoc=8, sets=1)
+        c.warm_lookup_array(np.array([0, 64, 128]))
+        assert c.hits == 0 and c.misses == 0
+        assert c.contains(0) and c.contains(64) and c.contains(128)

@@ -1,0 +1,103 @@
+"""Unit tests for the DRAM bank/row-buffer timing model."""
+
+import pytest
+
+from repro.sim.dram import DRAMModel
+from repro.sim.params import DRAMTiming
+
+
+def model(**kw):
+    defaults = dict(n_banks=4, t_cas=10, t_rcd=6, t_rp=6, t_burst=2, t_bus=5, row_bytes=1024)
+    defaults.update(kw)
+    return DRAMModel(DRAMTiming(**defaults), line_bytes=64)
+
+
+class TestAddressMapping:
+    def test_bank_from_low_block_bits(self):
+        m = model()
+        assert m.map_address(0)[0] == 0
+        assert m.map_address(1)[0] == 1
+        assert m.map_address(5)[0] == 1
+
+    def test_row_advances_every_blocks_per_row(self):
+        m = model()
+        # 1024-byte rows / 64-byte lines = 16 blocks per row (per bank).
+        bank0_blocks = [0, 4, 8]  # all bank 0
+        rows = [m.map_address(b)[1] for b in bank0_blocks]
+        assert rows[0] == rows[1] == rows[2] == 0
+        far = m.map_address(16 * 4)[1]
+        assert far == 1
+
+
+class TestRowBufferStates:
+    def test_first_access_is_closed(self):
+        m = model()
+        res = m.access(0, request_time=0)
+        assert res.kind == "closed"
+        # bus(5) then RCD+CAS(16) + burst(2)
+        assert res.service_start == 5
+        assert res.service_end == 5 + 16 + 2
+        assert res.data_ready == res.service_end + 5
+
+    def test_same_row_hit(self):
+        m = model()
+        m.access(0, 0)
+        res = m.access(4, 100)  # bank 0, same row
+        assert res.kind == "hit"
+        assert res.service_end - res.service_start == 10 + 2
+
+    def test_row_conflict(self):
+        m = model()
+        m.access(0, 0)
+        res = m.access(16 * 4, 100)  # bank 0, next row
+        assert res.kind == "conflict"
+        assert res.service_end - res.service_start == 6 + 6 + 10 + 2
+
+    def test_busy_bank_queues(self):
+        m = model()
+        r1 = m.access(0, 0)
+        r2 = m.access(4, 0)  # same bank, immediately
+        assert r2.service_start == r1.service_end
+
+    def test_distinct_banks_parallel(self):
+        m = model()
+        r1 = m.access(0, 0)
+        r2 = m.access(1, 0)
+        assert r2.service_start == r1.service_start
+
+    def test_row_hit_rate(self):
+        m = model()
+        m.access(0, 0)
+        m.access(4, 100)
+        m.access(8, 200)
+        assert m.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_mean_bank_wait(self):
+        m = model()
+        m.access(0, 0)
+        m.access(4, 0)
+        assert m.mean_bank_wait > 0
+
+    def test_reset(self):
+        m = model()
+        m.access(0, 0)
+        m.reset()
+        res = m.access(4, 0)
+        assert res.kind == "closed"
+        assert m.accesses == 1
+
+
+class TestBandwidth:
+    def test_sequential_stream_gets_row_hits(self):
+        m = model()
+        kinds = [m.access(b, b * 2).kind for b in range(32)]
+        # First lap over the 4 banks opens rows; everything after hits.
+        assert kinds[:4] == ["closed"] * 4
+        assert all(k == "hit" for k in kinds[8:])
+
+    def test_random_far_accesses_conflict(self):
+        m = model()
+        m.access(0, 0)
+        m.access(16 * 4, 1000)
+        m.access(32 * 4, 2000)
+        assert m.row_conflicts == 2

@@ -1,0 +1,262 @@
+"""Integration-level tests of the timing engine's behaviour and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DEFAULT_MACHINE,
+    HierarchySimulator,
+    simulate_and_measure,
+)
+from repro.workloads.trace import Trace
+
+
+def tiny_machine(**kw):
+    return DEFAULT_MACHINE.with_knobs(**kw)
+
+
+def hit_trace(n=100, line=0, compute=1):
+    addrs = np.full(n, line * 64, dtype=np.int64)
+    return Trace.from_memory_addresses(addrs, compute_per_access=compute, name="hits")
+
+
+def stream_trace(n=200, stride=64, compute=1):
+    addrs = np.arange(n, dtype=np.int64) * stride
+    return Trace.from_memory_addresses(addrs, compute_per_access=compute, name="stream")
+
+
+class TestBasicExecution:
+    def test_all_hits_after_first(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        res = sim.run(hit_trace(50))
+        acc = res.accesses
+        # One primary (cold) miss; accesses arriving before its fill are
+        # coalesced secondary misses; everything after the fill hits.
+        assert acc.n_l2_accesses == 1
+        primaries = (acc.l1_is_miss & ~acc.l1_is_secondary).sum()
+        assert primaries == 1
+        assert acc.l1_miss_count < 50
+        assert not acc.l1_is_miss[-1]
+
+    def test_warmed_cache_no_misses(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        tr = hit_trace(50)
+        sim.warm_caches(tr)
+        res = sim.run(tr)
+        assert res.accesses.l1_miss_count == 0
+
+    def test_perfect_run_never_misses(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        res = sim.run(stream_trace(100), perfect=True)
+        assert res.accesses.l1_miss_count == 0
+        assert res.accesses.n_l2_accesses == 0
+
+    def test_perfect_cpi_is_lower_bound(self):
+        tr = stream_trace(300)
+        perfect = HierarchySimulator(DEFAULT_MACHINE).run(tr, perfect=True)
+        real = HierarchySimulator(DEFAULT_MACHINE).run(tr)
+        assert real.cpi >= perfect.cpi - 1e-9
+
+    def test_empty_trace(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE)
+        tr = Trace(is_mem=np.zeros(0, bool), address=np.zeros(0, np.int64),
+                   is_load=np.zeros(0, bool))
+        res = sim.run(tr)
+        assert res.total_cycles == 0
+        assert res.accesses.n_accesses == 0
+
+    def test_compute_only_trace(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE.with_knobs(issue_width=2))
+        tr = Trace(is_mem=np.zeros(100, bool), address=np.zeros(100, np.int64),
+                   is_load=np.zeros(100, bool))
+        res = sim.run(tr)
+        # 100 independent 1-cycle ops on a 2-wide core: ~50 cycles.
+        assert 45 <= res.total_cycles <= 60
+
+
+class TestPipelineOrdering:
+    def test_dispatch_monotone(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(200))
+        d = res.instructions.dispatch
+        assert np.all(np.diff(d) >= 0)
+
+    def test_retire_in_order(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(200))
+        r = res.instructions.retire
+        assert np.all(np.diff(r) >= 0)
+
+    def test_retire_after_complete(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(200))
+        assert np.all(res.instructions.retire >= res.instructions.complete)
+
+    def test_complete_after_dispatch(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(200))
+        assert np.all(res.instructions.complete > res.instructions.dispatch)
+
+    def test_issue_width_bounds_dispatch_rate(self):
+        w = 2
+        cfg = tiny_machine(issue_width=w, iw_size=64, rob_size=64)
+        res = HierarchySimulator(cfg).run(hit_trace(200, compute=0))
+        d = res.instructions.dispatch
+        _, counts = np.unique(d, return_counts=True)
+        assert counts.max() <= w
+
+    def test_rob_bounds_inflight(self):
+        rob = 8
+        cfg = tiny_machine(rob_size=rob, iw_size=64)
+        res = HierarchySimulator(cfg).run(stream_trace(200))
+        d, r = res.instructions.dispatch, res.instructions.retire
+        # Instruction i dispatches only after instruction i-rob retired.
+        for i in range(rob, len(d)):
+            assert d[i] >= r[i - rob]
+
+
+class TestMemoryIntervals:
+    def test_hit_interval_length_is_hit_time(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(100))
+        acc = res.accesses
+        lengths = acc.l1_hit_end - acc.l1_hit_start
+        assert np.all(lengths == DEFAULT_MACHINE.l1_hit_time)
+
+    def test_miss_interval_follows_hit_interval(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(100))
+        acc = res.accesses
+        m = acc.l1_is_miss
+        assert np.all(acc.l1_miss_start[m] == acc.l1_hit_end[m])
+        assert np.all(acc.l1_miss_end[m] >= acc.l1_miss_start[m])
+
+    def test_hits_have_empty_miss_interval(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(hit_trace(100))
+        acc = res.accesses
+        h = ~acc.l1_is_miss
+        assert np.all(acc.l1_miss_end[h] == acc.l1_miss_start[h])
+
+    def test_l2_rows_match_primary_misses(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(300))
+        acc = res.accesses
+        primaries = int(np.count_nonzero(acc.l1_is_miss & ~acc.l1_is_secondary))
+        assert acc.n_l2_accesses == primaries
+
+    def test_l2_index_mapping(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(300))
+        acc = res.accesses
+        mapped = acc.l2_index[acc.l2_index >= 0]
+        assert sorted(mapped.tolist()) == list(range(acc.n_l2_accesses))
+
+    def test_complete_not_before_data(self):
+        res = HierarchySimulator(DEFAULT_MACHINE).run(stream_trace(300))
+        acc = res.accesses
+        m = acc.l1_is_miss
+        assert np.all(acc.complete[m] >= acc.l1_miss_end[m])
+        h = ~m
+        assert np.all(acc.complete[h] == acc.l1_hit_end[h])
+
+    def test_secondary_misses_create_no_l2_rows(self):
+        # Same line accessed back-to-back: one primary, others coalesce.
+        addrs = np.zeros(10, dtype=np.int64)
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=0, name="co")
+        cfg = tiny_machine(mshr_count=4)
+        res = HierarchySimulator(cfg).run(tr)
+        acc = res.accesses
+        assert acc.n_l2_accesses == 1
+        assert int(np.count_nonzero(acc.l1_is_secondary)) >= 1
+
+
+class TestKnobEffects:
+    def test_more_ports_speed_up_hit_bandwidth(self):
+        tr = hit_trace(400, compute=0)
+        slow = HierarchySimulator(tiny_machine(l1_ports=1)).run(tr)
+        fast = HierarchySimulator(tiny_machine(l1_ports=4)).run(tr)
+        assert fast.total_cycles < slow.total_cycles
+
+    def test_more_mshrs_speed_up_miss_streams(self):
+        # Distinct lines, bursty: MSHR-bound under 1, freer under 16.
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 22, 600) >> 6) << 6
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=0, name="rnd")
+        slow = HierarchySimulator(tiny_machine(mshr_count=1)).run(tr)
+        fast = HierarchySimulator(tiny_machine(mshr_count=16)).run(tr)
+        assert fast.total_cycles < slow.total_cycles
+
+    def test_bigger_rob_hides_latency(self):
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 22, 400) >> 6) << 6
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=4, name="rnd")
+        small = HierarchySimulator(tiny_machine(rob_size=8, iw_size=64, mshr_count=16)).run(tr)
+        big = HierarchySimulator(tiny_machine(rob_size=256, iw_size=64, mshr_count=16)).run(tr)
+        assert big.total_cycles < small.total_cycles
+
+    def test_iw_bounds_inflight_memory_ops(self):
+        # Regression: the window (LSQ) limit must apply to memory ops.
+        # With a huge ROB but a tiny IW, in-flight memory ops are capped.
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 22, 400) >> 6) << 6
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=0, name="rnd")
+        narrow = HierarchySimulator(
+            tiny_machine(iw_size=2, rob_size=256, mshr_count=16)
+        ).run(tr)
+        wide = HierarchySimulator(
+            tiny_machine(iw_size=64, rob_size=256, mshr_count=16)
+        ).run(tr)
+        assert narrow.total_cycles > 1.3 * wide.total_cycles
+
+    def test_dependent_loads_serialize(self):
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 22, 300) >> 6) << 6
+        dep = np.ones(300, dtype=bool)
+        t_dep = Trace.from_memory_addresses(addrs, compute_per_access=0, name="dep",
+                                            depends=dep)
+        t_free = Trace.from_memory_addresses(addrs, compute_per_access=0, name="free")
+        cfg = tiny_machine(mshr_count=16, iw_size=64)
+        serial = HierarchySimulator(cfg).run(t_dep)
+        parallel = HierarchySimulator(cfg).run(t_free)
+        assert serial.total_cycles > 1.5 * parallel.total_cycles
+
+    def test_compute_dependency_bounds_ipc(self):
+        n = 400
+        dep = np.ones(n, dtype=bool)
+        t_dep = Trace(is_mem=np.zeros(n, bool), address=np.zeros(n, np.int64),
+                      is_load=np.zeros(n, bool), depends=dep)
+        t_free = Trace(is_mem=np.zeros(n, bool), address=np.zeros(n, np.int64),
+                       is_load=np.zeros(n, bool))
+        cfg = tiny_machine(issue_width=8)
+        serial = HierarchySimulator(cfg).run(t_dep)
+        free = HierarchySimulator(cfg).run(t_free)
+        assert serial.cpi == pytest.approx(1.0, rel=0.1)
+        assert free.cpi == pytest.approx(1 / 8, rel=0.2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        tr = stream_trace(300)
+        a = HierarchySimulator(DEFAULT_MACHINE, seed=3).run(tr)
+        b = HierarchySimulator(DEFAULT_MACHINE, seed=3).run(tr)
+        assert a.total_cycles == b.total_cycles
+        assert np.array_equal(a.accesses.l1_miss_end, b.accesses.l1_miss_end)
+
+
+class TestSimulateAndMeasure:
+    def test_returns_consistent_stats(self):
+        tr = stream_trace(500, compute=2)
+        res, st = simulate_and_measure(DEFAULT_MACHINE, tr)
+        assert st.n_instructions == tr.n_instructions
+        assert st.f_mem == pytest.approx(tr.f_mem)
+        assert st.cpi == pytest.approx(res.cpi)
+        assert st.cpi_exe <= st.cpi + 1e-9
+        assert st.l1.accesses == tr.n_mem
+
+    def test_lpmr_report_roundtrip(self):
+        tr = stream_trace(500, compute=2)
+        _, st = simulate_and_measure(DEFAULT_MACHINE, tr)
+        report = st.lpmr_report()
+        assert report.lpmr1 == pytest.approx(st.lpmr1)
+        assert 0.0 <= report.overlap_ratio_cm < 1.0
+
+    def test_stall_consistency_with_eq12(self):
+        # Eq. 12 with the measured overlap ratio reproduces measured stall
+        # (the overlap ratio is defined through Eq. 7; see stats docstring).
+        tr = stream_trace(800, compute=2)
+        _, st = simulate_and_measure(DEFAULT_MACHINE, tr)
+        if st.l1.active_cycles and st.stall_per_instruction > 0:
+            predicted = st.lpmr_report().predicted_stall_per_instruction()
+            assert predicted == pytest.approx(st.stall_per_instruction, rel=0.02)

@@ -1,0 +1,128 @@
+"""Property-based tests of the timing engine's structural invariants.
+
+Random small traces and random machine knobs; the invariants must hold for
+every combination: pipeline ordering, interval sanity, record-index
+consistency, the analyzer identity on real simulator output, and
+determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import measure_layer
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+from repro.workloads.trace import Trace
+
+KB = 1024
+
+
+@st.composite
+def random_trace(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    footprint_lines = draw(st.integers(min_value=1, max_value=4096))
+    addrs = rng.integers(0, footprint_lines, n) * 64
+    gaps = rng.integers(0, 4, n)
+    dep = rng.random(n) < draw(st.floats(min_value=0.0, max_value=0.9))
+    return Trace.from_memory_addresses(
+        addrs, compute_per_access=gaps, name="prop", seed=0, depends=dep
+    )
+
+
+@st.composite
+def random_machine(draw):
+    return DEFAULT_MACHINE.with_knobs(
+        issue_width=draw(st.sampled_from([1, 2, 4, 8])),
+        iw_size=draw(st.sampled_from([2, 8, 32, 128])),
+        rob_size=draw(st.sampled_from([4, 16, 64, 256])),
+        l1_ports=draw(st.sampled_from([1, 2, 4])),
+        mshr_count=draw(st.sampled_from([1, 4, 16])),
+        l2_banks=draw(st.sampled_from([2, 8])),
+    )
+
+
+class TestEngineInvariants:
+    @given(random_trace(), random_machine())
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_ordering(self, trace, machine):
+        res = HierarchySimulator(machine, seed=0).run(trace)
+        ins = res.instructions
+        assert np.all(np.diff(ins.dispatch) >= 0)
+        assert np.all(np.diff(ins.retire) >= 0)
+        assert np.all(ins.complete > ins.dispatch)
+        assert np.all(ins.retire >= ins.complete)
+
+    @given(random_trace(), random_machine())
+    @settings(max_examples=60, deadline=None)
+    def test_interval_sanity(self, trace, machine):
+        res = HierarchySimulator(machine, seed=0).run(trace)
+        acc = res.accesses
+        if acc.n_accesses == 0:
+            return
+        assert np.all(acc.l1_hit_end - acc.l1_hit_start == machine.l1_hit_time)
+        assert np.all(acc.l1_miss_end >= acc.l1_miss_start)
+        miss = acc.l1_is_miss
+        assert np.all(acc.l1_miss_start[miss] == acc.l1_hit_end[miss])
+        hits = ~miss
+        assert np.all(acc.l1_miss_end[hits] == acc.l1_miss_start[hits])
+        assert np.all(acc.complete >= acc.l1_hit_end)
+
+    @given(random_trace(), random_machine())
+    @settings(max_examples=60, deadline=None)
+    def test_record_index_consistency(self, trace, machine):
+        res = HierarchySimulator(machine, seed=0).run(trace)
+        acc = res.accesses
+        primaries = int(np.count_nonzero(acc.l1_is_miss & ~acc.l1_is_secondary))
+        assert acc.n_l2_accesses == primaries
+        mapped = acc.l2_index[acc.l2_index >= 0]
+        assert sorted(mapped.tolist()) == list(range(acc.n_l2_accesses))
+        l2_primaries = int(np.count_nonzero(acc.l2_is_miss & ~acc.l2_is_secondary))
+        assert acc.n_mem_accesses == l2_primaries
+
+    @given(random_trace(), random_machine())
+    @settings(max_examples=40, deadline=None)
+    def test_analyzer_identity_on_engine_output(self, trace, machine):
+        res = HierarchySimulator(machine, seed=0).run(trace)
+        acc = res.accesses
+        if acc.n_accesses == 0:
+            return
+        m = measure_layer(acc.l1_hit_start, acc.l1_hit_end,
+                          acc.l1_miss_start, acc.l1_miss_end)
+        assert m.camat_model == pytest.approx(m.camat)
+        assert m.pure_miss_count <= m.miss_count
+        assert m.camat <= m.amat + 1e-9
+
+    @given(random_trace(), random_machine())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, trace, machine):
+        a = HierarchySimulator(machine, seed=1).run(trace)
+        b = HierarchySimulator(machine, seed=1).run(trace)
+        assert a.total_cycles == b.total_cycles
+        assert np.array_equal(a.instructions.retire, b.instructions.retire)
+
+    @given(random_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_run_is_lower_bound(self, trace):
+        perfect = HierarchySimulator(DEFAULT_MACHINE, seed=0).run(trace, perfect=True)
+        real = HierarchySimulator(DEFAULT_MACHINE, seed=0).run(trace)
+        assert perfect.total_cycles <= real.total_cycles
+
+    @given(random_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_stronger_machine_never_slower(self, trace):
+        weak = DEFAULT_MACHINE.with_knobs(
+            issue_width=2, iw_size=8, rob_size=16, l1_ports=1,
+            mshr_count=2, l2_banks=2,
+        )
+        strong = DEFAULT_MACHINE.with_knobs(
+            issue_width=8, iw_size=128, rob_size=256, l1_ports=4,
+            mshr_count=16, l2_banks=8,
+        )
+        slow = HierarchySimulator(weak, seed=0).run(trace)
+        fast = HierarchySimulator(strong, seed=0).run(trace)
+        # Strictly more of every resource can reorder DRAM row-buffer luck,
+        # so allow a sliver of slack.
+        assert fast.total_cycles <= slow.total_cycles * 1.05 + 10

@@ -1,0 +1,117 @@
+"""Tests for cycle-bounded quanta (stop_cycle) and pipeline resumption."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+from repro.workloads.spec import get_benchmark
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture()
+def trace():
+    return get_benchmark("403.gcc").trace(3000, seed=2)
+
+
+class TestStopCycle:
+    def test_stops_before_bound(self, trace):
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        res = sim.run(trace, stop_cycle=500)
+        assert res.instructions_executed < trace.n_instructions
+        assert res.instructions.dispatch.max() < 500
+
+    def test_records_sliced_to_executed(self, trace):
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        res = sim.run(trace, stop_cycle=500)
+        n = res.instructions_executed
+        assert res.instructions.n_instructions == n
+        n_mem = int(res.instructions.is_mem.sum())
+        assert res.accesses.n_accesses == n_mem
+
+    def test_no_bound_executes_everything(self, trace):
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        res = sim.run(trace)
+        assert res.instructions_executed == trace.n_instructions
+
+    def test_zero_progress_window(self, trace):
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        res = sim.run(trace, start_cycle=100, stop_cycle=100)
+        assert res.instructions_executed == 0
+        assert res.accesses.n_accesses == 0
+
+
+class TestResume:
+    def test_chunked_equals_monolithic_for_compute(self):
+        # Pure compute: chunked execution with resume must match the
+        # monolithic run exactly (no memory-boundary effects at all).
+        n = 600
+        tr = Trace(is_mem=np.zeros(n, bool), address=np.zeros(n, np.int64),
+                   is_load=np.zeros(n, bool))
+        mono = HierarchySimulator(DEFAULT_MACHINE, seed=0).run(tr)
+
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        pos, clock, total = 0, 0, 0
+        while pos < n:
+            res = sim.run(tr.slice(pos, n), start_cycle=clock, stop_cycle=clock + 37,
+                          resume=pos > 0)
+            if res.instructions_executed == 0:
+                clock += 37
+                continue
+            pos += res.instructions_executed
+            clock = int(res.instructions.dispatch.max())
+            total = int(res.instructions.retire.max())
+        assert total == mono.instructions.retire.max()
+
+    def test_chunked_memory_run_close_to_monolithic(self, trace):
+        mono = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        mono.warm_caches(trace)
+        mono_res = mono.run(trace)
+
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        sim.warm_caches(trace)
+        pos, clock = 0, 0
+        last_retire = 0
+        n = trace.n_instructions
+        while pos < n:
+            res = sim.run(trace.slice(pos, n), start_cycle=clock,
+                          stop_cycle=clock + 250, resume=pos > 0)
+            if res.instructions_executed == 0:
+                clock += 250
+                continue
+            pos += res.instructions_executed
+            clock = max(int(res.instructions.dispatch.max()), clock)
+            last_retire = int(res.instructions.retire.max())
+        # Boundary effects only: within a few percent of monolithic.
+        assert last_retire == pytest.approx(mono_res.instructions.retire.max(),
+                                            rel=0.05)
+
+    def test_resume_false_drains_pipeline(self, trace):
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        first = sim.run(trace.slice(0, 500))
+        fresh = sim.run(trace.slice(500, 1000),
+                        start_cycle=int(first.instructions.retire.max()))
+        # Without resume, dispatch restarts at/after the given start cycle.
+        assert fresh.instructions.dispatch.min() >= first.instructions.retire.max()
+
+    def test_resume_preserves_inflight_window_pressure(self):
+        # A tiny window (iw=2) with back-to-back misses: resuming keeps the
+        # in-flight ops, so the resumed chunk starts window-constrained.
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 22, 400) >> 6) << 6
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=0)
+        cfg = DEFAULT_MACHINE.with_knobs(iw_size=2, rob_size=256, mshr_count=16)
+        mono = HierarchySimulator(cfg, seed=0).run(tr).total_cycles
+
+        sim = HierarchySimulator(cfg, seed=0)
+        pos, clock, last = 0, 0, 0
+        n = tr.n_instructions
+        while pos < n:
+            res = sim.run(tr.slice(pos, n), start_cycle=clock,
+                          stop_cycle=clock + 200, resume=pos > 0)
+            if res.instructions_executed == 0:
+                clock += 200
+                continue
+            pos += res.instructions_executed
+            clock = max(int(res.instructions.dispatch.max()), clock)
+            last = int(res.instructions.retire.max())
+        assert last == pytest.approx(mono, rel=0.1)

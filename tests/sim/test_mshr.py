@@ -1,0 +1,159 @@
+"""Unit and property tests for the MSHR file with miss coalescing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.mshr import MSHRFile
+
+
+class TestPrimarySecondary:
+    def test_first_miss_is_primary(self):
+        m = MSHRFile(4)
+        res = m.present(block=1, arrival=0)
+        assert not res.is_secondary
+        assert res.grant_time == 0
+        m.complete_primary(1, fill_time=50)
+        assert m.primary_misses == 1
+
+    def test_same_block_coalesces(self):
+        m = MSHRFile(4)
+        res = m.present(1, 0)
+        m.complete_primary(1, 50)
+        res2 = m.present(1, 10)
+        assert res2.is_secondary
+        assert res2.fill_time == 50
+        assert m.secondary_misses == 1
+
+    def test_after_fill_new_primary(self):
+        m = MSHRFile(4)
+        m.present(1, 0)
+        m.complete_primary(1, 50)
+        res = m.present(1, 60)
+        assert not res.is_secondary
+        m.complete_primary(1, 120)
+        assert m.primary_misses == 2
+
+    def test_exactly_at_fill_time_is_new_primary(self):
+        # fill <= arrival means the data already arrived.
+        m = MSHRFile(4)
+        m.present(1, 0)
+        m.complete_primary(1, 50)
+        res = m.present(1, 50)
+        assert not res.is_secondary
+
+    def test_distinct_blocks_use_distinct_mshrs(self):
+        m = MSHRFile(4)
+        for b in range(3):
+            res = m.present(b, 0)
+            assert not res.is_secondary
+            m.complete_primary(b, 100)
+        assert m.outstanding_at(50) == 3
+
+
+class TestCapacityStall:
+    def test_full_file_delays_grant(self):
+        m = MSHRFile(2)
+        for b, fill in ((1, 30), (2, 40)):
+            m.present(b, 0)
+            m.complete_primary(b, fill)
+        res = m.present(3, 10)
+        assert not res.is_secondary
+        assert res.grant_time == 30  # earliest outstanding fill
+        m.complete_primary(3, 80)
+        assert m.full_stall_cycles == 20
+
+    def test_no_stall_when_slot_free_by_arrival(self):
+        m = MSHRFile(1)
+        m.present(1, 0)
+        m.complete_primary(1, 10)
+        res = m.present(2, 20)
+        assert res.grant_time == 20
+        assert m.full_stall_cycles == 0
+
+    def test_coalescing_ratio(self):
+        m = MSHRFile(4)
+        m.present(1, 0)
+        m.complete_primary(1, 100)
+        m.present(1, 1)
+        m.present(1, 2)
+        assert m.coalescing_ratio == pytest.approx(2 / 3)
+
+    def test_peak_occupancy(self):
+        m = MSHRFile(8)
+        for b in range(5):
+            m.present(b, 0)
+            m.complete_primary(b, 100)
+        assert m.peak_occupancy == 5
+
+    def test_reset(self):
+        m = MSHRFile(2)
+        m.present(1, 0)
+        m.complete_primary(1, 100)
+        m.reset()
+        assert m.outstanding_at(50) == 0
+        assert m.total_misses == 0
+
+    def test_over_capacity_complete_raises(self):
+        m = MSHRFile(1)
+        m.present(1, 0)
+        m.complete_primary(1, 100)
+        with pytest.raises(RuntimeError):
+            m.complete_primary(2, 100)  # no present() honoured for this
+
+
+@st.composite
+def miss_stream(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    events = []
+    arrival = 0
+    for _ in range(n):
+        arrival += draw(st.integers(min_value=0, max_value=10))
+        block = draw(st.integers(min_value=0, max_value=7))
+        latency = draw(st.integers(min_value=1, max_value=40))
+        events.append((arrival, block, latency))
+    return events
+
+
+class TestMSHRProperties:
+    @given(miss_stream(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, events, capacity):
+        m = MSHRFile(capacity)
+        holds = []
+        for arrival, block, latency in events:
+            res = m.present(block, arrival)
+            if not res.is_secondary:
+                fill = res.grant_time + latency
+                m.complete_primary(block, fill)
+                holds.append((res.grant_time, fill))
+        for g, _ in holds:
+            live = sum(1 for g2, f2 in holds if g2 <= g < f2)
+            assert live <= capacity
+
+    @given(miss_stream())
+    @settings(max_examples=60, deadline=None)
+    def test_secondary_fill_matches_outstanding_primary(self, events):
+        m = MSHRFile(8)
+        outstanding = {}
+        for arrival, block, latency in events:
+            res = m.present(block, arrival)
+            if res.is_secondary:
+                fill = outstanding[block]
+                assert res.fill_time == fill
+                assert fill > arrival
+            else:
+                fill = res.grant_time + latency
+                m.complete_primary(block, fill)
+                outstanding[block] = fill
+
+    @given(miss_stream())
+    @settings(max_examples=60, deadline=None)
+    def test_miss_accounting_sums(self, events):
+        m = MSHRFile(4)
+        for arrival, block, latency in events:
+            res = m.present(block, arrival)
+            if not res.is_secondary:
+                m.complete_primary(block, res.grant_time + latency)
+        assert m.total_misses == len(events)
+        assert m.primary_misses + m.secondary_misses == len(events)

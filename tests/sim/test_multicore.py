@@ -1,0 +1,127 @@
+"""Tests for timed multicore co-execution with a shared L2/DRAM."""
+
+import pytest
+
+from repro.sched import NUCAMachine
+from repro.sim import simulate_and_measure
+from repro.sim.multicore import MulticoreSimulator
+from repro.workloads.spec import get_benchmark
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return NUCAMachine()
+
+
+@pytest.fixture(scope="module")
+def core_cfg(machine):
+    return machine.config_for_l1(32 * KB)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MulticoreSimulator([])
+
+    def test_rejects_mismatched_shared_config(self, core_cfg):
+        from dataclasses import replace
+
+        other = core_cfg.with_(l2=replace(core_cfg.l2, size_bytes=512 * KB))
+        with pytest.raises(ValueError):
+            MulticoreSimulator([core_cfg, other])
+
+    def test_heterogeneous_l1_allowed(self, machine):
+        cfgs = [machine.config_for_l1(s) for s in (4 * KB, 64 * KB)]
+        MulticoreSimulator(cfgs)
+
+    def test_shared_backend_objects(self, core_cfg):
+        sim = MulticoreSimulator([core_cfg] * 3)
+        assert sim.cores[1].l2_cache is sim.cores[0].l2_cache
+        assert sim.cores[2].dram is sim.cores[0].dram
+        assert sim.cores[1].l2_mshrs is sim.cores[0].l2_mshrs
+        assert not sim.cores[0].l2_mshrs.in_order
+
+    def test_run_requires_one_trace_per_core(self, core_cfg):
+        sim = MulticoreSimulator([core_cfg] * 2)
+        with pytest.raises(ValueError):
+            sim.run([get_benchmark("401.bzip2").trace(100, seed=1)])
+
+
+class TestSingleCoreEquivalence:
+    def test_one_core_matches_solo_exactly(self, core_cfg):
+        """The window machinery must be lossless for a lone core."""
+        trace = get_benchmark("401.bzip2").trace(6000, seed=3)
+        _, solo = simulate_and_measure(core_cfg, trace, seed=0)
+        sim = MulticoreSimulator([core_cfg], quantum=250, seed=0)
+        sim.warm_caches([trace])
+        res = sim.run([trace])
+        assert res.ipcs()[0] == pytest.approx(solo.ipc, rel=1e-6)
+
+    def test_quantum_invariance_for_one_core(self, core_cfg):
+        trace = get_benchmark("403.gcc").trace(4000, seed=3)
+        ipcs = []
+        for quantum in (100, 1000, 10_000):
+            sim = MulticoreSimulator([core_cfg], quantum=quantum, seed=0)
+            sim.warm_caches([trace])
+            ipcs.append(sim.run([trace]).ipcs()[0])
+        assert max(ipcs) - min(ipcs) < 1e-9
+
+
+class TestContention:
+    def test_corunners_never_speed_up(self, core_cfg):
+        traces = [get_benchmark("401.bzip2").trace(5000, seed=s) for s in (3, 4)]
+        _, solo = simulate_and_measure(core_cfg, traces[0], seed=0)
+        sim = MulticoreSimulator([core_cfg] * 2, seed=0)
+        sim.warm_caches(traces)
+        res = sim.run(traces)
+        assert res.ipcs()[0] <= solo.ipc * 1.02
+
+    def test_homogeneous_corun_is_fair(self, core_cfg):
+        traces = [get_benchmark("401.bzip2").trace(6000, seed=s) for s in (3, 4, 5, 6)]
+        sim = MulticoreSimulator([core_cfg] * 4, seed=0)
+        sim.warm_caches(traces)
+        ipcs = sim.run(traces).ipcs()
+        assert max(ipcs) / min(ipcs) < 1.15
+
+    def test_bandwidth_hogs_hurt_corunners(self, core_cfg):
+        victim = get_benchmark("403.gcc").trace(5000, seed=3)
+        light = get_benchmark("401.bzip2").trace(5000, seed=4)
+        heavy = get_benchmark("433.milc").trace(5000, seed=5)
+
+        sim_light = MulticoreSimulator([core_cfg] * 2, seed=0)
+        sim_light.warm_caches([victim, light])
+        with_light = sim_light.run([victim, light]).ipcs()[0]
+
+        sim_heavy = MulticoreSimulator([core_cfg] * 2, seed=0)
+        sim_heavy.warm_caches([victim, heavy])
+        with_heavy = sim_heavy.run([victim, heavy]).ipcs()[0]
+        assert with_heavy < with_light
+
+    def test_all_instructions_accounted(self, core_cfg):
+        traces = [get_benchmark(n).trace(3000, seed=3)
+                  for n in ("401.bzip2", "429.mcf")]
+        sim = MulticoreSimulator([core_cfg] * 2, seed=0)
+        res = sim.run(traces)
+        for trace, result in zip(traces, res.core_results):
+            assert result.instructions.n_instructions == trace.n_instructions
+
+    def test_per_core_stats_are_analyzable(self, core_cfg):
+        traces = [get_benchmark(n).trace(3000, seed=3)
+                  for n in ("403.gcc", "433.milc")]
+        sim = MulticoreSimulator([core_cfg] * 2, seed=0)
+        sim.warm_caches(traces)
+        res = sim.run(traces)
+        for st in res.core_stats:
+            assert st.l1.camat_model == pytest.approx(st.l1.camat)
+            assert st.cpi > 0
+
+    def test_total_cycles_covers_slowest_core(self, core_cfg):
+        traces = [get_benchmark(n).trace(3000, seed=3)
+                  for n in ("401.bzip2", "429.mcf")]
+        sim = MulticoreSimulator([core_cfg] * 2, seed=0)
+        res = sim.run(traces)
+        assert res.total_cycles() >= max(
+            int(r.instructions.retire.max()) for r in res.core_results
+        )

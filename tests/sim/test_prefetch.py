@@ -1,0 +1,171 @@
+"""Tests for the stride prefetcher and its engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator, simulate_and_measure
+from repro.sim.prefetch import PrefetchConfig, StridePrefetcher
+from repro.workloads.spec import get_benchmark
+from repro.workloads.trace import Trace
+
+
+class TestPrefetchConfig:
+    def test_defaults_valid(self):
+        PrefetchConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(degree=0)
+        with pytest.raises(ValueError):
+            PrefetchConfig(distance=0)
+        with pytest.raises(ValueError):
+            PrefetchConfig(region_bytes=3000)
+        with pytest.raises(ValueError):
+            PrefetchConfig(max_outstanding=0)
+
+
+class TestStridePrefetcher:
+    def _pf(self, **kw):
+        return StridePrefetcher(PrefetchConfig(**kw), line_bytes=64)
+
+    def test_needs_confirmation_before_issuing(self):
+        # confirm_after=2: allocate, stride candidate (conf 1), second
+        # matching stride reaches conf 2 and starts issuing.
+        pf = self._pf(confirm_after=2)
+        assert pf.observe(0) == []        # first touch: allocate entry
+        assert pf.observe(64) == []       # stride candidate (conf 1)
+        assert pf.observe(128) != []      # confirmed: trained, issues
+        # A higher threshold delays training by one more access.
+        strict = self._pf(confirm_after=3)
+        assert strict.observe(0) == []
+        assert strict.observe(64) == []
+        assert strict.observe(128) == []
+        assert strict.observe(192) != []
+
+    def test_predicts_ahead_along_stride(self):
+        pf = self._pf(degree=2, distance=1, confirm_after=1)
+        pf.observe(0)
+        pf.observe(64)
+        out = pf.observe(128)
+        # block 2 observed; distance 1 -> blocks 3 and 4.
+        assert out == [3, 4]
+
+    def test_negative_stride_supported(self):
+        pf = self._pf(degree=1, distance=1, confirm_after=1)
+        pf.observe(640)
+        pf.observe(576)
+        out = pf.observe(512)
+        assert out == [7]  # block 8 - stride 1 => 7
+
+    def test_stride_change_retrains(self):
+        pf = self._pf(degree=1, distance=1, confirm_after=1)
+        pf.observe(0)
+        pf.observe(64)
+        assert pf.observe(128) != []
+        assert pf.observe(128 + 256) == []  # stride changed: retrain
+
+    def test_random_accesses_issue_nothing(self):
+        pf = self._pf(confirm_after=2)
+        rng = np.random.default_rng(0)
+        issued = []
+        for a in rng.integers(0, 1 << 20, 300):
+            issued += pf.observe(int(a) & ~63)
+        assert len(issued) < 10
+
+    def test_table_eviction_bounds_state(self):
+        pf = self._pf(table_size=4)
+        for region in range(20):
+            pf.observe(region * 4096)
+        assert len(pf._table) <= 4
+
+    def test_zero_stride_ignored(self):
+        pf = self._pf(confirm_after=1)
+        pf.observe(0)
+        assert pf.observe(0) == []
+        assert pf.observe(8) == []  # same block: stride 0 in lines
+
+    def test_reset(self):
+        pf = self._pf(confirm_after=1)
+        pf.observe(0)
+        pf.issued = 5
+        pf.reset()
+        assert pf.issued == 0
+        assert pf._table == {}
+        assert pf.accuracy == 0.0
+
+
+class TestEngineIntegration:
+    def _machine(self, **pf_kw):
+        cfg = DEFAULT_MACHINE.with_knobs(mshr_count=8, l1_ports=1,
+                                         iw_size=32, rob_size=32)
+        if pf_kw is not None:
+            cfg = cfg.with_(prefetch=PrefetchConfig(**pf_kw))
+        return cfg
+
+    def test_rejects_wrong_prefetch_type(self):
+        with pytest.raises(TypeError):
+            HierarchySimulator(DEFAULT_MACHINE.with_(prefetch="stride"))
+
+    def test_streaming_workload_benefits(self):
+        tr = get_benchmark("433.milc").trace(24000, seed=7)
+        base = DEFAULT_MACHINE.with_knobs(mshr_count=8, l1_ports=1,
+                                          iw_size=32, rob_size=32)
+        _, off = simulate_and_measure(base, tr, seed=0)
+        _, on = simulate_and_measure(
+            base.with_(prefetch=PrefetchConfig(degree=4, distance=2)), tr, seed=0
+        )
+        assert on.cpi < 0.85 * off.cpi
+        assert on.l1.pure_miss_rate < 0.3 * off.l1.pure_miss_rate
+
+    def test_stats_reported(self):
+        tr = get_benchmark("433.milc").trace(6000, seed=7)
+        cfg = DEFAULT_MACHINE.with_(prefetch=PrefetchConfig())
+        sim = HierarchySimulator(cfg, seed=0)
+        sim.warm_caches(tr)
+        res = sim.run(tr)
+        assert res.component_stats["prefetches_issued"] > 0
+        assert 0.0 <= res.component_stats["prefetch_accuracy"] <= 1.0
+
+    def test_no_prefetch_stats_without_prefetcher(self):
+        tr = get_benchmark("433.milc").trace(2000, seed=7)
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        res = sim.run(tr)
+        assert "prefetches_issued" not in res.component_stats
+
+    def test_random_workload_unhurt(self):
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 1 << 23, 6000) >> 6) << 6
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=2, name="rnd")
+        base = DEFAULT_MACHINE.with_knobs(mshr_count=8, iw_size=64, rob_size=64)
+        _, off = simulate_and_measure(base, tr, seed=0)
+        _, on = simulate_and_measure(base.with_(prefetch=PrefetchConfig()), tr, seed=0)
+        # Random traffic trains almost nothing: performance within 5%.
+        assert on.cpi == pytest.approx(off.cpi, rel=0.05)
+
+    def test_outstanding_budget_respected(self):
+        tr = get_benchmark("462.libquantum").trace(8000, seed=7)
+        cfg = DEFAULT_MACHINE.with_(
+            prefetch=PrefetchConfig(degree=8, distance=1, max_outstanding=2)
+        )
+        sim = HierarchySimulator(cfg, seed=0)
+        res = sim.run(tr)
+        # With budget 2 and degree 8 the issue count stays well below the
+        # unconstrained candidate volume.
+        unconstrained = HierarchySimulator(
+            DEFAULT_MACHINE.with_(
+                prefetch=PrefetchConfig(degree=8, distance=1, max_outstanding=64)
+            ),
+            seed=0,
+        ).run(tr)
+        assert (
+            res.component_stats["prefetches_issued"]
+            < unconstrained.component_stats["prefetches_issued"]
+        )
+
+    def test_determinism_with_prefetcher(self):
+        tr = get_benchmark("433.milc").trace(4000, seed=7)
+        cfg = DEFAULT_MACHINE.with_(prefetch=PrefetchConfig())
+        a = HierarchySimulator(cfg, seed=0).run(tr)
+        b = HierarchySimulator(cfg, seed=0).run(tr)
+        assert a.total_cycles == b.total_cycles
+        assert a.component_stats == b.component_stats

@@ -1,0 +1,132 @@
+"""Unit tests for the record containers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.records import AccessRecords, InstructionRecords
+
+
+def _ints(*vals):
+    return np.asarray(vals, dtype=np.int64)
+
+
+def _bools(*vals):
+    return np.asarray(vals, dtype=bool)
+
+
+def minimal_records(**overrides):
+    base = dict(
+        l1_hit_start=_ints(0, 5), l1_hit_end=_ints(3, 8),
+        l1_miss_start=_ints(3, 0), l1_miss_end=_ints(20, 0),
+        l1_is_miss=_bools(True, False), l1_is_secondary=_bools(False, False),
+        complete=_ints(20, 8), l2_index=_ints(0, -1),
+        l2_hit_start=_ints(6), l2_hit_end=_ints(14),
+        l2_miss_start=_ints(14), l2_miss_end=_ints(18),
+        l2_is_miss=_bools(True), l2_is_secondary=_bools(False),
+        mem_index=_ints(0),
+        mem_start=_ints(15), mem_end=_ints(17),
+    )
+    base.update(overrides)
+    return AccessRecords(**base)
+
+
+class TestAccessRecords:
+    def test_counts(self):
+        r = minimal_records()
+        assert r.n_accesses == 2
+        assert r.n_l2_accesses == 1
+        assert r.n_mem_accesses == 1
+        assert r.l1_miss_count == 1
+        assert r.l1_miss_rate == pytest.approx(0.5)
+        assert r.l2_per_l1_access == pytest.approx(0.5)
+        assert r.l2_miss_rate == pytest.approx(1.0)
+        assert r.mem_per_l2_access == pytest.approx(1.0)
+
+    def test_no_l3_by_default(self):
+        r = minimal_records()
+        assert not r.has_l3
+        assert r.n_l3_accesses == 0
+        assert r.l3_miss_rate == 0.0
+        assert r.mem_per_l3_access == 0.0
+
+    def test_l3_fields(self):
+        r = minimal_records(
+            l3_index=_ints(0),
+            l3_hit_start=_ints(16), l3_hit_end=_ints(20),
+            l3_miss_start=_ints(20), l3_miss_end=_ints(40),
+            l3_is_miss=_bools(True), l3_is_secondary=_bools(False),
+            l3_mem_index=_ints(0),
+        )
+        assert r.has_l3
+        assert r.n_l3_accesses == 1
+        assert r.l3_per_l2_access == pytest.approx(1.0)
+        assert r.l3_miss_rate == pytest.approx(1.0)
+        assert r.mem_per_l3_access == pytest.approx(1.0)
+        # Memory traffic hangs off L3; the L2->memory ratio is defined as 0.
+        assert r.mem_per_l2_access == 0.0
+
+    def test_rejects_ragged_l1_columns(self):
+        with pytest.raises(ValueError):
+            minimal_records(l1_hit_end=_ints(3))
+
+    def test_rejects_ragged_l2_columns(self):
+        with pytest.raises(ValueError):
+            minimal_records(l2_hit_end=_ints(14, 20))
+
+    def test_rejects_ragged_mem_columns(self):
+        with pytest.raises(ValueError):
+            minimal_records(mem_end=_ints(17, 30))
+
+    def test_rejects_bad_l3_index_length(self):
+        with pytest.raises(ValueError):
+            minimal_records(l3_index=_ints(0, 1))
+
+    def test_rejects_ragged_l3_columns(self):
+        with pytest.raises(ValueError):
+            minimal_records(
+                l3_index=_ints(0),
+                l3_hit_start=_ints(16), l3_hit_end=_ints(20, 25),
+                l3_miss_start=_ints(20), l3_miss_end=_ints(40),
+                l3_is_miss=_bools(True), l3_is_secondary=_bools(False),
+                l3_mem_index=_ints(0),
+            )
+
+    def test_empty_records(self):
+        empty = AccessRecords(
+            l1_hit_start=_ints(), l1_hit_end=_ints(),
+            l1_miss_start=_ints(), l1_miss_end=_ints(),
+            l1_is_miss=_bools(), l1_is_secondary=_bools(),
+            complete=_ints(), l2_index=_ints(),
+            l2_hit_start=_ints(), l2_hit_end=_ints(),
+            l2_miss_start=_ints(), l2_miss_end=_ints(),
+            l2_is_miss=_bools(), l2_is_secondary=_bools(),
+            mem_index=_ints(), mem_start=_ints(), mem_end=_ints(),
+        )
+        assert empty.n_accesses == 0
+        assert empty.l1_miss_rate == 0.0
+        assert empty.l2_per_l1_access == 0.0
+
+
+class TestInstructionRecords:
+    def test_totals(self):
+        r = InstructionRecords(
+            dispatch=_ints(0, 1, 2), complete=_ints(1, 2, 5),
+            retire=_ints(1, 2, 5), is_mem=_bools(False, False, True),
+        )
+        assert r.n_instructions == 3
+        assert r.total_cycles == 5
+        assert r.cpi == pytest.approx(5 / 3)
+
+    def test_empty(self):
+        r = InstructionRecords(
+            dispatch=_ints(), complete=_ints(), retire=_ints(), is_mem=_bools()
+        )
+        assert r.total_cycles == 0
+        assert r.cpi == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            InstructionRecords(
+                dispatch=_ints(0, 1), complete=_ints(1),
+                retire=_ints(1), is_mem=_bools(True),
+            )

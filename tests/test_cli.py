@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.benchmark == "410.bwaves"
+        assert args.config == "A"
+
+    def test_walk_options(self):
+        args = build_parser().parse_args(
+            ["walk", "--delta", "99", "--no-trim"]
+        )
+        assert args.delta == 99.0
+        assert args.no_trim
+
+
+class TestCommands:
+    def test_benchmarks_lists_profiles(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "429.mcf" in out
+        assert "433.milc" in out
+
+    def test_simulate_prints_layers_and_report(self, capsys):
+        rc = main(["simulate", "--benchmark", "bzip2", "--config", "B",
+                   "--accesses", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[L1]" in out
+        assert "LPMR1" in out
+        assert "C-AMAT" in out
+
+    def test_simulate_default_machine(self, capsys):
+        rc = main(["simulate", "--benchmark", "bzip2", "--config", "default",
+                   "--accesses", "1000"])
+        assert rc == 0
+        assert "default" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_config(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--config", "Z", "--accesses", "1000"])
+
+    def test_walk_prints_case_table(self, capsys):
+        rc = main(["walk", "--accesses", "6000", "--delta", "150"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Case" in out
+        assert "simulations spent" in out
+
+    def test_sweep_prints_sizes(self, capsys):
+        rc = main(["sweep", "--benchmark", "bzip2", "--accesses", "3000",
+                   "--sizes", "4,64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L1-4KB" in out and "L1-64KB" in out
+        assert "APC1" in out
+
+    def test_diagnose_prints_findings(self, capsys):
+        rc = main(["diagnose", "--benchmark", "mcf", "--config", "A",
+                   "--accesses", "4000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended techniques" in out
+        assert "C-AMAT1" in out

@@ -1,0 +1,117 @@
+"""Unit tests for the validation and RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, make_rng, spawn
+from repro.util.validation import (
+    check_at_least,
+    check_fraction,
+    check_int,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability_vector,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestNumericChecks:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+        assert check_positive("x", float("inf"), allow_inf=True) == float("inf")
+
+    def test_check_positive_rejects_nan_and_strings(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+        with pytest.raises(TypeError):
+            check_positive("x", True)  # bools are not numbers here
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.0, inclusive_high=False)
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.01)
+        with pytest.raises(ValueError):
+            check_fraction("x", -0.01)
+
+    def test_check_at_least(self):
+        assert check_at_least("x", 2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            check_at_least("x", 0.5, 1.0)
+        with pytest.raises(ValueError):
+            check_at_least("x", float("inf"), 1.0)
+
+    def test_check_int(self):
+        assert check_int("x", 5) == 5
+        with pytest.raises(TypeError):
+            check_int("x", 5.0)
+        with pytest.raises(TypeError):
+            check_int("x", True)
+        with pytest.raises(ValueError):
+            check_int("x", 0, minimum=1)
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two("x", 1) == 1
+        assert check_power_of_two("x", 64) == 64
+        for bad in (0, 3, 12, -4):
+            with pytest.raises((ValueError, TypeError)):
+                check_power_of_two("x", bad)
+
+    def test_check_probability_vector(self):
+        assert check_probability_vector("p", [0.25, 0.75]) == [0.25, 0.75]
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [0.5, 0.6])
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [])
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [-0.5, 1.5])
+        with pytest.raises(TypeError):
+            check_probability_vector("p", 7)
+
+
+class TestRng:
+    def test_make_rng_from_seed(self):
+        a = make_rng(3)
+        b = make_rng(3)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_make_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_sensitive_to_labels(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_spawn_independent_streams(self):
+        a = spawn(1, "x")
+        b = spawn(1, "y")
+        assert a.integers(1 << 30) != b.integers(1 << 30)

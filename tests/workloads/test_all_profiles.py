@@ -1,0 +1,52 @@
+"""Every benchmark profile runs clean through the whole stack.
+
+Parametrized over all 20 profiles: trace generation, simulation on the
+default machine, analyzer measurement, and the basic measurement contracts
+(no NaNs, concurrencies >= 1, f_mem near the declared value).
+"""
+
+import math
+
+import pytest
+
+from repro.sim import DEFAULT_MACHINE, simulate_and_measure
+from repro.workloads.spec import BENCHMARKS, get_benchmark
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_profile_full_stack(name):
+    profile = get_benchmark(name)
+    trace = profile.trace(3000, seed=4)
+    assert trace.n_mem == 3000
+    assert trace.f_mem == pytest.approx(profile.f_mem, rel=0.25)
+
+    _, stats = simulate_and_measure(DEFAULT_MACHINE, trace, seed=0)
+    assert stats.cpi > 0
+    assert stats.cpi_exe > 0
+    assert stats.cpi >= stats.cpi_exe - 1e-9
+    assert 0.0 <= stats.overlap_ratio_cm < 1.0
+
+    for layer_name in ("l1", "l2"):
+        layer = getattr(stats, layer_name)
+        if layer.accesses == 0:
+            continue
+        assert layer.hit_concurrency >= 1.0
+        assert layer.pure_miss_concurrency >= 1.0
+        assert 0.0 <= layer.miss_rate <= 1.0
+        assert layer.pure_miss_rate <= layer.miss_rate + 1e-12
+        assert not math.isnan(layer.camat)
+        assert layer.camat_model == pytest.approx(layer.camat)
+
+    report = stats.lpmr_report()
+    assert report.lpmr1 >= 0
+    assert not math.isnan(report.predicted_stall_per_instruction())
+    thresholds = report.thresholds(100.0)
+    assert thresholds.t1 > 0
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_profile_deterministic(name):
+    a = get_benchmark(name).trace(500, seed=11)
+    b = get_benchmark(name).trace(500, seed=11)
+    assert (a.address == b.address).all()
+    assert (a.is_mem == b.is_mem).all()

@@ -1,0 +1,219 @@
+"""Unit and property tests for the synthetic address-stream kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    KernelSpec,
+    mixture_addresses,
+    pointer_chase_addresses,
+    strided_addresses,
+    working_set_addresses,
+    zipf_addresses,
+)
+
+KB = 1024
+
+
+class TestStrided:
+    def test_sequence(self):
+        a = strided_addresses(4, footprint_bytes=1024, stride_bytes=8)
+        np.testing.assert_array_equal(a, [0, 8, 16, 24])
+
+    def test_wraps_at_footprint(self):
+        a = strided_addresses(5, footprint_bytes=32, stride_bytes=8)
+        np.testing.assert_array_equal(a, [0, 8, 16, 24, 0])
+
+    def test_base_offset(self):
+        a = strided_addresses(2, footprint_bytes=1024, stride_bytes=8, base=1 << 20)
+        assert a[0] == 1 << 20
+
+    def test_start_offset(self):
+        a = strided_addresses(2, footprint_bytes=1024, stride_bytes=8, start_offset=16)
+        np.testing.assert_array_equal(a, [16, 24])
+
+    def test_zero_length(self):
+        assert strided_addresses(0, footprint_bytes=64).size == 0
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            strided_addresses(4, footprint_bytes=64, stride_bytes=0)
+
+
+class TestWorkingSet:
+    def test_stays_within_footprint(self):
+        a = working_set_addresses(1000, footprint_bytes=4 * KB, seed=0)
+        assert a.min() >= 0
+        assert a.max() < 4 * KB
+
+    def test_covers_footprint(self):
+        a = working_set_addresses(5000, footprint_bytes=4 * KB, seed=0)
+        lines = np.unique(a >> 6)
+        assert lines.size > 48  # most of the 64 lines touched
+
+    def test_deterministic(self):
+        a = working_set_addresses(100, footprint_bytes=4 * KB, seed=5)
+        b = working_set_addresses(100, footprint_bytes=4 * KB, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_word_aligned(self):
+        a = working_set_addresses(100, footprint_bytes=4 * KB, seed=0)
+        assert np.all(a % 8 == 0)
+
+
+class TestZipf:
+    def test_stays_within_footprint(self):
+        a = zipf_addresses(1000, footprint_bytes=64 * KB, alpha=1.2, seed=0)
+        assert a.max() < 64 * KB
+
+    def test_skew_concentrates_mass(self):
+        a = zipf_addresses(20000, footprint_bytes=64 * KB, alpha=1.5, seed=0)
+        lines, counts = np.unique(a >> 6, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top10_share = counts[:10].sum() / counts.sum()
+        assert top10_share > 0.35
+
+    def test_lower_alpha_less_skewed(self):
+        def share(alpha):
+            a = zipf_addresses(20000, footprint_bytes=64 * KB, alpha=alpha, seed=0)
+            _, counts = np.unique(a >> 6, return_counts=True)
+            counts = np.sort(counts)[::-1]
+            return counts[:10].sum() / counts.sum()
+
+        assert share(0.6) < share(1.8)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            zipf_addresses(10, footprint_bytes=KB, alpha=0.0)
+
+
+class TestPointerChase:
+    def test_visits_every_line_once_per_lap(self):
+        n_lines = 32
+        a = pointer_chase_addresses(n_lines, footprint_bytes=n_lines * 64, seed=0)
+        lines = a >> 6
+        assert sorted(lines.tolist()) == list(range(n_lines))
+
+    def test_scattered_order(self):
+        a = pointer_chase_addresses(64, footprint_bytes=64 * 64, seed=0)
+        diffs = np.abs(np.diff(a >> 6))
+        assert diffs.mean() > 4  # not a sequential sweep
+
+    def test_deterministic(self):
+        a = pointer_chase_addresses(50, footprint_bytes=4 * KB, seed=3)
+        b = pointer_chase_addresses(50, footprint_bytes=4 * KB, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKernelSpec:
+    def test_chase_is_dependent_by_default(self):
+        assert KernelSpec("chase", 0.5, KB).is_dependent
+        assert not KernelSpec("strided", 0.5, KB).is_dependent
+
+    def test_dependent_override(self):
+        assert KernelSpec("strided", 0.5, KB, dependent=True).is_dependent
+        assert not KernelSpec("chase", 0.5, KB, dependent=False).is_dependent
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            KernelSpec("belady", 0.5, KB)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            KernelSpec("strided", 1.5, KB)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValueError):
+            KernelSpec("strided", 0.5, KB, burst_length=0)
+
+
+class TestMixture:
+    def test_weights_respected(self):
+        kernels = [
+            KernelSpec("strided", 0.8, 64 * KB, stride_bytes=8),
+            KernelSpec("working_set", 0.2, 4 * KB),
+        ]
+        mix = mixture_addresses(20000, kernels, seed=0)
+        frac0 = (mix.component == 0).mean()
+        assert 0.77 < frac0 < 0.83
+
+    def test_regions_disjoint(self):
+        kernels = [
+            KernelSpec("working_set", 0.5, 4 * KB),
+            KernelSpec("working_set", 0.5, 4 * KB),
+        ]
+        mix = mixture_addresses(5000, kernels, seed=0)
+        a0 = mix.addresses[mix.component == 0]
+        a1 = mix.addresses[mix.component == 1]
+        assert a0.max() < a1.min()
+
+    def test_chase_marks_depends(self):
+        kernels = [
+            KernelSpec("chase", 0.5, 64 * KB),
+            KernelSpec("strided", 0.5, 64 * KB),
+        ]
+        mix = mixture_addresses(2000, kernels, seed=0)
+        np.testing.assert_array_equal(mix.depends, mix.component == 0)
+
+    def test_strided_component_stays_sequential(self):
+        kernels = [
+            KernelSpec("strided", 0.5, 1 << 20, stride_bytes=8),
+            KernelSpec("working_set", 0.5, 4 * KB),
+        ]
+        mix = mixture_addresses(2000, kernels, seed=0)
+        stream = mix.addresses[mix.component == 0]
+        np.testing.assert_array_equal(np.diff(stream), 8)
+
+    def test_burst_lengths(self):
+        kernels = [
+            KernelSpec("working_set", 0.5, 4 * KB, burst_length=8),
+            KernelSpec("working_set", 0.5, 4 * KB),
+        ]
+        mix = mixture_addresses(4000, kernels, seed=0)
+        # Runs of component 0 should mostly be full 8-bursts.
+        comp = mix.component
+        runs = []
+        cur = None
+        length = 0
+        for c in comp:
+            if c == cur:
+                length += 1
+            else:
+                if cur == 0:
+                    runs.append(length)
+                cur, length = c, 1
+        if cur == 0:
+            runs.append(length)
+        full = [r for r in runs if r % 8 == 0]
+        assert len(full) >= 0.8 * len(runs)
+
+    def test_per_access_weight_preserved_with_bursts(self):
+        kernels = [
+            KernelSpec("working_set", 0.3, 4 * KB, burst_length=10),
+            KernelSpec("working_set", 0.7, 4 * KB),
+        ]
+        mix = mixture_addresses(50000, kernels, seed=0)
+        frac0 = (mix.component == 0).mean()
+        assert 0.25 < frac0 < 0.35
+
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(ValueError):
+            mixture_addresses(10, [])
+
+    def test_zero_weight_sum_rejected(self):
+        with pytest.raises(ValueError):
+            mixture_addresses(10, [KernelSpec("strided", 0.0, KB)])
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_output_length_matches_n(self, n, seed):
+        kernels = [
+            KernelSpec("strided", 0.4, 8 * KB, stride_bytes=8, burst_length=3),
+            KernelSpec("zipf", 0.6, 8 * KB),
+        ]
+        mix = mixture_addresses(n, kernels, seed=seed)
+        assert mix.addresses.shape[0] == n
+        assert mix.depends.shape[0] == n
+        assert mix.component.shape[0] == n

@@ -1,0 +1,95 @@
+"""Tests for the machine-characterization probes.
+
+These double as end-to-end timing pins for the simulator: the probes must
+recover the configured latencies and bandwidths from behaviour alone.
+"""
+
+import pytest
+
+from repro.sim import DEFAULT_MACHINE, table1_config
+from repro.workloads.micro import (
+    bandwidth_probe,
+    characterize,
+    latency_probe,
+    mlp_probe,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def machine():
+    # Strong configuration so core resources never mask memory behaviour.
+    return table1_config("D")
+
+
+class TestLatencyProbe:
+    def test_l1_resident_equals_hit_time(self, machine):
+        lat = latency_probe(machine, 8 * KB)
+        assert lat == pytest.approx(machine.l1_hit_time, abs=0.2)
+
+    def test_l2_resident_is_l2_round_trip(self, machine):
+        lat = latency_probe(machine, 64 * KB)
+        expected = (machine.l1_hit_time + machine.l1_to_l2_delay
+                    + machine.l2_hit_time + machine.l1_to_l2_delay)
+        assert lat == pytest.approx(expected, abs=1.0)
+
+    def test_dram_resident_is_slowest(self, machine):
+        l1 = latency_probe(machine, 8 * KB)
+        l2 = latency_probe(machine, 64 * KB)
+        mem = latency_probe(machine, 4 * MB)
+        assert l1 < l2 < mem
+        assert mem > 30  # DRAM round trip on the default timing
+
+    def test_monotone_in_footprint(self, machine):
+        # Monotone up to DRAM row-buffer noise (~2%) between huge footprints.
+        lats = [latency_probe(machine, fp) for fp in (8 * KB, 64 * KB, 1 * MB, 8 * MB)]
+        assert all(b >= 0.97 * a for a, b in zip(lats, lats[1:]))
+
+
+class TestBandwidthProbe:
+    def test_l1_bandwidth_matches_ports(self, machine):
+        # 4 non-pipelined ports, 3-cycle hit time -> 4/3 accesses/cycle.
+        bw = bandwidth_probe(machine, 8 * KB)
+        assert bw == pytest.approx(machine.l1_ports / machine.l1_hit_time, rel=0.1)
+
+    def test_l2_bandwidth_matches_banks(self, machine):
+        # 8 non-pipelined banks, 8-cycle service -> 1 line/cycle ceiling.
+        bw = bandwidth_probe(machine, 64 * KB)
+        ceiling = machine.l2_banks / machine.l2_hit_time
+        assert bw == pytest.approx(ceiling, rel=0.15)
+
+    def test_bandwidth_falls_down_the_hierarchy(self, machine):
+        bws = [bandwidth_probe(machine, fp) for fp in (8 * KB, 64 * KB, 4 * MB)]
+        assert bws[0] > bws[1] > bws[2]
+
+    def test_more_ports_more_l1_bandwidth(self):
+        narrow = table1_config("A")
+        wide = table1_config("D")
+        assert bandwidth_probe(wide, 8 * KB) > 2 * bandwidth_probe(narrow, 8 * KB)
+
+
+class TestMlpProbe:
+    def test_bounded_by_mshrs(self):
+        cfg = DEFAULT_MACHINE.with_knobs(mshr_count=4, iw_size=256, rob_size=256)
+        assert mlp_probe(cfg) <= 4
+
+    def test_grows_with_mshrs(self):
+        small = DEFAULT_MACHINE.with_knobs(mshr_count=2, iw_size=256, rob_size=256)
+        big = DEFAULT_MACHINE.with_knobs(mshr_count=16, iw_size=256, rob_size=256)
+        assert mlp_probe(big) > mlp_probe(small)
+
+    def test_window_can_be_the_binding_limit(self):
+        tight = DEFAULT_MACHINE.with_knobs(mshr_count=32, iw_size=2, rob_size=256)
+        assert mlp_probe(tight) <= 3
+
+
+class TestCharacterize:
+    def test_profile_summary(self, machine):
+        profile = characterize(machine, footprints=(8 * KB, 4 * MB))
+        assert profile.config_name == machine.name
+        assert set(profile.latency_cycles) == {8 * KB, 4 * MB}
+        rows = profile.as_rows()
+        assert len(rows) == 2 * 2 + 1
+        assert all(v > 0 for _, v in rows)

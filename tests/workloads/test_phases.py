@@ -1,0 +1,109 @@
+"""Tests for burst phases and the measurement-interval study (E7)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.phases import (
+    Burst,
+    IntervalDetector,
+    bursty_trace,
+    detection_rate,
+    generate_bursts,
+)
+
+
+class TestBurstGeneration:
+    def test_bursts_are_ordered_and_disjoint(self):
+        bursts = generate_bursts(200, seed=1)
+        for a, b in zip(bursts, bursts[1:]):
+            assert b.start >= a.end
+
+    def test_deterministic(self):
+        a = generate_bursts(50, seed=3)
+        b = generate_bursts(50, seed=3)
+        assert a == b
+
+    def test_positive_durations(self):
+        for burst in generate_bursts(200, seed=1):
+            assert burst.duration >= 1
+
+    def test_rejects_zero_bursts(self):
+        with pytest.raises(ValueError):
+            generate_bursts(0)
+
+
+class TestIntervalDetector:
+    def test_long_burst_always_caught(self):
+        det = IntervalDetector(interval=10, reaction_cost=4)
+        assert det.processes_timely(Burst(start=3, duration=1000))
+
+    def test_short_burst_missed(self):
+        det = IntervalDetector(interval=10, reaction_cost=4)
+        assert not det.processes_timely(Burst(start=3, duration=5))
+
+    def test_perceive_vs_timely(self):
+        # Burst fits one interval but not the reaction cost.
+        det = IntervalDetector(interval=10, reaction_cost=8)
+        burst = Burst(start=0, duration=15)
+        assert det.perceives(burst)
+        assert not det.processes_timely(burst)
+
+    def test_boundary_alignment_matters(self):
+        det = IntervalDetector(interval=10, reaction_cost=0)
+        # A 12-cycle burst starting right at a boundary is caught...
+        assert det.processes_timely(Burst(start=10, duration=12))
+        # ...but starting mid-interval it is not (next boundary at 20,
+        # burst ends at 27 < 20+10).
+        assert not det.processes_timely(Burst(start=15, duration=12))
+
+    def test_smaller_interval_detects_more(self):
+        bursts = generate_bursts(3000, seed=2)
+        r10 = detection_rate(bursts, 10, 4)
+        r40 = detection_rate(bursts, 40, 4)
+        assert r10 > r40
+
+    def test_higher_cost_detects_less(self):
+        bursts = generate_bursts(3000, seed=2)
+        assert detection_rate(bursts, 40, 4) > detection_rate(bursts, 40, 40)
+
+    def test_paper_operating_points(self):
+        """Sec. V: 10 cyc -> ~96%, 20 cyc -> ~89% (hw); 40 cyc + 40-cycle
+        scheduling cost -> ~73% (sw).  Calibrated to a few percent."""
+        bursts = generate_bursts(20000, seed=0)
+        assert detection_rate(bursts, 10, 4) == pytest.approx(0.96, abs=0.03)
+        assert detection_rate(bursts, 20, 4) == pytest.approx(0.89, abs=0.03)
+        assert detection_rate(bursts, 40, 40) == pytest.approx(0.73, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalDetector(0, 4)
+        with pytest.raises(ValueError):
+            IntervalDetector(10, -1)
+        with pytest.raises(ValueError):
+            detection_rate([], 10, 4)
+
+
+class TestBurstyTrace:
+    def test_has_two_intensity_levels(self):
+        tr = bursty_trace(3000, seed=1)
+        mem_pos = np.flatnonzero(tr.is_mem)
+        gaps = np.diff(mem_pos)
+        # Burst phases have back-to-back accesses (gap 1), quiet ones gap 9.
+        assert (gaps == 1).any()
+        assert (gaps > 5).any()
+
+    def test_requested_access_count(self):
+        tr = bursty_trace(1234, seed=1)
+        assert tr.n_mem == 1234
+
+    def test_deterministic(self):
+        a = bursty_trace(500, seed=7)
+        b = bursty_trace(500, seed=7)
+        np.testing.assert_array_equal(a.address, b.address)
+
+    def test_custom_intensities(self):
+        tr = bursty_trace(500, burst_intensity=2, quiet_intensity=20, seed=1)
+        mem_pos = np.flatnonzero(tr.is_mem)
+        gaps = np.diff(mem_pos)
+        assert gaps.min() >= 1
+        assert gaps.max() >= 15

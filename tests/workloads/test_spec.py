@@ -1,0 +1,127 @@
+"""Tests for the SPEC-like benchmark profiles, including the Fig. 6/7 facts."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import KernelSpec
+from repro.workloads.spec import (
+    BENCHMARKS,
+    SELECTED_16,
+    BenchmarkProfile,
+    benchmark_names,
+    get_benchmark,
+)
+
+KB = 1024
+
+
+class TestRegistry:
+    def test_sixteen_selected(self):
+        assert len(SELECTED_16) == 16
+        assert len(set(SELECTED_16)) == 16
+        for name in SELECTED_16:
+            assert name in BENCHMARKS
+
+    def test_lookup_by_full_name(self):
+        assert get_benchmark("429.mcf").name == "429.mcf"
+
+    def test_lookup_by_suffix(self):
+        assert get_benchmark("mcf").name == "429.mcf"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("999.nothing")
+
+    def test_names_sorted(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+
+    def test_paper_benchmarks_present(self):
+        for name in ("401.bzip2", "403.gcc", "410.bwaves", "416.gamess",
+                     "429.mcf", "433.milc"):
+            assert name in BENCHMARKS
+
+
+class TestProfileValidation:
+    def test_rejects_empty_kernels(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", kernels=())
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="x", kernels=(KernelSpec("strided", 1.0, KB),),
+                compute_per_access=-1,
+            )
+
+    def test_rejects_bad_ilp(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="x", kernels=(KernelSpec("strided", 1.0, KB),),
+                ilp_dependency=1.5,
+            )
+
+    def test_f_mem(self):
+        p = BenchmarkProfile(name="x", kernels=(KernelSpec("strided", 1.0, KB),),
+                             compute_per_access=3.0)
+        assert p.f_mem == pytest.approx(0.25)
+
+
+class TestTraceGeneration:
+    def test_trace_has_requested_accesses(self):
+        tr = get_benchmark("401.bzip2").trace(500, seed=1)
+        assert tr.n_mem == 500
+
+    def test_f_mem_close_to_profile(self):
+        p = get_benchmark("403.gcc")
+        tr = p.trace(5000, seed=1)
+        assert tr.f_mem == pytest.approx(p.f_mem, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = get_benchmark("429.mcf").trace(300, seed=9)
+        b = get_benchmark("429.mcf").trace(300, seed=9)
+        np.testing.assert_array_equal(a.address, b.address)
+        np.testing.assert_array_equal(a.depends, b.depends)
+
+    def test_different_seeds_differ(self):
+        a = get_benchmark("429.mcf").trace(300, seed=1)
+        b = get_benchmark("429.mcf").trace(300, seed=2)
+        assert not np.array_equal(a.address, b.address)
+
+    def test_mcf_has_dependent_accesses(self):
+        tr = get_benchmark("429.mcf").trace(1000, seed=1)
+        assert tr.depends is not None
+        dep_frac = tr.depends[tr.is_mem].mean()
+        assert 0.35 < dep_frac < 0.75  # chase weight is 0.55
+
+    def test_milc_has_no_dependent_accesses(self):
+        tr = get_benchmark("433.milc").trace(1000, seed=1)
+        mem_dep = tr.depends[tr.is_mem] if tr.depends is not None else np.zeros(1)
+        assert mem_dep.mean() < 0.01
+
+    def test_ilp_chains_marked_on_compute(self):
+        p = get_benchmark("410.bwaves")
+        tr = p.trace(1000, seed=1)
+        assert tr.depends is not None
+        comp_dep = tr.depends[~tr.is_mem].mean()
+        assert abs(comp_dep - p.ilp_dependency) < 0.1
+
+    def test_metadata(self):
+        tr = get_benchmark("433.milc").trace(100, seed=1)
+        assert tr.metadata["benchmark"] == "433.milc"
+        assert tr.metadata["suite"] == "fp"
+
+
+class TestFootprintCharacter:
+    def test_bzip2_small_footprint(self):
+        tr = get_benchmark("401.bzip2").trace(4000, seed=1)
+        # Dominated by a 2 KB working set plus a slow stream.
+        assert tr.footprint_bytes() < 64 * KB
+
+    def test_milc_large_footprint(self):
+        tr = get_benchmark("433.milc").trace(4000, seed=1)
+        assert tr.footprint_bytes() > 32 * KB
+
+    def test_mcf_large_footprint(self):
+        tr = get_benchmark("429.mcf").trace(4000, seed=1)
+        assert tr.footprint_bytes() > 64 * KB

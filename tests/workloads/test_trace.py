@@ -1,0 +1,154 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace
+
+
+class TestConstruction:
+    def test_from_memory_addresses_scalar_gap(self):
+        tr = Trace.from_memory_addresses([0, 64, 128], compute_per_access=2)
+        assert tr.n_instructions == 9
+        assert tr.n_mem == 3
+        assert tr.f_mem == pytest.approx(1 / 3)
+        np.testing.assert_array_equal(tr.memory_addresses, [0, 64, 128])
+
+    def test_from_memory_addresses_vector_gap(self):
+        tr = Trace.from_memory_addresses([0, 64], compute_per_access=np.array([0, 3]))
+        assert tr.n_instructions == 5
+        assert tr.is_mem[0]           # first access has no preceding compute
+        assert tr.is_mem[4]
+
+    def test_program_order_preserved(self):
+        addrs = [100, 200, 300]
+        tr = Trace.from_memory_addresses(addrs, compute_per_access=1)
+        np.testing.assert_array_equal(tr.memory_addresses, addrs)
+
+    def test_load_fraction(self):
+        tr = Trace.from_memory_addresses(
+            np.zeros(1000, dtype=np.int64), compute_per_access=0,
+            load_fraction=0.25, seed=1,
+        )
+        frac = tr.is_load[tr.is_mem].mean()
+        assert 0.18 < frac < 0.32
+
+    def test_depends_mapped_to_mem_positions(self):
+        dep = np.array([True, False, True])
+        tr = Trace.from_memory_addresses([0, 64, 128], compute_per_access=1, depends=dep)
+        assert tr.depends is not None
+        np.testing.assert_array_equal(tr.depends[tr.is_mem], dep)
+        assert not tr.depends[~tr.is_mem].any()
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Trace(is_mem=np.zeros(3, bool), address=np.zeros(2, np.int64),
+                  is_load=np.zeros(3, bool))
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            Trace.from_memory_addresses([0], compute_per_access=np.array([-1]))
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            Trace(is_mem=np.ones(1, bool), address=np.array([-64]),
+                  is_load=np.ones(1, bool))
+
+    def test_rejects_bad_load_fraction(self):
+        with pytest.raises(ValueError):
+            Trace.from_memory_addresses([0], load_fraction=1.5)
+
+    def test_rejects_depends_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Trace.from_memory_addresses([0, 64], depends=np.array([True]))
+
+
+class TestStatistics:
+    def test_footprint_counts_distinct_lines(self):
+        tr = Trace.from_memory_addresses([0, 8, 64, 128, 128])
+        assert tr.footprint_bytes(64) == 3 * 64
+
+    def test_empty_footprint(self):
+        tr = Trace(is_mem=np.zeros(3, bool), address=np.zeros(3, np.int64),
+                   is_load=np.zeros(3, bool))
+        assert tr.footprint_bytes() == 0
+        assert tr.f_mem == 0.0
+
+    def test_repr(self):
+        tr = Trace.from_memory_addresses([0, 64], name="x")
+        assert "x" in repr(tr)
+        assert "mem=2" in repr(tr)
+
+
+class TestManipulation:
+    def test_slice(self):
+        tr = Trace.from_memory_addresses([0, 64, 128], compute_per_access=1)
+        sub = tr.slice(0, 4)
+        assert sub.n_instructions == 4
+        assert sub.n_mem == 2
+
+    def test_slice_carries_depends(self):
+        dep = np.array([True, True, True])
+        tr = Trace.from_memory_addresses([0, 64, 128], compute_per_access=1, depends=dep)
+        sub = tr.slice(0, 4)
+        assert sub.depends is not None
+
+    def test_concatenate(self):
+        a = Trace.from_memory_addresses([0], name="a")
+        b = Trace.from_memory_addresses([64], name="b")
+        c = Trace.concatenate([a, b])
+        assert c.n_mem == 2
+        assert c.name == "a+b"
+
+    def test_concatenate_mixed_depends(self):
+        a = Trace.from_memory_addresses([0], depends=np.array([True]))
+        b = Trace.from_memory_addresses([64])
+        c = Trace.concatenate([a, b])
+        assert c.depends is not None
+        assert c.depends.shape[0] == c.n_instructions
+
+    def test_concatenate_empty_list(self):
+        with pytest.raises(ValueError):
+            Trace.concatenate([])
+
+    def test_len(self):
+        tr = Trace.from_memory_addresses([0, 64], compute_per_access=1)
+        assert len(tr) == 4
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        tr = Trace.from_memory_addresses(
+            [0, 64, 128], compute_per_access=2, name="rt",
+            depends=np.array([True, False, True]),
+        )
+        tr.metadata["benchmark"] = "x"
+        path = str(tmp_path / "trace.npz")
+        tr.save(path)
+        back = Trace.load(path)
+        np.testing.assert_array_equal(back.is_mem, tr.is_mem)
+        np.testing.assert_array_equal(back.address, tr.address)
+        np.testing.assert_array_equal(back.is_load, tr.is_load)
+        np.testing.assert_array_equal(back.depends, tr.depends)
+        assert back.name == "rt"
+        assert back.metadata["benchmark"] == "x"
+
+    def test_roundtrip_without_depends(self, tmp_path):
+        tr = Trace.from_memory_addresses([0, 64], name="nodep")
+        path = str(tmp_path / "t.npz")
+        tr.save(path)
+        back = Trace.load(path)
+        assert back.depends is None
+        assert back.n_mem == 2
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+        from repro.workloads.spec import get_benchmark
+
+        tr = get_benchmark("403.gcc").trace(1500, seed=2)
+        path = str(tmp_path / "gcc.npz")
+        tr.save(path)
+        back = Trace.load(path)
+        a = HierarchySimulator(DEFAULT_MACHINE, seed=0).run(tr)
+        b = HierarchySimulator(DEFAULT_MACHINE, seed=0).run(back)
+        assert a.total_cycles == b.total_cycles
