@@ -1,0 +1,94 @@
+"""R1 — overhead of the fault-tolerant evaluation runtime.
+
+The supervised runtime (docs/ROBUSTNESS.md) must be cheap enough that
+robustness is free to adopt: an inline `EvaluationRuntime` adds only
+guard checks on top of a direct `simulate_and_measure` call, journaling
+adds one flushed JSONL line per point, and a warm journal replays a
+whole batch without simulating at all.  This bench measures each mode on
+the same 8-point batch and asserts the contract: identical results in
+every mode, small inline overhead, and near-zero resume cost.
+"""
+
+import time
+
+from repro.runtime.evaluate import EvaluationRequest, EvaluationRuntime
+from repro.runtime.pool import PoolConfig
+from repro.sim.params import table1_config
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.spec import get_benchmark
+
+BENCH_ACCESSES = 4_000
+SEED = 7
+#: Two seeds per Table I label: 8 distinct evaluation points.
+POINTS = [(label, seed) for label in "ABCD" for seed in (0, 1)]
+
+
+def _requests(trace):
+    return [
+        EvaluationRequest(
+            key=f"{label}|seed={seed}|{table1_config(label).cache_key()}",
+            config=table1_config(label), trace=trace, seed=seed,
+        )
+        for label, seed in POINTS
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def run_modes(trace, journal_path):
+    timings, results = {}, {}
+
+    def direct():
+        return {
+            req.key: simulate_and_measure(req.config, trace, seed=req.seed)[1]
+            for req in _requests(trace)
+        }
+
+    results["direct"], timings["direct"] = _timed(direct)
+    results["inline"], timings["inline"] = _timed(
+        lambda: EvaluationRuntime().evaluate_many(_requests(trace))
+    )
+    journaled_rt = EvaluationRuntime(journal=journal_path)
+    results["journaled"], timings["journaled"] = _timed(
+        lambda: journaled_rt.evaluate_many(_requests(trace))
+    )
+    resumed_rt = EvaluationRuntime(journal=journal_path)
+    results["resumed"], timings["resumed"] = _timed(
+        lambda: resumed_rt.evaluate_many(_requests(trace))
+    )
+    pooled_rt = EvaluationRuntime(pool=PoolConfig(max_workers=2, timeout_s=300))
+    results["pooled"], timings["pooled"] = _timed(
+        lambda: pooled_rt.evaluate_many(_requests(trace))
+    )
+    return results, timings, resumed_rt
+
+
+def test_runtime_resilience_overhead(benchmark, artifact, tmp_path):
+    trace = get_benchmark("410.bwaves").trace(BENCH_ACCESSES, seed=SEED)
+    (results, timings, resumed_rt) = benchmark.pedantic(
+        run_modes, args=(trace, tmp_path / "bench.jsonl"), rounds=1, iterations=1
+    )[0:3]
+
+    # The contract: every mode returns bit-identical measurements.
+    for mode in ("inline", "journaled", "resumed", "pooled"):
+        assert results[mode] == results["direct"], mode
+
+    # Inline supervision (guards + bookkeeping) costs a few percent, not a
+    # multiple; the bound is generous so CI noise cannot trip it.
+    assert timings["inline"] < timings["direct"] * 1.5
+    # A warm journal replays without simulating — an order cheaper.
+    assert resumed_rt.counters.simulations == 0
+    assert timings["resumed"] < timings["direct"] * 0.5
+
+    lines = [f"{len(POINTS)}-point batch, {BENCH_ACCESSES} accesses each "
+             f"(410.bwaves, seed {SEED})", ""]
+    lines += [f"{mode:>10}: {timings[mode] * 1e3:8.1f} ms "
+              f"({timings[mode] / timings['direct']:5.2f}x direct)"
+              for mode in ("direct", "inline", "journaled", "resumed", "pooled")]
+    lines += ["", "all modes bit-identical to direct simulate_and_measure; "
+              "resumed run performed 0 simulations"]
+    artifact("R1_runtime_resilience", "\n".join(lines))

@@ -23,6 +23,11 @@ The package provides, from the bottom of the stack up:
     harmonic weighted speedup.
 ``repro.analysis``
     Sweep helpers and paper-layout table rendering for the benchmarks.
+``repro.runtime``
+    Fault-tolerant evaluation runtime: supervised worker pool with
+    timeouts/retries/crash recovery, JSONL checkpoint journal, fault
+    injection and measurement guards, plus the library-wide exception
+    taxonomy rooted at :class:`ReproError`.
 
 Quickstart::
 
@@ -48,6 +53,16 @@ from repro.core import (
     measure_layer,
 )
 from repro.reconfig import DesignSpace, GreedyReconfigBackend, LadderBackend
+from repro.runtime import (
+    ConfigError,
+    EvaluationRuntime,
+    EvaluationTimeout,
+    FaultConfig,
+    MeasurementError,
+    PoolConfig,
+    ReproError,
+    WorkerCrashed,
+)
 from repro.sched import (
     NUCAMachine,
     evaluate_schedule,
@@ -81,8 +96,12 @@ __all__ = [
     "BENCHMARKS",
     "BenchmarkProfile",
     "CAMATParams",
+    "ConfigError",
     "DEFAULT_MACHINE",
     "DesignSpace",
+    "EvaluationRuntime",
+    "EvaluationTimeout",
+    "FaultConfig",
     "GreedyReconfigBackend",
     "HierarchySimulator",
     "HierarchyStats",
@@ -94,9 +113,13 @@ __all__ = [
     "LadderBackend",
     "LayerMeasurement",
     "MachineConfig",
+    "MeasurementError",
     "NUCAMachine",
+    "PoolConfig",
+    "ReproError",
     "SELECTED_16",
     "StallModel",
+    "WorkerCrashed",
     "TABLE1_CONFIGS",
     "Trace",
     "amat",

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sim.params import MachineConfig
 from repro.sim.stats import HierarchyStats, simulate_and_measure
 from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.evaluate import EvaluationRuntime
 
 __all__ = ["SweepResult", "sweep_configs", "sweep_l1_sizes"]
 
@@ -41,9 +45,29 @@ def sweep_configs(
     *,
     seed: int = 0,
     warm: bool = True,
+    runtime: "EvaluationRuntime | None" = None,
 ) -> SweepResult:
-    """Measure one trace across several machine configurations."""
+    """Measure one trace across several machine configurations.
+
+    With a *runtime*, the sweep points are evaluated through the supervised
+    pool as one batch (parallel workers, retries, checkpoint journal).
+    """
     result = SweepResult()
+    if runtime is not None:
+        from repro.runtime.evaluate import EvaluationRequest
+
+        keys = [
+            f"{trace.name}|seed={seed}|warm={warm}|{config.cache_key()}"
+            for config in configs
+        ]
+        measured = runtime.evaluate_many([
+            EvaluationRequest(key=key, config=config, trace=trace,
+                              seed=seed, warm=warm)
+            for key, config in zip(keys, configs)
+        ])
+        for key, config in zip(keys, configs):
+            result.add(config.name, measured[key])
+        return result
     for config in configs:
         _, stats = simulate_and_measure(config, trace, seed=seed, warm=warm)
         result.add(config.name, stats)
@@ -57,10 +81,11 @@ def sweep_l1_sizes(
     *,
     seed: int = 0,
     warm: bool = True,
+    runtime: "EvaluationRuntime | None" = None,
 ) -> SweepResult:
     """Measure one trace across private L1 sizes (the Fig. 6/7 sweep)."""
     configs = [
         base.with_knobs(l1_size_bytes=size, name=f"L1-{size // 1024}KB")
         for size in l1_sizes
     ]
-    return sweep_configs(configs, trace, seed=seed, warm=warm)
+    return sweep_configs(configs, trace, seed=seed, warm=warm, runtime=runtime)

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--seed", type=int, default=7)
     walk.add_argument("--no-trim", action="store_true",
                       help="disable the Case III over-provision trim")
+    walk.add_argument("--fault-rate", type=float, default=0.0,
+                      help="inject measurement faults at this overall rate "
+                           "(spread over NaN/drop/truncate/exception kinds)")
+    walk.add_argument("--fault-seed", type=int, default=0,
+                      help="seed for the fault-injection RNG")
 
     sweep = sub.add_parser("sweep", help="APC1/APC2 across private L1 sizes")
     sweep.add_argument("--benchmark", default="403.gcc")
@@ -74,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="profiling accesses per (benchmark, L1 size)")
     sched.add_argument("--seed", type=int, default=3)
     sched.add_argument("--random-seeds", type=int, default=5)
+    sched.add_argument("--workers", type=int, default=0,
+                       help="profile on this many worker processes "
+                            "(0 = in-process)")
+    sched.add_argument("--journal", default=None, metavar="PATH",
+                       help="JSONL checkpoint journal; an interrupted "
+                            "profiling run resumes from it")
 
     diag = sub.add_parser("diagnose",
                           help="bottleneck diagnosis + technique recommendations")
@@ -117,15 +128,26 @@ def _cmd_walk(args: argparse.Namespace) -> int:
     from repro.workloads import get_benchmark
 
     trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
+    runtime = None
+    if args.fault_rate > 0.0:
+        from repro.runtime import EvaluationRuntime, FaultConfig
+
+        runtime = EvaluationRuntime(
+            faults=FaultConfig.uniform(args.fault_rate, seed=args.fault_seed)
+        )
     backend = LadderBackend(
         [table1_config(c) for c in "ABCD"], trace,
         deprovision_configs=[table1_config("E")],
+        runtime=runtime,
     )
     algo = LPMAlgorithm(delta_percent=args.delta, delta_slack_fraction=0.5,
                         max_steps=10)
     result = algo.run(backend, allow_deprovision=not args.no_trim)
     print(format_run_result(result))
     print(f"\nsimulations spent: {backend.log.evaluations}")
+    if runtime is not None:
+        print(f"measurement retries under {args.fault_rate:.0%} fault "
+              f"injection: {runtime.counters.retries}")
     return 0
 
 
@@ -167,10 +189,20 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     machine = NUCAMachine()
     print(f"profiling {len(SELECTED_16)} benchmarks x "
           f"{len(machine.distinct_l1_sizes)} L1 sizes...")
+    runtime = None
+    if args.workers > 0 or args.journal is not None:
+        from repro.runtime import EvaluationRuntime, PoolConfig
+
+        runtime = EvaluationRuntime(
+            pool=PoolConfig(max_workers=args.workers), journal=args.journal
+        )
     db = profile_benchmarks(
         machine, [get_benchmark(n) for n in SELECTED_16],
-        n_mem=args.accesses, seed=args.seed,
+        n_mem=args.accesses, seed=args.seed, runtime=runtime,
     )
+    if runtime is not None and runtime.counters.journal_hits:
+        print(f"resumed {runtime.counters.journal_hits} profiles from "
+              f"{args.journal} ({runtime.counters.simulations} simulated)")
     apps = list(SELECTED_16)
     results = {
         f"Random (avg of {args.random_seeds})": float(np.mean([
@@ -229,9 +261,26 @@ _COMMANDS = {
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 on success, 2 on any anticipated error (unknown
+    benchmark/configuration, invalid parameter, failed measurement), 130 on
+    interrupt — so shell scripts and CI can branch on the failure class
+    instead of parsing tracebacks.
+    """
+    from repro.runtime.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (ReproError, KeyError, ValueError) as exc:
+        # KeyError reprs its argument; unwrap for a clean one-line message.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

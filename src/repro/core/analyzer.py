@@ -172,6 +172,18 @@ class LayerMeasurement:
         """C-AMAT via Eq. (2); equals :attr:`camat` for uniform hit times."""
         return self.camat_params.value
 
+    # -- serialization (checkpoint journal) -------------------------------
+    def to_dict(self) -> dict:
+        """Plain-scalar dictionary for JSON checkpointing."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LayerMeasurement":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 def measure_layer(
     hit_start: "np.ndarray | list[int]",

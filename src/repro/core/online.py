@@ -25,16 +25,22 @@ configuration (see ``benchmarks/bench_online_adaptation.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.algorithm import LPMCase, classify_case
 from repro.core.lpm import LPMRReport, MatchingThresholds
 from repro.reconfig.space import L1_KNOBS, L2_KNOBS, DesignPoint, DesignSpace
+from repro.runtime.errors import MeasurementError
+from repro.runtime.guards import ensure_finite_stats
 from repro.sim.engine import HierarchySimulator
 from repro.sim.params import MachineConfig
 from repro.sim.stats import measure_hierarchy
 from repro.util.validation import check_int, check_positive
 from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultInjector
 
 __all__ = ["KnobPolicy", "LadderKnobPolicy", "IntervalRecord", "OnlineRunResult",
            "OnlineLPMController"]
@@ -126,6 +132,13 @@ class OnlineRunResult:
     reconfigurations: int = 0
     reconfiguration_cycles: int = 0
     instructions: int = 0
+    #: Intervals whose measurement failed validation (non-finite statistics,
+    #: dropped interval reports, truncated measurements) and were discarded
+    #: without a reconfiguration decision.
+    rejected_intervals: int = 0
+    #: Actionable classifications suppressed by the cooldown/confirmation
+    #: hysteresis rather than applied.
+    held_reconfigurations: int = 0
 
     @property
     def cpi(self) -> float:
@@ -134,11 +147,17 @@ class OnlineRunResult:
 
     @property
     def mean_hardware_cost(self) -> float:
-        """Cycle-weighted average hardware cost (cost-efficiency numerator)."""
-        if not self.intervals or self.total_cycles == 0:
+        """Cycle-weighted average hardware cost (cost-efficiency numerator).
+
+        Degenerate runs (no valid intervals, or intervals that accumulated
+        zero cycles) report 0.0 rather than dividing by zero — a fully
+        rejected run must not crash downstream cost-efficiency reporting.
+        """
+        interval_cycles = sum(r.cycles for r in self.intervals)
+        if interval_cycles == 0:
             return 0.0
         weighted = sum(r.hardware_cost * r.cycles for r in self.intervals)
-        return weighted / sum(r.cycles for r in self.intervals)
+        return weighted / interval_cycles
 
     def cases(self) -> list[str]:
         """Case labels per interval (for trajectory inspection)."""
@@ -166,6 +185,20 @@ class OnlineLPMController:
         per hardware reconfiguration, 40 per scheduling operation).
     policy:
         Knob policy; defaults to :class:`LadderKnobPolicy`.
+    cooldown_intervals:
+        After an applied reconfiguration, hold any further reconfiguration
+        for this many intervals (0 reproduces the eager paper loop).
+    confirm_intervals:
+        Require the same actionable case for this many consecutive valid
+        intervals before acting on it (1 acts immediately).  Together with
+        the cooldown this is the anti-thrashing hysteresis: one corrupted
+        or atypical interval cannot flip the configuration.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` corrupting
+        the per-interval measurements (testing/chaos knob).  Corrupted
+        intervals are rejected by the guards and counted in
+        :attr:`OnlineRunResult.rejected_intervals`; the controller keeps
+        running on its last-good configuration.
     """
 
     def __init__(
@@ -179,11 +212,16 @@ class OnlineLPMController:
         reconfiguration_cost: int = 4,
         policy: KnobPolicy | None = None,
         seed: int = 0,
+        cooldown_intervals: int = 0,
+        confirm_intervals: int = 1,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         check_int("interval_instructions", interval_instructions, minimum=1)
         check_positive("delta_percent", delta_percent)
         check_positive("delta_slack_fraction", delta_slack_fraction)
         check_int("reconfiguration_cost", reconfiguration_cost, minimum=0)
+        check_int("cooldown_intervals", cooldown_intervals, minimum=0)
+        check_int("confirm_intervals", confirm_intervals, minimum=1)
         self.space = space
         self.point = start if start is not None else space.minimum_point()
         space.validate(self.point)
@@ -193,6 +231,9 @@ class OnlineLPMController:
         self.reconfiguration_cost = reconfiguration_cost
         self.policy = policy if policy is not None else LadderKnobPolicy()
         self.seed = seed
+        self.cooldown_intervals = cooldown_intervals
+        self.confirm_intervals = confirm_intervals
+        self.fault_injector = fault_injector
 
     def _config(self) -> MachineConfig:
         return self.space.to_machine(self.point)
@@ -210,6 +251,9 @@ class OnlineLPMController:
         clock = 0
         n = trace.n_instructions
         index = 0
+        cooldown_remaining = 0
+        streak_case: LPMCase | None = None
+        streak_len = 0
         for lo in range(0, n, self.interval_instructions):
             window = trace.slice(lo, min(lo + self.interval_instructions, n))
             if window.n_instructions == 0:
@@ -220,26 +264,55 @@ class OnlineLPMController:
             )
             chunk = sim.run(window, start_cycle=clock)
             stats = measure_hierarchy(chunk, cpi_exe=perfect.cpi)
+            cycles = chunk.total_cycles
+            clock += cycles
+            try:
+                if self.fault_injector is not None:
+                    stats = self._inject_interval_faults(stats, window)
+                ensure_finite_stats(
+                    stats, expected_instructions=window.n_instructions
+                )
+            except MeasurementError:
+                # The interval executed (its cycles count) but its report is
+                # garbage: no record, no decision, keep the last-good
+                # configuration, and restart the confirmation streak.
+                result.rejected_intervals += 1
+                streak_case, streak_len = None, 0
+                index += 1
+                continue
             report = stats.lpmr_report()
             thresholds = report.thresholds(self.delta_percent)
             delta = thresholds.t1 * self.delta_slack_fraction
             case = classify_case(report, thresholds, delta)
 
-            cycles = chunk.total_cycles
-            clock += cycles
             # The record describes the configuration the interval ran on.
             label = self.point.label()
             cost = self.point.cost()
             reconfigured = False
             if adapt:
-                nxt = self.policy.next_point(self.space, self.point, case)
-                if nxt is not None and nxt != self.point:
-                    self.point = nxt
-                    sim.reconfigure(self._config())
-                    clock += self.reconfiguration_cost
-                    result.reconfigurations += 1
-                    result.reconfiguration_cycles += self.reconfiguration_cost
-                    reconfigured = True
+                if case is streak_case:
+                    streak_len += 1
+                else:
+                    streak_case, streak_len = case, 1
+                actionable = case is not LPMCase.MATCHED
+                if actionable and (
+                    cooldown_remaining > 0 or streak_len < self.confirm_intervals
+                ):
+                    result.held_reconfigurations += 1
+                else:
+                    nxt = self.policy.next_point(self.space, self.point, case)
+                    if nxt is not None and nxt != self.point:
+                        self.point = nxt
+                        sim.reconfigure(self._config())
+                        clock += self.reconfiguration_cost
+                        result.reconfigurations += 1
+                        result.reconfiguration_cycles += self.reconfiguration_cost
+                        reconfigured = True
+                if reconfigured:
+                    cooldown_remaining = self.cooldown_intervals
+                    streak_case, streak_len = None, 0
+                elif cooldown_remaining:
+                    cooldown_remaining -= 1
 
             result.intervals.append(
                 IntervalRecord(
@@ -257,3 +330,19 @@ class OnlineLPMController:
         result.total_cycles = clock
         result.instructions = n
         return result
+
+    def _inject_interval_faults(
+        self, stats: "HierarchyStats", window: Trace
+    ) -> "HierarchyStats":
+        """Apply the configured fault injector to one interval's report.
+
+        Exceptions fire directly; a ``truncate`` fault is emulated on the
+        *report* (the interval already ran) by shrinking its instruction
+        count, which the guards catch via the expected-count check.
+        """
+        injector = self.fault_injector
+        injector.maybe_fail()
+        short = injector.corrupt_trace(window)
+        if short.n_instructions != window.n_instructions:
+            stats = replace(stats, n_instructions=short.n_instructions)
+        return injector.corrupt_stats(stats)

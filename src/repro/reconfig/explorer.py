@@ -23,12 +23,16 @@ measurement" of the paper scaled to trace-driven simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.lpm import LPMRReport
 from repro.reconfig.space import L1_KNOBS, L2_KNOBS, DesignPoint, DesignSpace
 from repro.sim.params import MachineConfig
 from repro.sim.stats import HierarchyStats, simulate_and_measure
 from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.evaluate import EvaluationRuntime
 
 __all__ = ["LadderBackend", "GreedyReconfigBackend", "ExplorationLog"]
 
@@ -47,24 +51,73 @@ class ExplorationLog:
 
 
 class _SimulatingBackend:
-    """Shared measurement plumbing for the two concrete backends."""
+    """Shared measurement plumbing for the two concrete backends.
 
-    def __init__(self, trace: Trace, *, seed: int = 0, warm: bool = True) -> None:
+    Measurements are cached on :meth:`MachineConfig.cache_key` — the full
+    knob tuple, never the display ``name`` — so two differently-tuned
+    configurations that happen to share a label cannot alias each other's
+    results.  An optional :class:`~repro.runtime.evaluate.EvaluationRuntime`
+    routes fresh measurements through the supervised pool (parallel workers,
+    timeouts, retries) and its checkpoint journal; the exploration log then
+    counts only evaluations that actually ran a simulation, so a resumed
+    exploration reports zero duplicate work.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        *,
+        seed: int = 0,
+        warm: bool = True,
+        runtime: "EvaluationRuntime | None" = None,
+    ) -> None:
         self.trace = trace
         self.seed = seed
         self.warm = warm
+        self.runtime = runtime
         self.log = ExplorationLog()
         self._cache: dict[str, HierarchyStats] = {}
 
+    def _journal_key(self, config: MachineConfig) -> str:
+        return f"{self.trace.name}|seed={self.seed}|warm={self.warm}|{config.cache_key()}"
+
     def _measure_config(self, config: MachineConfig) -> HierarchyStats:
-        key = config.name
-        if key not in self._cache:
-            _, stats = simulate_and_measure(
-                config, self.trace, seed=self.seed, warm=self.warm
-            )
-            self._cache[key] = stats
-            self.log.record(key)
-        return self._cache[key]
+        return self._measure_many([config])[0]
+
+    def _measure_many(self, configs: "list[MachineConfig]") -> "list[HierarchyStats]":
+        """Measure a batch of configurations, deduplicated by knob identity."""
+        fresh: dict[str, MachineConfig] = {}
+        for config in configs:
+            key = config.cache_key()
+            if key not in self._cache and key not in fresh:
+                fresh[key] = config
+        if fresh and self.runtime is not None:
+            from repro.runtime.evaluate import EvaluationRequest
+
+            journal = self.runtime.journal
+            already_journaled = {
+                key for key, config in fresh.items()
+                if journal is not None and self._journal_key(config) in journal
+            }
+            measured = self.runtime.evaluate_many([
+                EvaluationRequest(
+                    key=self._journal_key(config), config=config,
+                    trace=self.trace, seed=self.seed, warm=self.warm,
+                )
+                for config in fresh.values()
+            ])
+            for key, config in fresh.items():
+                self._cache[key] = measured[self._journal_key(config)]
+                if key not in already_journaled:
+                    self.log.record(config.name)
+        elif fresh:
+            for key, config in fresh.items():
+                _, stats = simulate_and_measure(
+                    config, self.trace, seed=self.seed, warm=self.warm
+                )
+                self._cache[key] = stats
+                self.log.record(config.name)
+        return [self._cache[config.cache_key()] for config in configs]
 
 
 class LadderBackend(_SimulatingBackend):
@@ -84,8 +137,9 @@ class LadderBackend(_SimulatingBackend):
         deprovision_configs: "list[MachineConfig] | None" = None,
         seed: int = 0,
         warm: bool = True,
+        runtime: "EvaluationRuntime | None" = None,
     ) -> None:
-        super().__init__(trace, seed=seed, warm=warm)
+        super().__init__(trace, seed=seed, warm=warm, runtime=runtime)
         if not configs:
             raise ValueError("need at least one configuration")
         self.configs = list(configs)
@@ -143,8 +197,9 @@ class GreedyReconfigBackend(_SimulatingBackend):
         seed: int = 0,
         warm: bool = True,
         delta_percent: float = 10.0,
+        runtime: "EvaluationRuntime | None" = None,
     ) -> None:
-        super().__init__(trace, seed=seed, warm=warm)
+        super().__init__(trace, seed=seed, warm=warm, runtime=runtime)
         self.space = space
         self.point = start if start is not None else space.minimum_point()
         space.validate(self.point)
@@ -176,12 +231,17 @@ class GreedyReconfigBackend(_SimulatingBackend):
         candidates = self.space.upgrade_candidates(self.point, self._allowed_knobs(l1, l2))
         if not candidates:
             return False
-        current_lpmr1 = self._stats_for(self.point).lpmr1
+        # One batch covering the incumbent and every candidate: with a
+        # pooled runtime attached the candidate simulations run in parallel.
+        measured = self._measure_many(
+            [self.space.to_machine(self.point)]
+            + [self.space.to_machine(candidate) for _, candidate in candidates]
+        )
+        current_lpmr1 = measured[0].lpmr1
         best: tuple[float, DesignPoint] | None = None
-        for _, candidate in candidates:
-            lpmr1 = self._stats_for(candidate).lpmr1
-            if best is None or lpmr1 < best[0]:
-                best = (lpmr1, candidate)
+        for (_, candidate), stats in zip(candidates, measured[1:]):
+            if best is None or stats.lpmr1 < best[0]:
+                best = (stats.lpmr1, candidate)
         if best is None or best[0] >= current_lpmr1:
             return False
         self.point = best[1]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.runtime.errors import ConfigError
 from repro.sim.params import MachineConfig
 
 __all__ = ["DesignPoint", "DesignSpace", "DEFAULT_LADDERS", "L1_KNOBS", "L2_KNOBS"]
@@ -104,14 +105,14 @@ class DesignSpace:
     def __post_init__(self) -> None:
         for knob, ladder in self.ladders.items():
             if knob not in DEFAULT_LADDERS:
-                raise ValueError(f"unknown knob {knob!r}")
+                raise ConfigError(f"unknown knob {knob!r}")
             if not ladder:
-                raise ValueError(f"empty ladder for {knob}")
+                raise ConfigError(f"empty ladder for {knob}")
             if list(ladder) != sorted(set(ladder)):
-                raise ValueError(f"ladder for {knob} must be strictly ascending")
+                raise ConfigError(f"ladder for {knob} must be strictly ascending")
         missing = set(DEFAULT_LADDERS) - set(self.ladders)
         if missing:
-            raise ValueError(f"missing ladders for {sorted(missing)}")
+            raise ConfigError(f"missing ladders for {sorted(missing)}")
 
     def size(self) -> int:
         """Total number of design points (the paper's 10^6 figure)."""
@@ -124,7 +125,7 @@ class DesignSpace:
         """Check every knob value sits on its ladder."""
         for knob, value in point.as_dict().items():
             if value not in self.ladders[knob]:
-                raise ValueError(
+                raise ConfigError(
                     f"{knob}={value} not on its ladder {self.ladders[knob]}"
                 )
 

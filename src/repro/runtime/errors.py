@@ -1,0 +1,56 @@
+"""Structured exception taxonomy for the evaluation runtime.
+
+Every failure the library can recover from derives from :class:`ReproError`,
+so supervising code (the evaluation pool, the online controller, the CLI)
+can catch one base class and still distinguish the failure mode:
+
+``ConfigError``
+    A configuration is malformed or unknown (bad Table I label, knob value
+    off its ladder, geometry change through ``reconfigure``).  Also a
+    :class:`ValueError`, so pre-taxonomy callers keep working.
+``MeasurementError``
+    A measurement is unusable: non-finite statistics, an empty interval
+    report where accesses were expected, a truncated trace, or an injected
+    fault.  The supervised evaluation path retries these; the online
+    controller rejects them and holds the last-good configuration.
+``EvaluationTimeout``
+    A supervised evaluation exceeded its per-job deadline.  Also a
+    :class:`TimeoutError`.
+``WorkerCrashed``
+    A pool worker process died (killed, segfaulted, or exited) while it was
+    running a job.  The supervisor replaces the worker and retries the job.
+
+The module deliberately imports nothing from the rest of the package so
+that any layer (``sim``, ``reconfig``, ``sched``, ``cli``) can raise these
+without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "MeasurementError",
+    "EvaluationTimeout",
+    "WorkerCrashed",
+]
+
+
+class ReproError(Exception):
+    """Base class of every recoverable error raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A machine/design configuration is malformed or unknown."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A measurement is corrupt, incomplete, or otherwise unusable."""
+
+
+class EvaluationTimeout(ReproError, TimeoutError):
+    """A supervised evaluation job exceeded its deadline."""
+
+
+class WorkerCrashed(ReproError, RuntimeError):
+    """A worker process died while executing a job."""

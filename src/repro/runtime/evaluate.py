@@ -1,0 +1,163 @@
+"""Supervised, checkpointed ``simulate_and_measure`` evaluation.
+
+:class:`EvaluationRuntime` is the façade the rest of the library talks to:
+it composes the worker pool (:mod:`repro.runtime.pool`), the JSONL
+checkpoint journal (:mod:`repro.runtime.journal`), the fault-injection
+layer (:mod:`repro.runtime.faults`) and the measurement guards
+(:mod:`repro.runtime.guards`) behind two calls::
+
+    runtime = EvaluationRuntime(pool=PoolConfig(max_workers=4),
+                                journal="explore.jsonl")
+    stats = runtime.evaluate(EvaluationRequest(key, config, trace))
+    many  = runtime.evaluate_many(requests)     # parallel, checkpointed
+
+Every completed evaluation is journaled, so an interrupted exploration or
+profiling run resumes without re-simulating finished design points; the
+``counters`` attribute reports exactly how much work was real versus
+recovered from the journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.runtime.faults import FaultConfig, FaultInjector
+from repro.runtime.guards import ensure_finite_stats
+from repro.runtime.journal import CheckpointJournal
+from repro.runtime.pool import EvaluationPool, Job, PoolConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.params import MachineConfig
+    from repro.sim.stats import HierarchyStats
+    from repro.workloads.trace import Trace
+
+__all__ = ["EvaluationRequest", "RuntimeCounters", "EvaluationRuntime"]
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One simulate-and-measure evaluation, identified by a stable key.
+
+    The key is what the checkpoint journal stores results under, so it must
+    capture everything that determines the measurement — callers should
+    build it from the trace identity plus the full configuration knob
+    tuple (see :meth:`repro.sim.params.MachineConfig.cache_key`).
+    """
+
+    key: str
+    config: "MachineConfig"
+    trace: "Trace"
+    seed: int = 0
+    warm: bool = True
+
+
+@dataclass
+class RuntimeCounters:
+    """How much work a runtime instance actually performed."""
+
+    simulations: int = 0
+    journal_hits: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+
+
+def _simulate_job(
+    config: "MachineConfig",
+    trace: "Trace",
+    seed: int,
+    warm: bool,
+    faults: "FaultConfig | None",
+    fault_label: str,
+    _attempt: int = 1,
+) -> "HierarchyStats":
+    """Worker-side job body: simulate, (optionally) inject faults, validate.
+
+    Module-level so it pickles across process boundaries.  The fault
+    injector is seeded per ``(job, attempt)``, so a retry of a corrupted
+    measurement draws fresh randomness while the clean measurement itself
+    stays bit-identical (the simulator is deterministic under its seed).
+    """
+    from repro.sim.stats import simulate_and_measure
+
+    fn = simulate_and_measure
+    if faults is not None and faults.total_rate > 0.0:
+        fn = FaultInjector(faults, fault_label, _attempt).wrap_simulate(fn)
+    _, stats = fn(config, trace, seed=seed, warm=warm)
+    ensure_finite_stats(stats, expected_instructions=trace.n_instructions)
+    return stats
+
+
+class EvaluationRuntime:
+    """Pool + journal + faults composed into one evaluation service."""
+
+    def __init__(
+        self,
+        *,
+        pool: "PoolConfig | None" = None,
+        journal: "CheckpointJournal | str | Path | None" = None,
+        faults: "FaultConfig | None" = None,
+    ) -> None:
+        self.pool_config = pool if pool is not None else PoolConfig()
+        if isinstance(journal, (str, Path)):
+            journal = CheckpointJournal(journal)
+        self.journal = journal
+        self.faults = faults
+        self.counters = RuntimeCounters()
+        self._pool = EvaluationPool(self.pool_config)
+
+    def evaluate(self, request: EvaluationRequest) -> "HierarchyStats":
+        """Evaluate one request (journal-checkpointed, supervised)."""
+        return self.evaluate_many([request])[request.key]
+
+    def evaluate_many(
+        self, requests: "list[EvaluationRequest]"
+    ) -> "dict[str, HierarchyStats]":
+        """Evaluate a batch; parallel across workers when the pool has any.
+
+        Journal hits are returned without simulating; fresh results are
+        journaled as soon as they complete, so a run killed mid-batch
+        resumes with zero duplicate evaluations.
+        """
+        from repro.sim.stats import HierarchyStats
+
+        out: "dict[str, HierarchyStats]" = {}
+        todo: "list[EvaluationRequest]" = []
+        for req in requests:
+            if req.key in out or any(t.key == req.key for t in todo):
+                continue  # duplicate request in one batch
+            if self.journal is not None and req.key in self.journal:
+                out[req.key] = HierarchyStats.from_dict(self.journal.get(req.key))
+                self.counters.journal_hits += 1
+            else:
+                todo.append(req)
+        if todo:
+            jobs = [
+                Job(
+                    key=req.key,
+                    fn=_simulate_job,
+                    args=(req.config, req.trace, req.seed, req.warm,
+                          self.faults, req.key),
+                    pass_attempt=self.faults is not None,
+                )
+                for req in todo
+            ]
+            before = (self._pool.retries, self._pool.timeouts, self._pool.worker_restarts)
+
+            def _checkpoint(result) -> None:
+                # Fires per terminal job result, *during* the batch — a run
+                # killed mid-batch keeps everything finished so far.
+                if result.ok:
+                    self.counters.simulations += 1
+                    if self.journal is not None:
+                        self.journal.put(result.key, result.value.to_dict())
+
+            results = self._pool.run(jobs, on_result=_checkpoint)
+            self.counters.retries += self._pool.retries - before[0]
+            self.counters.timeouts += self._pool.timeouts - before[1]
+            self.counters.worker_restarts += self._pool.worker_restarts - before[2]
+            for req in todo:
+                out[req.key] = results[req.key].value
+        return out

@@ -1,0 +1,160 @@
+"""Fault injection for the measurement path.
+
+To *prove* that degradation is graceful — rather than accidentally
+tolerable — the runtime can wrap the simulator/analyzer pipeline and
+corrupt its output at configurable rates.  Four fault kinds cover the
+failure modes a measurement-driven controller meets in practice:
+
+``nan``
+    A core statistic (CPI, CPI_exe, f_mem, or a layer C-AMAT) becomes NaN
+    or infinity — a counter glitch or a divide-by-zero upstream.
+``drop``
+    The L1 interval report comes back empty, as if the detectors dropped
+    their intervals for the window.
+``truncate``
+    The trace is silently truncated before simulation, producing a
+    plausible-looking but short measurement.
+``exception``
+    The measurement raises a spurious
+    :class:`~repro.runtime.errors.MeasurementError` (a died collector, a
+    lost RPC).
+
+All draws come from a seeded :class:`numpy.random.Generator`, so a faulty
+run is exactly reproducible.  Every corruption produced here is detectable
+by :mod:`repro.runtime.guards` (the drop/truncate kinds via the
+``f_mem``/instruction-count consistency checks), which is what lets the
+supervised path retry and the online controller hold the last-good
+configuration instead of acting on garbage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.runtime.errors import MeasurementError
+from repro.util.rng import spawn
+from repro.util.validation import check_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.stats import HierarchyStats
+    from repro.workloads.trace import Trace
+
+__all__ = ["FaultConfig", "FaultInjector"]
+
+#: Statistic fields a ``nan`` fault may hit, paired with the poison values
+#: drawn uniformly per injection.
+_NAN_FIELDS: tuple[str, ...] = ("cpi", "cpi_exe", "f_mem")
+_POISONS: tuple[float, ...] = (math.nan, math.inf, -math.inf)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-kind injection rates (independent Bernoulli draws per call)."""
+
+    nan_rate: float = 0.0
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    exception_rate: float = 0.0
+    #: Fraction of the trace kept by a ``truncate`` fault.
+    truncate_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_fraction("nan_rate", self.nan_rate)
+        check_fraction("drop_rate", self.drop_rate)
+        check_fraction("truncate_rate", self.truncate_rate)
+        check_fraction("exception_rate", self.exception_rate)
+        check_fraction("truncate_fraction", self.truncate_fraction, inclusive_high=False)
+
+    @property
+    def total_rate(self) -> float:
+        """Sum of the four per-kind rates (upper bound on P[any fault])."""
+        return self.nan_rate + self.drop_rate + self.truncate_rate + self.exception_rate
+
+    @classmethod
+    def uniform(cls, rate: float, *, seed: int = 0) -> "FaultConfig":
+        """Spread one overall corruption *rate* evenly over the four kinds."""
+        check_fraction("rate", rate)
+        per_kind = rate / 4.0
+        return cls(
+            nan_rate=per_kind,
+            drop_rate=per_kind,
+            truncate_rate=per_kind,
+            exception_rate=per_kind,
+            seed=seed,
+        )
+
+
+class FaultInjector:
+    """Stateful injector applying one :class:`FaultConfig`.
+
+    Construct one injector per logical measurement stream; *labels* derive
+    an independent seeded RNG stream (so e.g. retry attempt ``2`` of job
+    ``"B"`` draws differently from attempt ``1`` without perturbing any
+    other stream).
+    """
+
+    def __init__(self, config: FaultConfig, *labels: "str | int") -> None:
+        self.config = config
+        self._rng = spawn(config.seed, "fault-injector", *labels)
+        self.injected = {"nan": 0, "drop": 0, "truncate": 0, "exception": 0}
+
+    def _fire(self, rate: float, kind: str) -> bool:
+        if rate > 0.0 and self._rng.random() < rate:
+            self.injected[kind] += 1
+            return True
+        return False
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected so far by this injector."""
+        return sum(self.injected.values())
+
+    # -- the four fault kinds ----------------------------------------------
+    def maybe_fail(self) -> None:
+        """Raise a spurious :class:`MeasurementError` at ``exception_rate``."""
+        if self._fire(self.config.exception_rate, "exception"):
+            raise MeasurementError("injected fault: spurious measurement exception")
+
+    def corrupt_trace(self, trace: "Trace") -> "Trace":
+        """Truncate *trace* at ``truncate_rate`` (otherwise return it as is)."""
+        if not self._fire(self.config.truncate_rate, "truncate"):
+            return trace
+        keep = max(1, int(trace.n_instructions * self.config.truncate_fraction))
+        return trace.slice(0, keep)
+
+    def corrupt_stats(self, stats: "HierarchyStats") -> "HierarchyStats":
+        """Apply ``nan`` / ``drop`` corruption to a measurement."""
+        if self._fire(self.config.drop_rate, "drop"):
+            from repro.core.analyzer import measure_layer
+
+            stats = replace(stats, l1=measure_layer([], [], [], []))
+        if self._fire(self.config.nan_rate, "nan"):
+            field = _NAN_FIELDS[int(self._rng.integers(len(_NAN_FIELDS)))]
+            poison = _POISONS[int(self._rng.integers(len(_POISONS)))]
+            stats = replace(stats, **{field: poison})
+        return stats
+
+    # -- composition --------------------------------------------------------
+    def wrap_simulate(
+        self, fn: "Callable[..., tuple[object, HierarchyStats]] | None" = None
+    ) -> "Callable[..., tuple[object, HierarchyStats]]":
+        """A drop-in, fault-injecting replacement for ``simulate_and_measure``.
+
+        The returned callable has the same signature and return shape; every
+        call may raise, truncate the input trace, or corrupt the returned
+        statistics according to this injector's rates.
+        """
+        if fn is None:
+            from repro.sim.stats import simulate_and_measure as fn
+
+        def faulty_simulate_and_measure(config, trace, *, seed=0, warm=True):
+            self.maybe_fail()
+            result, stats = fn(
+                config, self.corrupt_trace(trace), seed=seed, warm=warm
+            )
+            return result, self.corrupt_stats(stats)
+
+        return faulty_simulate_and_measure

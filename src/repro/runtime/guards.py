@@ -1,0 +1,103 @@
+"""Measurement validation: decide whether a report is safe to act on.
+
+The LPM algorithm and the online controller are measurement-driven loops —
+one NaN, one dropped interval, or one truncated trace can misclassify a
+case and drive the system into reconfiguration thrashing.  These guards sit
+between the analyzer and every decision point: a measurement that fails
+them raises :class:`~repro.runtime.errors.MeasurementError`, which the
+supervised evaluation path retries and the online controller rejects while
+holding the last-good configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.runtime.errors import MeasurementError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.lpm import LPMRReport
+    from repro.sim.stats import HierarchyStats
+
+__all__ = ["ensure_finite_stats", "ensure_finite_report", "checked_report"]
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise MeasurementError(f"non-finite measurement: {name} = {value}")
+
+
+def ensure_finite_stats(
+    stats: "HierarchyStats", *, expected_instructions: "int | None" = None
+) -> "HierarchyStats":
+    """Validate a :class:`HierarchyStats` before it reaches a decision.
+
+    Rejects (with :class:`MeasurementError`):
+
+    * non-finite CPI, CPI_exe, f_mem, per-layer C-AMAT or LPMR values;
+    * an overlap ratio outside ``[0, 1)``;
+    * an *empty* L1 interval report while the trace clearly issued memory
+      accesses (``f_mem > 0``) — the signature of dropped intervals;
+    * a measurement whose instruction count disagrees with
+      *expected_instructions* — the signature of a truncated trace.
+
+    Returns *stats* unchanged so the call composes inline.
+    """
+    for name in ("cpi", "cpi_exe", "f_mem"):
+        _require_finite(name, float(getattr(stats, name)))
+    for layer_name in ("l1", "l2", "mem"):
+        layer = getattr(stats, layer_name)
+        _require_finite(f"{layer_name}.camat", float(layer.camat))
+        _require_finite(f"{layer_name}.hit_time", float(layer.hit_time))
+    for name in ("lpmr1", "lpmr2", "lpmr3"):
+        _require_finite(name, float(getattr(stats, name)))
+    overlap = float(stats.overlap_ratio_cm)
+    _require_finite("overlap_ratio_cm", overlap)
+    if not 0.0 <= overlap < 1.0:
+        raise MeasurementError(f"overlap_ratio_cm out of range: {overlap}")
+    if stats.f_mem > 0.0 and stats.l1.accesses == 0:
+        raise MeasurementError(
+            "empty L1 interval report for a window with memory accesses "
+            f"(f_mem={stats.f_mem:.3f})"
+        )
+    if expected_instructions is not None and stats.n_instructions != expected_instructions:
+        raise MeasurementError(
+            f"measurement covers {stats.n_instructions} instructions, "
+            f"expected {expected_instructions} (truncated trace?)"
+        )
+    return stats
+
+
+def ensure_finite_report(report: "LPMRReport") -> "LPMRReport":
+    """Validate an :class:`LPMRReport` snapshot (finite, usable thresholds)."""
+    for name in (
+        "lpmr1", "lpmr2", "lpmr3", "camat1", "camat2", "camat3",
+        "mr1", "mr2", "f_mem", "cpi_exe", "eta_combined",
+        "hit_time1", "hit_concurrency1",
+    ):
+        _require_finite(name, float(getattr(report, name)))
+    overlap = float(report.overlap_ratio_cm)
+    _require_finite("overlap_ratio_cm", overlap)
+    if not 0.0 <= overlap < 1.0:
+        raise MeasurementError(f"overlap_ratio_cm out of range: {overlap}")
+    if report.cpi_exe <= 0.0:
+        raise MeasurementError(f"cpi_exe must be > 0, got {report.cpi_exe}")
+    return report
+
+
+def checked_report(
+    stats: "HierarchyStats", *, expected_instructions: "int | None" = None
+) -> "LPMRReport":
+    """Validate *stats* and return its (validated) LPMR report.
+
+    The one-stop entry used by the supervised measurement path: any
+    corruption surfaces as :class:`MeasurementError` here, never as a
+    mysterious ``ValueError`` deep inside threshold arithmetic.
+    """
+    ensure_finite_stats(stats, expected_instructions=expected_instructions)
+    try:
+        report = stats.lpmr_report()
+    except (ValueError, TypeError, ZeroDivisionError) as exc:
+        raise MeasurementError(f"could not assemble LPMR report: {exc}") from exc
+    return ensure_finite_report(report)

@@ -1,0 +1,101 @@
+"""JSONL checkpoint journal for long evaluation runs.
+
+Design-space explorations and profiling sweeps spend hundreds of full
+simulate-and-measure evaluations.  The journal makes those runs resumable:
+every completed evaluation is appended as one JSON line ``{"key": ...,
+"value": ...}``, and a restarted run consults the journal before paying for
+a simulation again.
+
+Robustness properties:
+
+* **append-only** — one ``open(..., "a")``/write/flush per entry, so a
+  killed process loses at most the entry being written;
+* **torn-tail tolerant** — a partially written final line (the signature of
+  a mid-write crash) is skipped on load instead of poisoning the run;
+* **last-writer-wins** — duplicate keys are allowed and the latest value is
+  kept, so re-journaling an entry after a retry is harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["CheckpointJournal"]
+
+
+class CheckpointJournal:
+    """Append-only ``key -> JSON value`` store backed by a ``.jsonl`` file.
+
+    The whole journal is loaded into memory at construction (entries are
+    small measurement dictionaries, and explorations journal at most a few
+    thousand of them), after which lookups are dict-speed.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self._entries: dict[str, object] = {}
+        self.dropped_lines = 0
+        #: A file killed mid-write can end without a newline; the next
+        #: append must start on a fresh line or it merges into (and ruins)
+        #: the torn entry.
+        self._tail_open = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        if self.path.stat().st_size > 0:
+            with self.path.open("rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                self._tail_open = fh.read(1) != b"\n"
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from a crash mid-write; skip, keep the rest.
+                    self.dropped_lines += 1
+                    continue
+                if not isinstance(obj, dict) or "key" not in obj or "value" not in obj:
+                    self.dropped_lines += 1
+                    continue
+                self._entries[str(obj["key"])] = obj["value"]
+
+    # -- mapping interface -------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """Journaled keys, in no particular order."""
+        return list(self._entries)
+
+    def get(self, key: str) -> object:
+        """The journaled value for *key* (:class:`KeyError` if absent)."""
+        return self._entries[key]
+
+    def put(self, key: str, value: object) -> None:
+        """Append one entry and update the in-memory view.
+
+        The value must be JSON-serializable; the line is flushed before the
+        file is closed so a subsequent crash cannot lose it.
+        """
+        line = json.dumps({"key": key, "value": value}, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            if self._tail_open:
+                fh.write("\n")
+                self._tail_open = False
+            fh.write(line + "\n")
+            fh.flush()
+        self._entries[key] = value
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({str(self.path)!r}, entries={len(self)})"

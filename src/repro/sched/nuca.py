@@ -14,11 +14,15 @@ snapshot per (benchmark, L1 size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sim.params import MachineConfig
 from repro.sim.stats import HierarchyStats, simulate_and_measure
 from repro.util.validation import check_int
 from repro.workloads.spec import BenchmarkProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.evaluate import EvaluationRuntime
 
 __all__ = ["CoreGroup", "NUCAMachine", "BenchmarkProfileDB", "profile_benchmarks"]
 
@@ -161,9 +165,37 @@ def profile_benchmarks(
     n_mem: int = 20000,
     seed: int = 0,
     warm: bool = True,
+    runtime: "EvaluationRuntime | None" = None,
 ) -> BenchmarkProfileDB:
-    """Simulate every benchmark standalone on every distinct L1 size."""
+    """Simulate every benchmark standalone on every distinct L1 size.
+
+    With a *runtime*, the whole (benchmark x L1 size) grid goes through the
+    supervised evaluation pool as one batch — parallel across workers, with
+    per-job retries, and checkpointed to the runtime's journal so an
+    interrupted profiling run resumes where it stopped.
+    """
     db = BenchmarkProfileDB(machine=machine, n_mem=n_mem, seed=seed)
+    if runtime is not None:
+        from repro.runtime.evaluate import EvaluationRequest
+
+        requests = []
+        slots: "list[tuple[str, int, str]]" = []
+        for profile in benchmarks:
+            trace = profile.trace(n_mem, seed=seed)
+            for l1_size in machine.distinct_l1_sizes:
+                config = machine.config_for_l1(l1_size)
+                key = (
+                    f"{profile.name}|n_mem={n_mem}|seed={seed}|warm={warm}"
+                    f"|{config.cache_key()}"
+                )
+                slots.append((profile.name, l1_size, key))
+                requests.append(EvaluationRequest(
+                    key=key, config=config, trace=trace, seed=seed, warm=warm
+                ))
+        measured = runtime.evaluate_many(requests)
+        for name, l1_size, key in slots:
+            db.stats[(name, l1_size)] = measured[key]
+        return db
     for profile in benchmarks:
         trace = profile.trace(n_mem, seed=seed)
         for l1_size in machine.distinct_l1_sizes:

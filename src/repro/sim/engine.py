@@ -39,6 +39,7 @@ import numpy as np
 from repro.sim.cache import FunctionalCache
 from repro.sim.dram import DRAMModel
 from repro.sim.mshr import MSHRFile
+from repro.runtime.errors import ConfigError
 from repro.sim.params import MachineConfig
 from repro.sim.ports import BankScheduler, PortScheduler
 from repro.sim.prefetch import (
@@ -189,7 +190,7 @@ class HierarchySimulator:
         the next :meth:`run` call's ``start_cycle``.
         """
         if config.l1 != self.config.l1 or config.l2 != self.config.l2:
-            raise ValueError("reconfigure() cannot change cache geometry")
+            raise ConfigError("reconfigure() cannot change cache geometry")
         old = self.config
         self.config = config
         if config.l1_ports != old.l1_ports:

@@ -32,8 +32,9 @@ Parameter semantics in this simulator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
+from repro.runtime.errors import ConfigError
 from repro.util.validation import check_int, check_power_of_two
 
 __all__ = [
@@ -260,6 +261,20 @@ class MachineConfig:
             "l2_banks": self.l2_banks,
         }
 
+    def cache_key(self) -> str:
+        """Stable identity string over every timing-relevant parameter.
+
+        Two configurations with equal keys simulate identically, regardless
+        of their display ``name`` — this is what measurement caches and
+        checkpoint journals must key on (keying on ``name`` lets two
+        configurations sharing a label alias each other's results).
+        """
+        fields = asdict(self)
+        fields.pop("name")
+        # Non-dataclass extension objects (prefetcher, bypass) fall back to
+        # their reprs, which the sim modules keep parameter-complete.
+        return repr(sorted(fields.items()))
+
 
 DEFAULT_MACHINE = MachineConfig()
 
@@ -278,7 +293,7 @@ def table1_config(label: str, base: MachineConfig = DEFAULT_MACHINE) -> MachineC
     try:
         knobs = _TABLE1_KNOBS[label.upper()]
     except KeyError:
-        raise ValueError(f"unknown Table I configuration {label!r}; use A..E") from None
+        raise ConfigError(f"unknown Table I configuration {label!r}; use A..E") from None
     return base.with_knobs(name=label.upper(), **knobs)
 
 

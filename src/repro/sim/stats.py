@@ -169,6 +169,50 @@ class HierarchyStats:
         """Achieved instructions per cycle."""
         return 1.0 / self.cpi if self.cpi else 0.0
 
+    # -- serialization (checkpoint journal) -------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form, round-tripped by :meth:`from_dict`.
+
+        Used by the evaluation runtime's checkpoint journal so interrupted
+        explorations resume without re-simulating completed design points.
+        """
+        data = {
+            "cpi": self.cpi,
+            "cpi_exe": self.cpi_exe,
+            "f_mem": self.f_mem,
+            "n_instructions": self.n_instructions,
+            "mr1_conventional": self.mr1_conventional,
+            "mr1_request": self.mr1_request,
+            "mr2_conventional": self.mr2_conventional,
+            "mr2_request": self.mr2_request,
+            "mr3_conventional": self.mr3_conventional,
+            "mr3_request": self.mr3_request,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "mem": self.mem.to_dict(),
+        }
+        if self.l3 is not None:
+            data["l3"] = self.l3.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HierarchyStats":
+        """Inverse of :meth:`to_dict`."""
+        layers = {
+            name: LayerMeasurement.from_dict(data[name]) for name in ("l1", "l2", "mem")
+        }
+        l3 = LayerMeasurement.from_dict(data["l3"]) if "l3" in data else None
+        scalars = {
+            k: data[k]
+            for k in (
+                "cpi", "cpi_exe", "f_mem", "n_instructions",
+                "mr1_conventional", "mr1_request",
+                "mr2_conventional", "mr2_request",
+                "mr3_conventional", "mr3_request",
+            )
+        }
+        return cls(l3=l3, **layers, **scalars)
+
 
 def measure_hierarchy(result: SimulationResult, cpi_exe: float) -> HierarchyStats:
     """Run the C-AMAT analyzer over a simulation's records."""

@@ -182,3 +182,54 @@ class TestController:
             OnlineLPMController(space, delta_percent=0.0)
         with pytest.raises(ValueError):
             OnlineLPMController(space, reconfiguration_cost=-1)
+        with pytest.raises(ValueError):
+            OnlineLPMController(space, cooldown_intervals=-1)
+        with pytest.raises(ValueError):
+            OnlineLPMController(space, confirm_intervals=0)
+
+
+class TestRobustness:
+    def test_mean_hardware_cost_with_zero_total_cycles(self):
+        # Regression: a degenerate run (reconfiguration overhead only, or
+        # fully rejected intervals) must not divide by zero.
+        r = OnlineRunResult(total_cycles=0, reconfiguration_cycles=0)
+        assert r.mean_hardware_cost == 0.0
+        r2 = OnlineRunResult(total_cycles=8, reconfigurations=2,
+                             reconfiguration_cycles=8)
+        assert r2.mean_hardware_cost == 0.0  # no interval cycles either
+
+    def test_default_hysteresis_matches_eager_behavior(self, space, workload):
+        eager = OnlineLPMController(space, interval_instructions=4000,
+                                    delta_percent=60.0, seed=0).run(workload)
+        explicit = OnlineLPMController(space, interval_instructions=4000,
+                                       delta_percent=60.0, seed=0,
+                                       cooldown_intervals=0,
+                                       confirm_intervals=1).run(workload)
+        assert explicit.cases() == eager.cases()
+        assert explicit.reconfigurations == eager.reconfigurations
+        assert explicit.held_reconfigurations == eager.held_reconfigurations == 0 \
+            or explicit.held_reconfigurations == eager.held_reconfigurations
+
+    def test_cooldown_suppresses_back_to_back_reconfigurations(self, space, workload):
+        eager = OnlineLPMController(space, interval_instructions=4000,
+                                    delta_percent=60.0, seed=0).run(workload)
+        cooled = OnlineLPMController(space, interval_instructions=4000,
+                                     delta_percent=60.0, seed=0,
+                                     cooldown_intervals=3).run(workload)
+        assert cooled.reconfigurations <= eager.reconfigurations
+        if eager.reconfigurations > 1:
+            assert cooled.reconfigurations < eager.reconfigurations
+            assert cooled.held_reconfigurations > 0
+        # No two applied reconfigurations closer than the cooldown.
+        applied = [r.index for r in cooled.intervals if r.reconfigured]
+        assert all(b - a > 3 for a, b in zip(applied, applied[1:]))
+
+    def test_confirmation_requires_consecutive_agreement(self, space, workload):
+        eager = OnlineLPMController(space, interval_instructions=4000,
+                                    delta_percent=60.0, seed=0).run(workload)
+        confirmed = OnlineLPMController(space, interval_instructions=4000,
+                                        delta_percent=60.0, seed=0,
+                                        confirm_intervals=2).run(workload)
+        assert confirmed.reconfigurations <= eager.reconfigurations
+        # The first interval can never reconfigure under confirm_intervals=2.
+        assert not confirmed.intervals[0].reconfigured

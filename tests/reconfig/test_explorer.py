@@ -62,6 +62,27 @@ class TestLadderBackend:
         with pytest.raises(ValueError):
             LadderBackend([], bwaves_trace)
 
+    def test_cache_keys_on_knobs_not_name(self, bwaves_trace):
+        # Regression: two configurations sharing a display name must not
+        # alias each other's measurements.
+        weak = table1_config("A").with_knobs(name="same")
+        strong = table1_config("D").with_knobs(name="same")
+        backend = LadderBackend([weak, strong], bwaves_trace)
+        weak_report = backend.measure()
+        backend.optimize(l1=True, l2=True)
+        strong_report = backend.measure()
+        assert backend.log.evaluations == 2
+        assert strong_report.lpmr1 != weak_report.lpmr1
+
+    def test_same_knobs_different_name_share_measurement(self, bwaves_trace):
+        a1 = table1_config("A")
+        a2 = table1_config("A").with_knobs(name="A-again")
+        backend = LadderBackend([a1, a2], bwaves_trace)
+        backend.measure()
+        backend.optimize(l1=True, l2=True)
+        backend.measure()
+        assert backend.log.evaluations == 1  # identical knobs: one simulation
+
 
 class TestAlgorithmOnLadder:
     def test_walk_reduces_stall(self, bwaves_trace):

@@ -1,0 +1,154 @@
+"""Tests for the EvaluationRuntime façade (pool + journal + faults)."""
+
+import json
+
+import pytest
+
+from repro.runtime.evaluate import EvaluationRequest, EvaluationRuntime
+from repro.runtime.faults import FaultConfig
+from repro.runtime.journal import CheckpointJournal
+from repro.runtime.pool import PoolConfig, RetryPolicy
+from repro.sim.params import table1_config
+from repro.sim.stats import HierarchyStats, simulate_and_measure
+from repro.workloads.spec import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_benchmark("401.bzip2").trace(1500, seed=3)
+
+
+def _requests(trace, labels="AB"):
+    return [
+        EvaluationRequest(
+            key=f"{label}|{table1_config(label).cache_key()}",
+            config=table1_config(label), trace=trace,
+        )
+        for label in labels
+    ]
+
+
+class TestSerialization:
+    def test_hierarchy_stats_round_trip(self, trace):
+        _, stats = simulate_and_measure(table1_config("A"), trace, seed=0)
+        clone = HierarchyStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+        assert clone.lpmr1 == stats.lpmr1
+
+
+class TestInlineEvaluate:
+    def test_single_and_batch_agree(self, trace):
+        rt = EvaluationRuntime()
+        req = _requests(trace, "A")[0]
+        single = rt.evaluate(req)
+        batch = EvaluationRuntime().evaluate_many([req])[req.key]
+        assert single.cpi == batch.cpi
+        assert rt.counters.simulations == 1
+
+    def test_matches_direct_call(self, trace):
+        rt = EvaluationRuntime()
+        req = _requests(trace, "A")[0]
+        stats = rt.evaluate(req)
+        _, direct = simulate_and_measure(req.config, trace, seed=0)
+        assert stats == direct
+
+    def test_duplicate_requests_deduplicated(self, trace):
+        rt = EvaluationRuntime()
+        req = _requests(trace, "A")[0]
+        out = rt.evaluate_many([req, req])
+        assert len(out) == 1 and rt.counters.simulations == 1
+
+
+class TestJournaling:
+    def test_resume_skips_completed_work(self, trace, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = EvaluationRuntime(journal=path)
+        out1 = first.evaluate_many(_requests(trace))
+        assert first.counters.simulations == 2
+
+        second = EvaluationRuntime(journal=path)
+        out2 = second.evaluate_many(_requests(trace))
+        assert second.counters.simulations == 0
+        assert second.counters.journal_hits == 2
+        for key in out1:
+            assert out2[key] == out1[key]
+
+    def test_partial_journal_runs_only_missing(self, trace, tmp_path):
+        path = tmp_path / "j.jsonl"
+        EvaluationRuntime(journal=path).evaluate_many(_requests(trace, "A"))
+
+        rt = EvaluationRuntime(journal=path)
+        rt.evaluate_many(_requests(trace, "AB"))
+        assert rt.counters.journal_hits == 1
+        assert rt.counters.simulations == 1
+
+    def test_checkpoints_during_batch_not_after(self, trace, tmp_path):
+        # One successful job must reach the journal even when a later job in
+        # the same batch exhausts its retries and fails the whole run.  The
+        # injector draws per (job key, attempt), so scan for a fault seed
+        # that spares the first key and dooms the second deterministically.
+        from repro.runtime.errors import MeasurementError
+        from repro.runtime.faults import FaultInjector
+
+        def fires(cfg, key):
+            try:
+                FaultInjector(cfg, key, 1).maybe_fail()
+                return False
+            except MeasurementError:
+                return True
+
+        cfg = next(
+            c for c in (FaultConfig(exception_rate=0.5, seed=s) for s in range(100))
+            if not fires(c, "good") and fires(c, "doomed")
+        )
+        path = tmp_path / "j.jsonl"
+        rt = EvaluationRuntime(
+            pool=PoolConfig(retry=RetryPolicy(max_retries=0)),
+            journal=path, faults=cfg,
+        )
+        with pytest.raises(MeasurementError):
+            rt.evaluate_many([
+                EvaluationRequest(key="good", config=table1_config("A"), trace=trace),
+                EvaluationRequest(key="doomed", config=table1_config("B"), trace=trace),
+            ])
+        reloaded = CheckpointJournal(path)
+        assert "good" in reloaded
+        assert "doomed" not in reloaded
+
+    def test_journal_accepts_existing_instance(self, trace, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        rt = EvaluationRuntime(journal=journal)
+        rt.evaluate_many(_requests(trace, "A"))
+        assert len(journal) == 1
+
+
+class TestPooledEvaluate:
+    def test_pooled_matches_inline_bit_for_bit(self, trace):
+        inline = EvaluationRuntime().evaluate_many(_requests(trace))
+        pooled = EvaluationRuntime(
+            pool=PoolConfig(max_workers=2, timeout_s=120)
+        ).evaluate_many(_requests(trace))
+        assert pooled == inline
+
+
+class TestFaultyEvaluate:
+    def test_ten_percent_faults_converge_to_clean_results(self, trace):
+        clean = EvaluationRuntime().evaluate_many(_requests(trace, "ABCDE"))
+        faulty_rt = EvaluationRuntime(
+            pool=PoolConfig(retry=RetryPolicy(max_retries=4, backoff_base=0.01)),
+            faults=FaultConfig.uniform(0.10, seed=7),
+        )
+        faulty = faulty_rt.evaluate_many(_requests(trace, "ABCDE"))
+        assert faulty == clean
+
+    def test_retries_redraw_fault_randomness(self, trace):
+        # With per-(job, attempt) injector seeding, a high fault rate still
+        # converges given enough retries: attempts are independent draws.
+        rt = EvaluationRuntime(
+            pool=PoolConfig(retry=RetryPolicy(max_retries=10, backoff_base=0.001)),
+            faults=FaultConfig.uniform(0.6, seed=3),
+        )
+        out = rt.evaluate_many(_requests(trace, "AB"))
+        _, direct = simulate_and_measure(table1_config("A"), trace, seed=0)
+        assert out[_requests(trace, "A")[0].key] == direct
+        assert rt.counters.retries > 0

@@ -1,0 +1,119 @@
+"""Tests for the fault-injection layer."""
+
+import math
+
+import pytest
+
+from repro.runtime.errors import MeasurementError
+from repro.runtime.faults import FaultConfig, FaultInjector
+from repro.runtime.guards import ensure_finite_stats
+from repro.sim.params import table1_config
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.spec import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_benchmark("401.bzip2").trace(1500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def clean_stats(trace):
+    _, st = simulate_and_measure(table1_config("A"), trace, seed=0)
+    return st
+
+
+class TestFaultConfig:
+    def test_uniform_splits_rate(self):
+        cfg = FaultConfig.uniform(0.4, seed=5)
+        assert cfg.nan_rate == cfg.drop_rate == cfg.truncate_rate == cfg.exception_rate
+        assert cfg.total_rate == pytest.approx(0.4)
+        assert cfg.seed == 5
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(nan_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig.uniform(-0.1)
+
+    def test_zero_by_default(self):
+        assert FaultConfig().total_rate == 0.0
+
+
+class TestFaultInjector:
+    def test_exception_kind(self):
+        inj = FaultInjector(FaultConfig(exception_rate=1.0), "k")
+        with pytest.raises(MeasurementError, match="injected"):
+            inj.maybe_fail()
+        assert inj.injected["exception"] == 1
+
+    def test_nan_kind_is_guard_detectable(self, clean_stats):
+        inj = FaultInjector(FaultConfig(nan_rate=1.0), "k")
+        corrupted = inj.corrupt_stats(clean_stats)
+        with pytest.raises(MeasurementError):
+            ensure_finite_stats(corrupted)
+
+    def test_drop_kind_is_guard_detectable(self, clean_stats):
+        inj = FaultInjector(FaultConfig(drop_rate=1.0), "k")
+        corrupted = inj.corrupt_stats(clean_stats)
+        assert corrupted.l1.accesses == 0
+        with pytest.raises(MeasurementError, match="empty L1"):
+            ensure_finite_stats(corrupted)
+
+    def test_truncate_kind(self, trace):
+        inj = FaultInjector(
+            FaultConfig(truncate_rate=1.0, truncate_fraction=0.5), "k"
+        )
+        short = inj.corrupt_trace(trace)
+        assert 0 < short.n_instructions < trace.n_instructions
+
+    def test_no_faults_at_zero_rate(self, trace, clean_stats):
+        inj = FaultInjector(FaultConfig(), "k")
+        inj.maybe_fail()
+        assert inj.corrupt_trace(trace) is trace
+        assert inj.corrupt_stats(clean_stats) == clean_stats
+        assert inj.total_injected == 0
+
+    def test_deterministic_per_label(self):
+        cfg = FaultConfig.uniform(0.5, seed=11)
+
+        def draws(*labels):
+            inj = FaultInjector(cfg, *labels)
+            out = []
+            for _ in range(50):
+                try:
+                    inj.maybe_fail()
+                    out.append(False)
+                except MeasurementError:
+                    out.append(True)
+            return out
+
+        assert draws("job", 1) == draws("job", 1)
+        assert draws("job", 1) != draws("job", 2)
+
+
+class TestWrapSimulate:
+    def test_wrapped_clean_when_rate_zero(self, trace):
+        inj = FaultInjector(FaultConfig(), "k")
+        faulty = inj.wrap_simulate()
+        _, st = faulty(table1_config("A"), trace, seed=0)
+        _, clean = simulate_and_measure(table1_config("A"), trace, seed=0)
+        assert st.cpi == clean.cpi
+
+    def test_every_injected_corruption_is_detectable(self, trace):
+        # The contract that makes retries sound: whatever the injector does,
+        # the guards catch it (or it raised already).
+        cfg = table1_config("A")
+        expected = trace.n_instructions
+        detected = 0
+        for attempt in range(30):
+            inj = FaultInjector(FaultConfig.uniform(0.8, seed=2), "det", attempt)
+            faulty = inj.wrap_simulate()
+            try:
+                _, st = faulty(cfg, trace, seed=0)
+                ensure_finite_stats(st, expected_instructions=expected)
+            except MeasurementError:
+                detected += 1
+                continue
+            assert inj.total_injected == 0, "undetected corruption"
+        assert detected > 0  # at 80% total rate some attempts must corrupt

@@ -1,0 +1,67 @@
+"""Tests for the measurement-validation guards."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.analyzer import measure_layer
+from repro.core.lpm import LPMRReport
+from repro.runtime.errors import MeasurementError
+from repro.runtime.guards import checked_report, ensure_finite_report, ensure_finite_stats
+from repro.sim.params import table1_config
+from repro.sim.stats import simulate_and_measure
+from repro.workloads.spec import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def stats():
+    trace = get_benchmark("401.bzip2").trace(1500, seed=3)
+    _, st = simulate_and_measure(table1_config("A"), trace, seed=0)
+    return st
+
+
+class TestEnsureFiniteStats:
+    def test_clean_measurement_passes_through(self, stats):
+        assert ensure_finite_stats(stats) is stats
+
+    def test_expected_instruction_count_accepted(self, stats):
+        ensure_finite_stats(stats, expected_instructions=stats.n_instructions)
+
+    @pytest.mark.parametrize("field", ["cpi", "cpi_exe", "f_mem"])
+    @pytest.mark.parametrize("poison", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_scalar_rejected(self, stats, field, poison):
+        with pytest.raises(MeasurementError, match="non-finite"):
+            ensure_finite_stats(replace(stats, **{field: poison}))
+
+    def test_dropped_l1_intervals_rejected(self, stats):
+        empty = replace(stats, l1=measure_layer([], [], [], []))
+        with pytest.raises(MeasurementError, match="empty L1"):
+            ensure_finite_stats(empty)
+
+    def test_truncated_measurement_rejected(self, stats):
+        with pytest.raises(MeasurementError, match="truncated"):
+            ensure_finite_stats(
+                stats, expected_instructions=stats.n_instructions + 1000
+            )
+
+
+class TestReportGuards:
+    def test_checked_report_returns_report(self, stats):
+        report = checked_report(stats, expected_instructions=stats.n_instructions)
+        assert isinstance(report, LPMRReport)
+        assert math.isfinite(report.lpmr1)
+
+    def test_checked_report_rejects_poison(self, stats):
+        with pytest.raises(MeasurementError):
+            checked_report(replace(stats, cpi_exe=math.nan))
+
+    def test_ensure_finite_report_rejects_nan(self, stats):
+        report = stats.lpmr_report()
+        bad = replace(report, camat2=math.inf)
+        with pytest.raises(MeasurementError):
+            ensure_finite_report(bad)
+
+    def test_ensure_finite_report_accepts_clean(self, stats):
+        report = stats.lpmr_report()
+        assert ensure_finite_report(report) is report

@@ -1,0 +1,61 @@
+"""Tests for the JSONL checkpoint journal."""
+
+from repro.runtime.journal import CheckpointJournal
+
+
+class TestRoundTrip:
+    def test_put_get_contains_len(self, tmp_path):
+        j = CheckpointJournal(tmp_path / "j.jsonl")
+        assert len(j) == 0 and "a" not in j
+        j.put("a", {"x": 1.5})
+        j.put("b", [1, 2, 3])
+        assert "a" in j and len(j) == 2
+        assert j.get("a") == {"x": 1.5}
+        assert j.get("b") == [1, 2, 3]
+        assert sorted(j.keys()) == ["a", "b"]
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal(path).put("k", {"cpi": 2.0})
+        reloaded = CheckpointJournal(path)
+        assert reloaded.get("k") == {"cpi": 2.0}
+        assert reloaded.dropped_lines == 0
+
+    def test_last_writer_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal(path)
+        j.put("k", 1)
+        j.put("k", 2)
+        assert j.get("k") == 2
+        assert CheckpointJournal(path).get("k") == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(CheckpointJournal(tmp_path / "nope.jsonl")) == 0
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal(path)
+        j.put("a", 1)
+        j.put("b", 2)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "c", "val')  # killed mid-write
+        reloaded = CheckpointJournal(path)
+        assert sorted(reloaded.keys()) == ["a", "b"]
+        assert reloaded.dropped_lines == 1
+
+    def test_malformed_entries_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"no_key": true}\n[1,2,3]\n{"key":"a","value":7}\n')
+        j = CheckpointJournal(path)
+        assert j.get("a") == 7
+        assert j.dropped_lines == 2
+
+    def test_writable_after_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"key": "a", "value": 1}\n{"key": "b"')
+        j = CheckpointJournal(path)
+        j.put("c", 3)
+        reloaded = CheckpointJournal(path)
+        assert "a" in reloaded and "c" in reloaded

@@ -1,0 +1,177 @@
+"""Tests for the supervised evaluation pool.
+
+The worker-side callables live at module level so they pickle across
+process boundaries.  Cross-process coordination uses marker files under
+``tmp_path`` (create-on-first-attempt), which works for every start method.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.runtime.errors import EvaluationTimeout, MeasurementError, WorkerCrashed
+from repro.runtime.pool import EvaluationPool, Job, JobResult, PoolConfig, RetryPolicy
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise MeasurementError("always fails")
+
+
+def _fail_until_attempt(threshold, _attempt=1):
+    if _attempt < threshold:
+        raise MeasurementError(f"attempt {_attempt} too early")
+    return _attempt
+
+
+def _sleep_first_attempt(marker_path, value):
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write("seen")
+        time.sleep(30.0)  # first attempt hangs; supervisor must kill it
+    return value
+
+
+def _crash_first_attempt(marker_path, value):
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write("seen")
+        os._exit(3)  # hard kill: no exception, no cleanup
+    return value
+
+
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_jitter=0.0)
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay(1, rng) == pytest.approx(0.1)
+        assert policy.delay(2, rng) == pytest.approx(0.2)
+        assert policy.delay(3, rng) == pytest.approx(0.4)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=1.0, backoff_jitter=0.5)
+        rng = random.Random(123)
+        for _ in range(100):
+            assert 0.1 <= policy.delay(1, rng) <= 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestInlineMode:
+    def test_success(self):
+        pool = EvaluationPool(PoolConfig(max_workers=0))
+        results = pool.run([Job("a", _square, (3,)), Job("b", _square, (4,))])
+        assert results["a"].value == 9 and results["b"].value == 16
+        assert all(r.ok and r.attempts == 1 for r in results.values())
+
+    def test_retry_until_success(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        results = pool.run([
+            Job("j", _fail_until_attempt, (3,), pass_attempt=True)
+        ])
+        r = results["j"]
+        assert r.ok and r.value == 3
+        assert pool.retries == 2
+        assert r.waited_s > 0.0
+
+    def test_exhausted_retries_raise_last_error(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        with pytest.raises(MeasurementError, match="always fails"):
+            pool.run([Job("j", _boom)])
+
+    def test_on_error_keep_returns_failure(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        results = pool.run([Job("j", _boom), Job("k", _square, (2,))],
+                           on_error="keep")
+        assert not results["j"].ok
+        assert isinstance(results["j"].error, MeasurementError)
+        assert results["k"].value == 4
+
+    def test_duplicate_keys_rejected(self):
+        pool = EvaluationPool()
+        with pytest.raises(ValueError, match="duplicate"):
+            pool.run([Job("j", _square, (1,)), Job("j", _square, (2,))])
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationPool().run([], on_error="explode")
+
+    def test_on_result_fires_per_terminal_job(self):
+        seen: list[JobResult] = []
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        pool.run([Job("a", _square, (2,)), Job("b", _boom)],
+                 on_error="keep", on_result=seen.append)
+        assert sorted(r.key for r in seen) == ["a", "b"]
+        by_key = {r.key: r for r in seen}
+        assert by_key["a"].ok and not by_key["b"].ok
+
+
+class TestSupervisedMode:
+    def test_parallel_success(self):
+        pool = EvaluationPool(PoolConfig(max_workers=2, retry=FAST_RETRY))
+        jobs = [Job(f"j{i}", _square, (i,)) for i in range(6)]
+        results = pool.run(jobs)
+        assert [results[f"j{i}"].value for i in range(6)] == [i * i for i in range(6)]
+
+    def test_timeout_kills_and_retry_succeeds(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        pool = EvaluationPool(
+            PoolConfig(max_workers=1, timeout_s=0.5, retry=FAST_RETRY)
+        )
+        results = pool.run([Job("j", _sleep_first_attempt, (marker, 42))])
+        r = results["j"]
+        assert r.ok and r.value == 42
+        assert r.timeouts == 1
+        assert pool.timeouts == 1
+        assert pool.worker_restarts >= 1
+
+    def test_timeout_exhaustion_raises_evaluation_timeout(self, tmp_path):
+        pool = EvaluationPool(PoolConfig(
+            max_workers=1, timeout_s=0.3,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01, backoff_jitter=0.0),
+        ))
+        # No marker file: every attempt hangs and is killed.
+        missing = str(tmp_path / "never-created" / "marker")
+        with pytest.raises(EvaluationTimeout):
+            pool.run([Job("j", time.sleep, (30.0,), {})])
+        assert pool.timeouts == 2  # initial attempt + one retry
+        _ = missing
+
+    def test_crashed_worker_is_replaced(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        pool = EvaluationPool(PoolConfig(max_workers=2, retry=FAST_RETRY))
+        jobs = [Job("crash", _crash_first_attempt, (marker, 7))] + [
+            Job(f"ok{i}", _square, (i,)) for i in range(3)
+        ]
+        results = pool.run(jobs)
+        assert results["crash"].ok and results["crash"].value == 7
+        assert results["crash"].crashes == 1
+        assert pool.worker_restarts >= 1
+        assert all(results[f"ok{i}"].value == i * i for i in range(3))
+
+    def test_crash_exhaustion_reports_worker_crashed(self, tmp_path):
+        pool = EvaluationPool(PoolConfig(
+            max_workers=1,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01, backoff_jitter=0.0),
+        ))
+        results = pool.run([Job("j", os._exit, (5,))], on_error="keep")
+        assert isinstance(results["j"].error, WorkerCrashed)
+        assert results["j"].crashes == 2
+
+    def test_counters_accumulate_across_runs(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        pool.run([Job("a", _fail_until_attempt, (2,), pass_attempt=True)])
+        pool.run([Job("b", _fail_until_attempt, (2,), pass_attempt=True)])
+        assert pool.retries == 2

@@ -1,0 +1,198 @@
+"""Acceptance tests: resumable exploration and fault-tolerant control loops.
+
+These are the PR's end-to-end guarantees:
+
+* a killed exploration resumes from its checkpoint journal, lands on the
+  same final design point, and re-evaluates nothing;
+* a walk with 10% injected measurement faults completes and reaches the
+  same final case classification as the fault-free walk;
+* the online controller under 10% fault injection never acts on a
+  non-finite report and finishes on a valid configuration.
+"""
+
+import pytest
+
+from repro.core.algorithm import LPMAlgorithm
+from repro.core.online import OnlineLPMController
+from repro.reconfig.explorer import GreedyReconfigBackend, LadderBackend
+from repro.reconfig.space import DesignSpace
+from repro.runtime.evaluate import EvaluationRuntime
+from repro.runtime.faults import FaultConfig, FaultInjector
+from repro.runtime.journal import CheckpointJournal
+from repro.runtime.pool import PoolConfig, RetryPolicy
+from repro.sim.params import table1_config
+from repro.workloads.spec import get_benchmark
+
+DELTA = 150.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_benchmark("410.bwaves").trace(6000, seed=7)
+
+
+def _greedy_walk(trace, journal_path):
+    runtime = EvaluationRuntime(journal=journal_path)
+    backend = GreedyReconfigBackend(DesignSpace(), trace, runtime=runtime)
+    algo = LPMAlgorithm(delta_percent=DELTA, delta_slack_fraction=0.5, max_steps=6)
+    result = algo.run(backend)
+    return backend, runtime, result
+
+
+class TestExplorationResume:
+    def test_killed_exploration_resumes_without_duplicates(self, trace, tmp_path):
+        path = tmp_path / "explore.jsonl"
+        backend1, runtime1, result1 = _greedy_walk(trace, path)
+        total = runtime1.counters.simulations
+        assert total > 0 and backend1.log.evaluations == total
+
+        # Simulate a kill partway through: keep only the first K journal
+        # lines, as if the process died mid-run.
+        keep = max(1, total // 2)
+        lines = path.read_text().splitlines(keepends=True)
+        assert len(lines) == total
+        path.write_text("".join(lines[:keep]))
+
+        backend2, runtime2, result2 = _greedy_walk(trace, path)
+        assert backend2.point == backend1.point  # same final design point
+        assert result2.status == result1.status
+        assert runtime2.counters.journal_hits == keep
+        assert runtime2.counters.simulations == total - keep
+        assert backend2.log.evaluations == total - keep  # zero duplicates
+
+    def test_untouched_journal_resumes_for_free(self, trace, tmp_path):
+        path = tmp_path / "explore.jsonl"
+        backend1, _, _ = _greedy_walk(trace, path)
+        backend2, runtime2, _ = _greedy_walk(trace, path)
+        assert backend2.point == backend1.point
+        assert runtime2.counters.simulations == 0
+        assert backend2.log.evaluations == 0
+
+    def test_journal_reused_across_pool_modes(self, trace, tmp_path):
+        path = tmp_path / "explore.jsonl"
+        inline_runtime = EvaluationRuntime(journal=path)
+        backend = GreedyReconfigBackend(DesignSpace(), trace, runtime=inline_runtime)
+        algo = LPMAlgorithm(delta_percent=DELTA, delta_slack_fraction=0.5, max_steps=3)
+        algo.run(backend)
+        assert len(CheckpointJournal(path)) == inline_runtime.counters.simulations
+
+        pooled_runtime = EvaluationRuntime(
+            pool=PoolConfig(max_workers=2, timeout_s=120), journal=path
+        )
+        backend2 = GreedyReconfigBackend(DesignSpace(), trace, runtime=pooled_runtime)
+        algo.run(backend2)
+        assert pooled_runtime.counters.simulations == 0  # all from the journal
+
+
+def _ladder_walk(trace, runtime=None):
+    backend = LadderBackend(
+        [table1_config(c) for c in "ABCD"], trace,
+        deprovision_configs=[table1_config("E")],
+        runtime=runtime,
+    )
+    algo = LPMAlgorithm(delta_percent=DELTA, delta_slack_fraction=0.5, max_steps=10)
+    return backend, algo.run(backend)
+
+
+class TestFaultInjectedWalk:
+    def test_ten_percent_faults_reach_fault_free_classification(self, trace):
+        _, clean = _ladder_walk(trace)
+        runtime = EvaluationRuntime(
+            pool=PoolConfig(retry=RetryPolicy(max_retries=4, backoff_base=0.01)),
+            faults=FaultConfig.uniform(0.10, seed=11),
+        )
+        backend, faulty = _ladder_walk(trace, runtime=runtime)
+        assert faulty.status == clean.status
+        assert faulty.final_case == clean.final_case
+        assert [s.case for s in faulty.steps] == [s.case for s in clean.steps]
+        assert backend.current.name == _ladder_walk(trace)[0].current.name
+
+    def test_faulty_walk_reports_match_clean(self, trace):
+        _, clean = _ladder_walk(trace)
+        runtime = EvaluationRuntime(
+            pool=PoolConfig(retry=RetryPolicy(max_retries=4, backoff_base=0.01)),
+            faults=FaultConfig.uniform(0.10, seed=5),
+        )
+        _, faulty = _ladder_walk(trace, runtime=runtime)
+        # Deterministic simulation + guarded retries: the surviving
+        # measurements are bit-identical, not merely close.
+        assert faulty.final_report.lpmr1 == clean.final_report.lpmr1
+
+
+class TestFaultInjectedOnlineController:
+    def _run(self, trace, injector=None, **kwargs):
+        controller = OnlineLPMController(
+            DesignSpace(),
+            interval_instructions=4000,
+            delta_percent=DELTA,
+            fault_injector=injector,
+            seed=0,
+            **kwargs,
+        )
+        return controller, controller.run(trace)
+
+    def test_ten_percent_faults_never_poison_the_controller(self, trace):
+        injector = FaultInjector(FaultConfig.uniform(0.10, seed=13), "online")
+        controller, result = self._run(trace, injector)
+        # Whatever was injected, every surviving interval record is from a
+        # validated report and the final configuration is a legal point.
+        DesignSpace().validate(controller.point)
+        for record in result.intervals:
+            assert record.report.lpmr1 == record.report.lpmr1  # not NaN
+        assert result.rejected_intervals + len(result.intervals) > 0
+
+    def test_rejected_intervals_are_counted_and_skipped(self, trace):
+        injector = FaultInjector(FaultConfig(exception_rate=1.0), "online")
+        controller, result = self._run(trace, injector)
+        assert result.intervals == []
+        assert result.rejected_intervals > 0
+        assert result.reconfigurations == 0
+        assert controller.point == DesignSpace().minimum_point()  # held last-good
+        assert result.mean_hardware_cost == 0.0  # degenerate run, no crash
+        assert result.total_cycles > 0  # the intervals still executed
+
+    def test_fault_free_run_unchanged_by_zero_rate_injector(self, trace):
+        _, clean = self._run(trace, None)
+        injector = FaultInjector(FaultConfig(), "online")
+        _, with_injector = self._run(trace, injector)
+        assert with_injector.cases() == clean.cases()
+        assert with_injector.total_cycles == clean.total_cycles
+
+
+class TestRuntimeBackedHelpers:
+    def test_profile_benchmarks_through_runtime(self, tmp_path):
+        from repro.sched.nuca import NUCAMachine, profile_benchmarks
+
+        machine = NUCAMachine()
+        benchmarks = [get_benchmark(n) for n in ("401.bzip2", "429.mcf")]
+        plain = profile_benchmarks(machine, benchmarks, n_mem=800, seed=1)
+
+        path = tmp_path / "profiles.jsonl"
+        runtime = EvaluationRuntime(journal=path)
+        via_runtime = profile_benchmarks(
+            machine, benchmarks, n_mem=800, seed=1, runtime=runtime
+        )
+        assert via_runtime.stats == plain.stats
+        grid = len(benchmarks) * len(machine.distinct_l1_sizes)
+        assert runtime.counters.simulations == grid
+
+        resumed_rt = EvaluationRuntime(journal=path)
+        resumed = profile_benchmarks(
+            machine, benchmarks, n_mem=800, seed=1, runtime=resumed_rt
+        )
+        assert resumed.stats == plain.stats
+        assert resumed_rt.counters.simulations == 0
+        assert resumed_rt.counters.journal_hits == grid
+
+    def test_sweep_configs_through_runtime(self):
+        from repro.analysis.sweep import sweep_configs
+
+        trace = get_benchmark("401.bzip2").trace(800, seed=2)
+        configs = [table1_config(c) for c in "AB"]
+        plain = sweep_configs(configs, trace, seed=0)
+        pooled = sweep_configs(
+            configs, trace, seed=0,
+            runtime=EvaluationRuntime(pool=PoolConfig(max_workers=2, timeout_s=120)),
+        )
+        assert pooled.labels == plain.labels
+        assert pooled.stats == plain.stats

@@ -1,0 +1,38 @@
+"""Tests for MachineConfig identity and configuration errors."""
+
+import pytest
+
+from repro.runtime.errors import ConfigError
+from repro.sim.params import DEFAULT_MACHINE, table1_config
+
+
+class TestCacheKey:
+    def test_name_does_not_affect_identity(self):
+        a = table1_config("A")
+        renamed = a.with_knobs(name="production")
+        assert a.cache_key() == renamed.cache_key()
+
+    def test_any_knob_change_changes_identity(self):
+        a = table1_config("A")
+        assert a.cache_key() != a.with_knobs(mshr_count=8).cache_key()
+        assert a.cache_key() != a.with_knobs(l1_size_bytes=64 * 1024).cache_key()
+        assert a.cache_key() != a.with_(l1_hit_time=4).cache_key()
+
+    def test_table1_labels_are_all_distinct(self):
+        keys = {table1_config(label).cache_key() for label in "ABCDE"}
+        assert len(keys) == 5
+
+    def test_stable_across_instances(self):
+        assert table1_config("B").cache_key() == table1_config("B").cache_key()
+
+
+class TestTable1Errors:
+    def test_unknown_label_is_config_error(self):
+        with pytest.raises(ConfigError):
+            table1_config("Q")
+
+    def test_lowercase_labels_accepted(self):
+        assert table1_config("c").name == "C"
+
+    def test_default_machine_has_key(self):
+        assert isinstance(DEFAULT_MACHINE.cache_key(), str)

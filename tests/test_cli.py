@@ -49,9 +49,32 @@ class TestCommands:
         assert rc == 0
         assert "default" in capsys.readouterr().out
 
-    def test_simulate_rejects_unknown_config(self):
-        with pytest.raises(ValueError):
-            main(["simulate", "--config", "Z", "--accesses", "1000"])
+    def test_simulate_rejects_unknown_config(self, capsys):
+        rc = main(["simulate", "--config", "Z", "--accesses", "1000"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Z" in err
+
+    def test_unknown_benchmark_exits_2(self, capsys):
+        rc = main(["simulate", "--benchmark", "no.such.bench",
+                   "--accesses", "1000"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no.such.bench" in err
+        assert "'" not in err.splitlines()[0][:8]  # no KeyError repr quoting
+
+    def test_bad_sweep_sizes_exit_2(self, capsys):
+        rc = main(["sweep", "--benchmark", "bzip2", "--accesses", "1000",
+                   "--sizes", "4,banana"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_error_output_is_one_line(self, capsys):
+        main(["simulate", "--config", "Z", "--accesses", "1000"])
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
 
     def test_walk_prints_case_table(self, capsys):
         rc = main(["walk", "--accesses", "6000", "--delta", "150"])
@@ -59,6 +82,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Case" in out
         assert "simulations spent" in out
+
+    def test_walk_with_fault_injection_succeeds(self, capsys):
+        rc = main(["walk", "--accesses", "6000", "--delta", "150",
+                   "--fault-rate", "0.1", "--fault-seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Case" in out
+        assert "fault injection" in out
 
     def test_sweep_prints_sizes(self, capsys):
         rc = main(["sweep", "--benchmark", "bzip2", "--accesses", "3000",
