@@ -23,6 +23,10 @@ Python:
 
 ``python -m repro benchmarks``
     List the available benchmark profiles.
+
+``python -m repro lint``
+    Run the repo's model-aware static analyzer (docs/STATIC_ANALYSIS.md);
+    exit 1 on any violation.
 """
 
 from __future__ import annotations
@@ -94,6 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--seed", type=int, default=7)
 
     sub.add_parser("benchmarks", help="list available benchmark profiles")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST static-analysis suite (determinism, "
+             "numerical safety, taxonomy, concurrency, contracts)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit a machine-readable JSON report")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule names to run "
+                           "(default: all registered rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
     return parser
 
 
@@ -241,6 +261,22 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import format_json, format_rule_listing, format_text, run_lint
+
+    if args.list_rules:
+        print(format_rule_listing())
+        return 0
+    paths = args.paths or [Path(repro.__file__).parent]
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()] if args.rules else None
+    result = run_lint(paths, rules=rules)
+    print(format_json(result) if args.as_json else format_text(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     from repro.workloads import BENCHMARKS
 
@@ -257,6 +293,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "schedule": _cmd_schedule,
     "benchmarks": _cmd_benchmarks,
+    "lint": _cmd_lint,
 }
 
 

@@ -54,6 +54,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.camat import CAMATParams
+from repro.lint.contracts import satisfies
+from repro.util.validation import safe_ratio
 
 __all__ = [
     "LayerMeasurement",
@@ -128,16 +130,12 @@ class LayerMeasurement:
     @property
     def apc(self) -> float:
         """Accesses per memory-active cycle (Eq. 3 measurement)."""
-        if self.active_cycles == 0:
-            return 0.0
-        return self.accesses / self.active_cycles
+        return safe_ratio(self.accesses, self.active_cycles)
 
     @property
     def camat(self) -> float:
         """C-AMAT = 1/APC = active cycles per access."""
-        if self.accesses == 0:
-            return 0.0
-        return self.active_cycles / self.accesses
+        return safe_ratio(self.active_cycles, self.accesses)
 
     @property
     def amat(self) -> float:
@@ -150,10 +148,10 @@ class LayerMeasurement:
 
         Defined as 0 when there are no misses (the recursion term vanishes).
         """
-        if self.miss_count == 0 or self.avg_miss_penalty == 0.0:
+        if self.miss_count == 0:
             return 0.0
-        return (self.pure_miss_penalty / self.avg_miss_penalty) * (
-            self.miss_concurrency / self.pure_miss_concurrency
+        return safe_ratio(self.pure_miss_penalty, self.avg_miss_penalty) * safe_ratio(
+            self.miss_concurrency, self.pure_miss_concurrency, default=1.0
         )
 
     @property
@@ -185,6 +183,10 @@ class LayerMeasurement:
         return cls(**data)
 
 
+@satisfies(
+    "cycle_conservation", "pure_subset", "rate_bounds", "concurrency_floor",
+    "eq2_identity", "eq3_apc_inverse", "finite_layer",
+)
 def measure_layer(
     hit_start: "np.ndarray | list[int]",
     hit_end: "np.ndarray | list[int]",
@@ -413,6 +415,10 @@ class CAMATAnalyzer:
         self._hit_intervals.append((hit_start, hit_end))
         self._miss_intervals.append((miss_start, miss_end))
 
+    @satisfies(
+        "cycle_conservation", "pure_subset", "rate_bounds", "concurrency_floor",
+        "eq2_identity", "eq3_apc_inverse", "finite_layer",
+    )
     def run(self) -> LayerMeasurement:
         """Replay all registered accesses cycle by cycle and measure.
 

@@ -197,6 +197,7 @@ class LPMRReport:
         check_non_negative("lpmr1", self.lpmr1)
         check_non_negative("lpmr2", self.lpmr2)
         check_non_negative("lpmr3", self.lpmr3)
+        check_positive("cpi_exe", self.cpi_exe)
 
     @property
     def stall_model(self) -> StallModel:

@@ -1,0 +1,448 @@
+"""Model-invariant contracts: the paper's identities as a typed, checkable table.
+
+The C-AMAT and LPM equations are not merely formulas the code evaluates —
+they are *identities* that every measurement the analyzer emits must
+satisfy exactly (up to float rounding):
+
+========================  =====================================================
+``cycle_conservation``    every memory-active cycle is hit-active or a pure
+                          miss cycle: ``active == hit_active + pure_miss``
+``pure_subset``           pure misses/cycles are subsets of misses/cycles
+``rate_bounds``           ``0 <= pMR <= MR <= 1`` (a pure miss is a miss)
+``concurrency_floor``     ``C_H, Cm, C_M >= 1`` (an active cycle has >= 1
+                          in-flight access)
+``eq2_identity``          Eq. (2): ``C-AMAT == H/C_H + pMR*pAMP/C_M`` — holds
+                          exactly with ``H`` the mean hit time, by the
+                          incidence-counting identities
+``eq3_apc_inverse``       Eq. (3): ``C-AMAT * APC == 1``
+``finite_layer``          every layer field is finite
+``lpmr_definitions``      Eqs. (9)-(11): each LPMR equals its defining ratio
+``report_bounds``         miss rates and ``f_mem`` in [0, 1]; ``cpi_exe > 0``;
+                          overlap ratio in [0, 1); ``C_H1 >= 1``
+``finite_report``         every report field is finite
+========================  =====================================================
+
+Producers of :class:`~repro.core.analyzer.LayerMeasurement`,
+:class:`~repro.sim.stats.HierarchyStats` and
+:class:`~repro.core.lpm.LPMRReport` declare which contracts their output
+satisfies with the :func:`satisfies` decorator; lint rule CTR001 statically
+rejects report-producing functions that make no declaration.  The test
+suite turns on :func:`runtime_checks`, under which every decorated call
+verifies its actual return value and raises :class:`ContractViolation` on
+the first broken identity.
+
+The checkers use duck typing (``getattr``) rather than importing the model
+types, so this module stays import-light and cycle-free — any layer can
+import it.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.runtime.errors import MeasurementError
+
+__all__ = [
+    "Contract",
+    "CONTRACTS",
+    "ContractViolation",
+    "satisfies",
+    "verify",
+    "check_layer",
+    "check_stats",
+    "check_report",
+    "runtime_checks",
+    "runtime_checks_enabled",
+    "set_runtime_checks",
+]
+
+#: Relative tolerance for identity checks: the identities are exact in real
+#: arithmetic, so only accumulated rounding error is admitted.
+_RTOL = 1e-9
+_ATOL = 1e-9
+
+
+class ContractViolation(MeasurementError):
+    """A model output broke one of the declared invariants.
+
+    Deterministic by construction (the same inputs rebreak the same
+    identity), so the evaluation pool must not retry it.
+    """
+
+    retryable = False
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One machine-checkable invariant over a model output object."""
+
+    name: str
+    equation: str
+    description: str
+    #: Which object kind the contract applies to: "layer", "stats", "report".
+    applies_to: str
+    #: Returns failure messages (empty when the contract holds).
+    check: Callable[[Any], list[str]]
+
+
+def _close(a: float, b: float, scale: float = 1.0) -> bool:
+    return math.isclose(a, b, rel_tol=_RTOL, abs_tol=_ATOL * max(1.0, abs(scale)))
+
+
+def _finite_fields(obj: Any, fields: tuple[str, ...]) -> list[str]:
+    problems = []
+    for name in fields:
+        value = float(getattr(obj, name))
+        if not math.isfinite(value):
+            problems.append(f"{name} is not finite: {value}")
+    return problems
+
+
+# -- layer contracts ---------------------------------------------------------
+
+def _check_cycle_conservation(m: Any) -> list[str]:
+    lhs = m.active_cycles
+    rhs = m.hit_active_cycles + m.pure_miss_cycles
+    if lhs != rhs:
+        return [
+            f"active_cycles ({lhs}) != hit_active_cycles "
+            f"({m.hit_active_cycles}) + pure_miss_cycles ({m.pure_miss_cycles})"
+        ]
+    return []
+
+
+def _check_pure_subset(m: Any) -> list[str]:
+    problems = []
+    if m.pure_miss_cycles > m.miss_active_cycles:
+        problems.append(
+            f"pure_miss_cycles ({m.pure_miss_cycles}) > miss_active_cycles "
+            f"({m.miss_active_cycles})"
+        )
+    if m.pure_miss_count > m.miss_count:
+        problems.append(
+            f"pure_miss_count ({m.pure_miss_count}) > miss_count ({m.miss_count})"
+        )
+    return problems
+
+
+def _check_rate_bounds(m: Any) -> list[str]:
+    pmr, mr = m.pure_miss_rate, m.miss_rate
+    if not (0.0 <= pmr <= mr + _ATOL and mr <= 1.0 + _ATOL):
+        return [f"rate bounds violated: pMR={pmr}, MR={mr} (need 0 <= pMR <= MR <= 1)"]
+    return []
+
+
+def _check_concurrency_floor(m: Any) -> list[str]:
+    problems = []
+    for name in ("hit_concurrency", "miss_concurrency", "pure_miss_concurrency"):
+        value = getattr(m, name)
+        if value < 1.0 - _ATOL:
+            problems.append(f"{name} = {value} < 1")
+    return problems
+
+
+def _check_eq2_identity(m: Any) -> list[str]:
+    if m.accesses == 0:
+        return [] if m.camat == 0.0 else [f"empty layer has camat = {m.camat}"]
+    model = m.camat_params.value
+    if not _close(model, m.camat, scale=m.camat):
+        return [
+            f"Eq. (2) broken: H/C_H + pMR*pAMP/C_M = {model} but "
+            f"active/accesses = {m.camat}"
+        ]
+    return []
+
+
+def _check_eq3_apc_inverse(m: Any) -> list[str]:
+    if m.accesses == 0 or m.active_cycles == 0:
+        if m.camat != 0.0 or m.apc != 0.0:
+            return [f"degenerate layer has camat={m.camat}, apc={m.apc} (want 0, 0)"]
+        return []
+    if not _close(m.camat * m.apc, 1.0):
+        return [f"Eq. (3) broken: camat * apc = {m.camat * m.apc} != 1"]
+    return []
+
+
+_LAYER_FIELDS = (
+    "hit_time", "hit_concurrency", "miss_rate", "avg_miss_penalty",
+    "miss_concurrency", "pure_miss_rate", "pure_miss_penalty",
+    "pure_miss_concurrency", "apc", "camat", "amat", "eta",
+)
+
+
+def _check_finite_layer(m: Any) -> list[str]:
+    return _finite_fields(m, _LAYER_FIELDS)
+
+
+# -- stats / report contracts ------------------------------------------------
+
+def _lpmr_mismatch(name: str, actual: float, expected: float) -> list[str]:
+    if not _close(actual, expected, scale=max(abs(actual), abs(expected))):
+        return [f"{name} = {actual} but its defining ratio gives {expected}"]
+    return []
+
+
+def _check_lpmr_definitions(obj: Any) -> list[str]:
+    """Eqs. (9)-(11) on either a HierarchyStats or an LPMRReport.
+
+    Both carry ``lpmr1..3``, ``f_mem`` and ``cpi_exe``; the C-AMATs and miss
+    ratios come from layers (stats) or scalar fields (report).
+    """
+    if hasattr(obj, "l1"):  # HierarchyStats
+        camat1, camat2 = obj.l1.camat, obj.l2.camat
+        third = obj.l3 if getattr(obj, "l3", None) is not None else obj.mem
+        camat3 = third.camat
+        mr1, mr2 = obj.mr1_request, obj.mr2_request
+    else:  # LPMRReport
+        camat1, camat2, camat3 = obj.camat1, obj.camat2, obj.camat3
+        mr1, mr2 = obj.mr1, obj.mr2
+    if obj.cpi_exe <= 0.0:
+        expected = (0.0, 0.0, 0.0)
+    else:
+        expected = (
+            camat1 * obj.f_mem / obj.cpi_exe,
+            camat2 * obj.f_mem * mr1 / obj.cpi_exe,
+            camat3 * obj.f_mem * mr1 * mr2 / obj.cpi_exe,
+        )
+    problems = []
+    problems += _lpmr_mismatch("lpmr1 (Eq. 9)", obj.lpmr1, expected[0])
+    problems += _lpmr_mismatch("lpmr2 (Eq. 10)", obj.lpmr2, expected[1])
+    problems += _lpmr_mismatch("lpmr3 (Eq. 11)", obj.lpmr3, expected[2])
+    return problems
+
+
+def _check_report_bounds(r: Any) -> list[str]:
+    problems = []
+    if hasattr(r, "l1"):  # HierarchyStats: bounds on the raw measured ratios
+        pairs = (("mr1_request", r.mr1_request), ("mr2_request", r.mr2_request))
+        overlap = r.overlap_ratio_cm
+        cpi_exe_positive = r.cpi_exe >= 0.0  # 0 allowed pre-clamping
+        hit_conc = r.l1.hit_concurrency
+    else:
+        pairs = (("mr1", r.mr1), ("mr2", r.mr2), ("f_mem", r.f_mem))
+        overlap = r.overlap_ratio_cm
+        cpi_exe_positive = r.cpi_exe > 0.0
+        hit_conc = r.hit_concurrency1
+    for name, value in pairs:
+        if not (0.0 - _ATOL <= value <= 1.0 + _ATOL):
+            problems.append(f"{name} = {value} outside [0, 1]")
+    if not (0.0 <= overlap < 1.0):
+        problems.append(f"overlap_ratio_cm = {overlap} outside [0, 1)")
+    if not cpi_exe_positive:
+        problems.append(f"cpi_exe = {r.cpi_exe} must be > 0")
+    if hit_conc < 1.0 - _ATOL:
+        problems.append(f"L1 hit concurrency = {hit_conc} < 1")
+    return problems
+
+
+_REPORT_FIELDS = (
+    "lpmr1", "lpmr2", "lpmr3", "camat1", "camat2", "camat3",
+    "mr1", "mr2", "f_mem", "cpi_exe", "overlap_ratio_cm", "eta_combined",
+    "hit_time1", "hit_concurrency1",
+)
+
+
+def _check_finite_report(r: Any) -> list[str]:
+    return _finite_fields(r, _REPORT_FIELDS)
+
+
+def _check_stats_layers(s: Any) -> list[str]:
+    problems = []
+    layers = [("l1", s.l1), ("l2", s.l2), ("mem", s.mem)]
+    if getattr(s, "l3", None) is not None:
+        layers.append(("l3", s.l3))
+    for name, layer in layers:
+        for contract_name in _LAYER_CONTRACT_NAMES:
+            for problem in CONTRACTS[contract_name].check(layer):
+                problems.append(f"{name}: {problem}")
+    return problems
+
+
+_CONTRACT_LIST = [
+    Contract(
+        name="cycle_conservation",
+        equation="active = hit_active + pure_miss (cycle accounting)",
+        description="every memory-active cycle is hit-active or a pure miss cycle",
+        applies_to="layer",
+        check=_check_cycle_conservation,
+    ),
+    Contract(
+        name="pure_subset",
+        equation="pure_miss_cycles <= miss_cycles; pure_misses <= misses",
+        description="pure misses are a subset of misses",
+        applies_to="layer",
+        check=_check_pure_subset,
+    ),
+    Contract(
+        name="rate_bounds",
+        equation="0 <= pMR <= MR <= 1",
+        description="a pure miss is a miss; rates are fractions of accesses",
+        applies_to="layer",
+        check=_check_rate_bounds,
+    ),
+    Contract(
+        name="concurrency_floor",
+        equation="C_H >= 1, Cm >= 1, C_M >= 1",
+        description="an active cycle has at least one in-flight access",
+        applies_to="layer",
+        check=_check_concurrency_floor,
+    ),
+    Contract(
+        name="eq2_identity",
+        equation="C-AMAT = H/C_H + pMR*pAMP/C_M (Eq. 2)",
+        description="the five-parameter decomposition equals active/accesses",
+        applies_to="layer",
+        check=_check_eq2_identity,
+    ),
+    Contract(
+        name="eq3_apc_inverse",
+        equation="C-AMAT * APC = 1 (Eq. 3)",
+        description="C-AMAT is the reciprocal of accesses per active cycle",
+        applies_to="layer",
+        check=_check_eq3_apc_inverse,
+    ),
+    Contract(
+        name="finite_layer",
+        equation="all layer fields finite",
+        description="no NaN/inf escapes a layer measurement",
+        applies_to="layer",
+        check=_check_finite_layer,
+    ),
+    Contract(
+        name="lpmr_definitions",
+        equation="LPMR_i = C-AMAT_i * f_mem * prod(MR) / CPI_exe (Eqs. 9-11)",
+        description="each matching ratio equals its defining request/supply ratio",
+        applies_to="stats,report",
+        check=_check_lpmr_definitions,
+    ),
+    Contract(
+        name="report_bounds",
+        equation="MR, f_mem in [0,1]; overlap in [0,1); CPI_exe > 0; C_H1 >= 1",
+        description="report scalars lie in their physical ranges",
+        applies_to="stats,report",
+        check=_check_report_bounds,
+    ),
+    Contract(
+        name="finite_report",
+        equation="all report fields finite",
+        description="no NaN/inf escapes an LPMR report",
+        applies_to="report",
+        check=_check_finite_report,
+    ),
+    Contract(
+        name="stats_layers",
+        equation="every layer of the hierarchy satisfies the layer contracts",
+        description="per-layer contracts applied to l1/l2/mem (and l3)",
+        applies_to="stats",
+        check=_check_stats_layers,
+    ),
+]
+
+#: The typed contract table, keyed by contract name.
+CONTRACTS: dict[str, Contract] = {c.name: c for c in _CONTRACT_LIST}
+
+_LAYER_CONTRACT_NAMES = tuple(
+    c.name for c in _CONTRACT_LIST if c.applies_to == "layer"
+)
+_STATS_CONTRACT_NAMES = ("stats_layers", "lpmr_definitions", "report_bounds")
+_REPORT_CONTRACT_NAMES = ("lpmr_definitions", "report_bounds", "finite_report")
+
+
+# -- verification entry points ----------------------------------------------
+
+def verify(obj: Any, names: "tuple[str, ...] | list[str]") -> list[str]:
+    """Run the named contracts against *obj*; returns failure messages."""
+    problems: list[str] = []
+    for name in names:
+        contract = CONTRACTS[name]
+        for problem in contract.check(obj):
+            problems.append(f"[{name}] {problem} ({contract.equation})")
+    return problems
+
+
+def _raise_if_broken(obj: Any, names: "tuple[str, ...]", kind: str) -> Any:
+    problems = verify(obj, names)
+    if problems:
+        summary = "; ".join(problems)
+        raise ContractViolation(f"{kind} breaks model contracts: {summary}")
+    return obj
+
+
+def check_layer(measurement: Any) -> Any:
+    """Assert all layer contracts on a LayerMeasurement; returns it."""
+    return _raise_if_broken(measurement, _LAYER_CONTRACT_NAMES, "layer measurement")
+
+
+def check_stats(stats: Any) -> Any:
+    """Assert all hierarchy contracts on a HierarchyStats; returns it."""
+    return _raise_if_broken(stats, _STATS_CONTRACT_NAMES, "hierarchy stats")
+
+
+def check_report(report: Any) -> Any:
+    """Assert all report contracts on an LPMRReport; returns it."""
+    return _raise_if_broken(report, _REPORT_CONTRACT_NAMES, "LPMR report")
+
+
+# -- declaration + runtime assertion mode ------------------------------------
+
+_runtime_checks_enabled = False
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def runtime_checks_enabled() -> bool:
+    """Whether decorated producers verify their outputs at call time."""
+    return _runtime_checks_enabled
+
+
+def set_runtime_checks(enabled: bool) -> None:
+    """Globally enable/disable runtime contract verification."""
+    global _runtime_checks_enabled
+    _runtime_checks_enabled = enabled
+
+
+@contextmanager
+def runtime_checks() -> Iterator[None]:
+    """Context manager enabling runtime verification (used by the tests)."""
+    previous = _runtime_checks_enabled
+    set_runtime_checks(True)
+    try:
+        yield
+    finally:
+        set_runtime_checks(previous)
+
+
+def satisfies(*names: str) -> Callable[[F], F]:
+    """Declare which contracts a report-producing function's output satisfies.
+
+    The declaration is machine-checked twice: statically, lint rule CTR001
+    requires every function returning a ``LayerMeasurement`` /
+    ``HierarchyStats`` / ``LPMRReport`` constructor to carry this decorator;
+    dynamically, under :func:`runtime_checks` every call verifies its actual
+    return value against the declared contracts and raises
+    :class:`ContractViolation` on the first broken identity.
+    """
+    for name in names:
+        if name not in CONTRACTS:
+            known = ", ".join(sorted(CONTRACTS))
+            raise KeyError(f"unknown contract {name!r} (known: {known})")
+    if not names:
+        raise ValueError("satisfies() requires at least one contract name")
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = fn(*args, **kwargs)
+            if _runtime_checks_enabled:
+                _raise_if_broken(result, names, f"{fn.__qualname__}() output")
+            return result
+
+        wrapper.__repro_contracts__ = names  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,343 @@
+"""The AST lint engine: rule registry, suppression handling, file driver.
+
+``repro.lint`` is a repo-specific static analyzer: generic linters cannot
+know that ``accesses`` is a model quantity that may legitimately be zero,
+that every random draw must route through :mod:`repro.util.rng`, or that
+``except Exception`` can swallow the :class:`~repro.runtime.errors.ReproError`
+taxonomy the evaluation pool depends on.  The engine here is deliberately
+small:
+
+* a :class:`Rule` base class — one instance per rule id, registered through
+  the :func:`register` decorator into :data:`RULES`;
+* a :class:`ModuleContext` per linted file, carrying the parsed tree (with
+  parent back-links), source lines, import aliases, and the per-line
+  suppressions parsed from ``# repro: noqa[RULE1,RULE2] -- why`` comments;
+* :func:`run_lint` / :func:`lint_source` drivers that parse, dispatch every
+  registered (or selected) rule, filter suppressed violations, and return a
+  deterministic, sorted :class:`LintResult`.
+
+Rules are pure functions of the module context: they may not import the
+modules they analyze, so linting never executes repository code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+__all__ = [
+    "Severity",
+    "Violation",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "register",
+    "LintResult",
+    "lint_source",
+    "run_lint",
+    "iter_python_files",
+]
+
+#: ``# repro: noqa[NUM001,ERR001] -- justification`` (the justification text
+#: after the bracket is free-form but expected by convention).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9_,\s]+)\]")
+
+
+class Severity(Enum):
+    """How serious a violation is; both levels gate the CI job."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+
+    def format(self) -> str:
+        """``path:line:col: RULE [severity] message`` — editor-clickable."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form for the ``--json`` reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines: list[str] = source.splitlines()
+        self.tree = tree
+        #: line number -> set of suppressed rule names on that line.
+        self.noqa: dict[int, set[str]] = {}
+        #: local alias -> dotted module name, from import statements
+        #: (``import numpy as np`` -> ``{"np": "numpy"}``).
+        self.import_aliases: dict[str, str] = {}
+        #: local name -> ``module.attr`` for from-imports
+        #: (``from time import time`` -> ``{"time": "time.time"}``).
+        self.from_imports: dict[str, str] = {}
+        self._annotate_parents()
+        self._parse_noqa()
+        self._collect_imports()
+
+    # -- construction helpers -------------------------------------------------
+    def _annotate_parents(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                child.repro_parent = parent  # type: ignore[attr-defined]
+
+    def _parse_noqa(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match:
+                names = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                self.noqa.setdefault(lineno, set()).update(names)
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # -- rule-facing API ------------------------------------------------------
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        """The syntactic parent of *node* (None for the module root)."""
+        return getattr(node, "repro_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from *node*'s parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> "ast.FunctionDef | ast.AsyncFunctionDef | None":
+        """The nearest enclosing function definition, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> "ast.ClassDef | None":
+        """The nearest enclosing class definition, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """Whether a ``# repro: noqa[...]`` on the line covers this rule."""
+        return violation.rule in self.noqa.get(violation.line, set())
+
+    def resolve_call_chain(self, node: ast.AST) -> "list[str] | None":
+        """Resolve an attribute/name chain to dotted parts, imports applied.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``["numpy", "random", "rand"]``; a from-import alias expands to its
+        source module.  Returns ``None`` for non-static chains (calls,
+        subscripts, ...).
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        root = parts[0]
+        if root in self.import_aliases:
+            parts[0:1] = self.import_aliases[root].split(".")
+        elif root in self.from_imports:
+            parts[0:1] = self.from_imports[root].split(".")
+        return parts
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    yields :class:`Violation`\\ s for one module.  ``packages`` restricts a
+    rule to files whose path contains one of the named directory segments
+    (``None`` applies everywhere under the linted roots).
+    """
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: Directory-segment scope, e.g. ``("sim", "core")``; None = everywhere.
+    packages: "tuple[str, ...] | None" = None
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on the file at *path*."""
+        if self.packages is None:
+            return True
+        parts = Path(path).parts
+        return any(pkg in parts for pkg in self.packages)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Yield violations found in *ctx*; overridden by every rule."""
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a violation anchored at *node*'s location."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            severity=self.severity,
+            message=message,
+        )
+
+
+#: The global rule registry: rule name -> singleton instance.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of *cls* to :data:`RULES`."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} must set a name")
+    if cls.name in RULES:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    RULES[cls.name] = cls()
+    return cls
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    violations: list[Violation]
+    files_checked: int
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found no violations at all."""
+        return not self.violations
+
+
+def _select_rules(rules: "Sequence[str] | None") -> list[Rule]:
+    if rules is None:
+        return [RULES[name] for name in sorted(RULES)]
+    selected = []
+    for name in rules:
+        if name not in RULES:
+            known = ", ".join(sorted(RULES))
+            raise KeyError(f"unknown lint rule {name!r} (known rules: {known})")
+        selected.append(RULES[name])
+    return selected
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: "Sequence[str] | None" = None,
+) -> list[Violation]:
+    """Lint one source string; the unit used by the test suite."""
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(path, source, tree)
+    found: list[Violation] = []
+    for rule in _select_rules(rules):
+        if not rule.applies_to(path):
+            continue
+        for violation in rule.check(ctx):
+            if not ctx.is_suppressed(violation):
+                found.append(violation)
+    return sorted(found)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """All ``.py`` files under *paths* (files pass through), sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def run_lint(
+    paths: "Sequence[str | Path]",
+    *,
+    rules: "Sequence[str] | None" = None,
+) -> LintResult:
+    """Lint every Python file under *paths* with the selected rules.
+
+    Violations are sorted by (path, line, col, rule); a file that fails to
+    parse contributes one ``SYNTAX`` error violation rather than aborting
+    the run.
+    """
+    selected = _select_rules(rules)
+    violations: list[Violation] = []
+    suppressed = 0
+    files = 0
+    for file_path in iter_python_files(Path(p) for p in paths):
+        files += 1
+        rel = str(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (SyntaxError, ValueError, OSError) as exc:
+            violations.append(
+                Violation(
+                    path=rel,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=0,
+                    rule="SYNTAX",
+                    severity=Severity.ERROR,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        ctx = ModuleContext(rel, source, tree)
+        for rule in selected:
+            if not rule.applies_to(rel):
+                continue
+            for violation in rule.check(ctx):
+                if ctx.is_suppressed(violation):
+                    suppressed += 1
+                else:
+                    violations.append(violation)
+    return LintResult(sorted(violations), files_checked=files, suppressed=suppressed)

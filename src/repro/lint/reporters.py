@@ -1,0 +1,42 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import RULES, LintResult
+
+__all__ = ["format_text", "format_json", "format_rule_listing"]
+
+
+def format_text(result: LintResult) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.format() for v in result.violations]
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    summary = (
+        f"{len(result.violations)} {noun} in {result.files_checked} files"
+        + (f" ({result.suppressed} suppressed by noqa)" if result.suppressed else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload = {
+        "violations": [v.to_dict() for v in result.violations],
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_rule_listing() -> str:
+    """The ``--list-rules`` output: every registered rule with its scope."""
+    lines = []
+    for name in sorted(RULES):
+        rule = RULES[name]
+        scope = ",".join(rule.packages) if rule.packages else "all"
+        lines.append(f"{name}  [{rule.severity.value:7s}] ({scope}) {rule.description}")
+    return "\n".join(lines)

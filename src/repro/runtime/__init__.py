@@ -36,6 +36,7 @@ from repro.runtime.errors import (
     MeasurementError,
     ReproError,
     WorkerCrashed,
+    is_retryable,
 )
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "MeasurementError",
     "EvaluationTimeout",
     "WorkerCrashed",
+    "is_retryable",
     "CheckpointJournal",
     "FaultConfig",
     "FaultInjector",

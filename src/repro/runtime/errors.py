@@ -33,15 +33,32 @@ __all__ = [
     "MeasurementError",
     "EvaluationTimeout",
     "WorkerCrashed",
+    "is_retryable",
 ]
 
 
 class ReproError(Exception):
-    """Base class of every recoverable error raised by this library."""
+    """Base class of every recoverable error raised by this library.
+
+    ``retryable`` tells the supervised evaluation pool whether retrying the
+    same work can possibly produce a different outcome: transient failures
+    (an injected fault, a timeout, a crashed worker) are retryable, while
+    deterministic rejections (a malformed configuration, a broken model
+    contract) fail identically forever and must surface on the first
+    attempt with their taxonomy intact.
+    """
+
+    retryable: bool = True
 
 
 class ConfigError(ReproError, ValueError):
-    """A machine/design configuration is malformed or unknown."""
+    """A machine/design configuration is malformed or unknown.
+
+    Deterministic: the same configuration is rejected on every attempt, so
+    the pool fails fast instead of burning its retry budget.
+    """
+
+    retryable = False
 
 
 class MeasurementError(ReproError, RuntimeError):
@@ -54,3 +71,17 @@ class EvaluationTimeout(ReproError, TimeoutError):
 
 class WorkerCrashed(ReproError, RuntimeError):
     """A worker process died while executing a job."""
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether the pool may retry the attempt that raised *error*.
+
+    :class:`ReproError` subclasses carry an explicit ``retryable`` flag;
+    anything else gets the benefit of the doubt (an unknown failure may
+    well be transient).  ``KeyboardInterrupt`` / ``SystemExit`` never reach
+    this check — they derive from :class:`BaseException` and propagate
+    through the pool untouched.
+    """
+    if isinstance(error, ReproError):
+        return error.retryable
+    return True

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 
-from repro.runtime.errors import EvaluationTimeout, WorkerCrashed
+from repro.runtime.errors import ConfigError, EvaluationTimeout, WorkerCrashed, is_retryable
 from repro.util.rng import derive_seed
 from repro.util.validation import check_int, check_non_negative
 
@@ -55,7 +55,7 @@ class RetryPolicy:
         check_int("max_retries", self.max_retries, minimum=0)
         check_non_negative("backoff_base", self.backoff_base)
         if self.backoff_factor < 1.0:
-            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+            raise ConfigError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
         check_non_negative("backoff_jitter", self.backoff_jitter)
 
     def delay(self, failures: int, rng: random.Random) -> float:
@@ -81,7 +81,7 @@ class PoolConfig:
     def __post_init__(self) -> None:
         check_int("max_workers", self.max_workers, minimum=0)
         if self.timeout_s is not None and self.timeout_s <= 0:
-            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+            raise ConfigError(f"timeout_s must be > 0, got {self.timeout_s}")
 
 
 @dataclass(frozen=True)
@@ -165,16 +165,16 @@ def _worker_main(conn) -> None:
         fn, args, kwargs = msg
         try:
             payload = ("ok", fn(*args, **kwargs))
-        except Exception as exc:
+        except Exception as exc:  # repro: noqa[ERR001] -- designated transport boundary: the exception (taxonomy intact) is pickled to the supervisor, which re-classifies it
             payload = ("err", exc)
         try:
             conn.send(payload)
-        except Exception as exc:
+        except Exception as exc:  # repro: noqa[ERR001] -- pickling failure of the payload itself; reported as an error result, nothing is swallowed
             # The value (or the exception) did not pickle; report that
             # instead of dying and looking like a crash.
             try:
-                conn.send(("err", RuntimeError(f"result not transferable: {exc}")))
-            except Exception:
+                conn.send(("err", RuntimeError(f"result not transferable: {exc}")))  # repro: noqa[ERR002] -- crosses the process boundary before the supervisor re-raises; must stay a stdlib type that always unpickles
+            except Exception:  # repro: noqa[ERR001] -- pipe gone mid-report; the supervisor's liveness sweep charges a WorkerCrashed
                 return
 
 
@@ -247,11 +247,11 @@ class EvaluationPool:
         completed work before the batch as a whole finishes.
         """
         if on_error not in ("raise", "keep"):
-            raise ValueError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
+            raise ConfigError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
         seen: set[str] = set()
         for job in jobs:
             if job.key in seen:
-                raise ValueError(f"duplicate job key {job.key!r}")
+                raise ConfigError(f"duplicate job key {job.key!r}")
             seen.add(job.key)
         states = [
             _JobState(job, random.Random(derive_seed(self.config.seed, "backoff", job.key)))
@@ -290,10 +290,10 @@ class EvaluationPool:
             while True:
                 try:
                     value = state.job.fn(*state.job.args, **state.attempt_kwargs())
-                except Exception as exc:
+                except Exception as exc:  # repro: noqa[ERR001] -- supervision boundary: the error becomes the job's typed result (or is re-raised by run()); KeyboardInterrupt still propagates
                     state.failures += 1
                     state.last_error = exc
-                    if state.failures > policy.max_retries:
+                    if not is_retryable(exc) or state.failures > policy.max_retries:
                         self._finish(results, state.result(error=exc), on_result)
                         break
                     self.retries += 1
@@ -325,7 +325,13 @@ class EvaluationPool:
         results: dict[str, JobResult],
         on_result: "Callable[[JobResult], None] | None",
     ) -> None:
-        """Charge one failed attempt; requeue with backoff or finalize."""
+        """Charge one failed attempt; requeue with backoff or finalize.
+
+        Non-retryable taxonomy errors (``ConfigError``, ``ContractViolation``
+        — see :func:`repro.runtime.errors.is_retryable`) finalize on the
+        first attempt: they are deterministic rejections, and retrying them
+        would only delay surfacing the error with its class intact.
+        """
         state.failures += 1
         state.last_error = error
         if isinstance(error, EvaluationTimeout):
@@ -333,7 +339,7 @@ class EvaluationPool:
             self.timeouts += 1
         if isinstance(error, WorkerCrashed):
             state.crashes += 1
-        if state.failures > self.config.retry.max_retries:
+        if not is_retryable(error) or state.failures > self.config.retry.max_retries:
             self._finish(results, state.result(error=error), on_result)
             return
         self.retries += 1

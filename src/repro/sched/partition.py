@@ -109,6 +109,7 @@ def lpm_guided_shares(
         return equal_shares(len(assigned))
     slices = [d + headroom * w / wsum for d, w in zip(demands, weights)]
     total = sum(slices)
+    require(total > 0, "slice capacities must sum to a positive total")
     return [c / total for c in slices]
 
 

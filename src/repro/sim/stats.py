@@ -29,8 +29,10 @@ from dataclasses import dataclass
 from repro.core.analyzer import LayerMeasurement, measure_layer
 from repro.core.lpm import LPMRReport
 from repro.core.stall import StallModel
+from repro.lint.contracts import satisfies
 from repro.sim.engine import HierarchySimulator, SimulationResult
 from repro.sim.params import MachineConfig
+from repro.util.validation import safe_ratio
 from repro.workloads.trace import Trace
 
 __all__ = ["HierarchyStats", "measure_hierarchy", "simulate_and_measure"]
@@ -68,7 +70,7 @@ class HierarchyStats:
     @property
     def stall_fraction_of_compute(self) -> float:
         """Stall as a fraction of pure compute time (the Δ% quantity)."""
-        return self.stall_per_instruction / self.cpi_exe if self.cpi_exe else 0.0
+        return safe_ratio(self.stall_per_instruction, self.cpi_exe)
 
     @property
     def overlap_ratio_cm(self) -> float:
@@ -83,23 +85,17 @@ class HierarchyStats:
     @property
     def eta_combined(self) -> float:
         """The Eq. (13) effectiveness factor (pure cycles / miss cycles at L1)."""
-        if self.l1.miss_active_cycles == 0:
-            return 0.0
-        return self.l1.pure_miss_cycles / self.l1.miss_active_cycles
+        return safe_ratio(self.l1.pure_miss_cycles, self.l1.miss_active_cycles)
 
     @property
     def lpmr1(self) -> float:
         """Eq. (9)."""
-        if self.cpi_exe == 0:
-            return 0.0
-        return self.l1.camat * self.f_mem / self.cpi_exe
+        return safe_ratio(self.l1.camat * self.f_mem, self.cpi_exe)
 
     @property
     def lpmr2(self) -> float:
         """Eq. (10), with the request-rate MR1 (post-coalescing)."""
-        if self.cpi_exe == 0:
-            return 0.0
-        return self.l2.camat * self.f_mem * self.mr1_request / self.cpi_exe
+        return safe_ratio(self.l2.camat * self.f_mem * self.mr1_request, self.cpi_exe)
 
     @property
     def lpmr3(self) -> float:
@@ -109,21 +105,20 @@ class HierarchyStats:
         a third level configured it becomes the (L2, L3) matching ratio and
         :attr:`lpmr4` carries the (L3, MM) pair.
         """
-        if self.cpi_exe == 0:
-            return 0.0
         third = self.l3 if self.l3 is not None else self.mem
-        return (
-            third.camat * self.f_mem * self.mr1_request * self.mr2_request / self.cpi_exe
+        return safe_ratio(
+            third.camat * self.f_mem * self.mr1_request * self.mr2_request, self.cpi_exe
         )
 
     @property
     def lpmr4(self) -> float:
         """The (L3, main memory) matching ratio; 0 without an L3."""
-        if self.l3 is None or self.cpi_exe == 0:
+        if self.l3 is None:
             return 0.0
-        return (
+        return safe_ratio(
             self.mem.camat * self.f_mem * self.mr1_request
-            * self.mr2_request * self.mr3_request / self.cpi_exe
+            * self.mr2_request * self.mr3_request,
+            self.cpi_exe,
         )
 
     @property
@@ -135,6 +130,7 @@ class HierarchyStats:
             overlap_ratio_cm=self.overlap_ratio_cm,
         )
 
+    @satisfies("lpmr_definitions", "report_bounds", "finite_report")
     def lpmr_report(self) -> LPMRReport:
         """The full matching snapshot consumed by the LPM algorithm."""
         return LPMRReport(
@@ -167,7 +163,7 @@ class HierarchyStats:
     @property
     def ipc(self) -> float:
         """Achieved instructions per cycle."""
-        return 1.0 / self.cpi if self.cpi else 0.0
+        return safe_ratio(1.0, self.cpi)
 
     # -- serialization (checkpoint journal) -------------------------------
     def to_dict(self) -> dict:
@@ -214,6 +210,7 @@ class HierarchyStats:
         return cls(l3=l3, **layers, **scalars)
 
 
+@satisfies("stats_layers", "lpmr_definitions", "report_bounds")
 def measure_hierarchy(result: SimulationResult, cpi_exe: float) -> HierarchyStats:
     """Run the C-AMAT analyzer over a simulation's records."""
     acc = result.accesses
@@ -242,7 +239,7 @@ def measure_hierarchy(result: SimulationResult, cpi_exe: float) -> HierarchyStat
         mem=mem,
         cpi=result.cpi,
         cpi_exe=cpi_exe,
-        f_mem=n_mem_ops / n_instr if n_instr else 0.0,
+        f_mem=safe_ratio(n_mem_ops, n_instr),
         n_instructions=n_instr,
         mr1_conventional=acc.l1_miss_rate,
         mr1_request=acc.l2_per_l1_access,

@@ -14,6 +14,7 @@ from typing import Any
 
 __all__ = [
     "require",
+    "safe_ratio",
     "check_positive",
     "check_non_negative",
     "check_fraction",
@@ -28,6 +29,22 @@ def require(condition: bool, message: str) -> None:
     """Raise :class:`ValueError` with *message* unless *condition* holds."""
     if not condition:
         raise ValueError(message)
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator``, or *default* when the denominator is zero.
+
+    The model quantities this library divides by (``accesses``,
+    ``miss_count``, ``active_cycles``, ``cpi_exe``, ...) are legitimately
+    zero for empty or degenerate measurement windows, and each such ratio
+    has a well-defined limit value there (e.g. a concurrency with no active
+    cycles is 1, a rate with no accesses is 0).  Routing every such division
+    through this helper makes the limit explicit and is the sanctioned form
+    recognized by lint rule NUM001.
+    """
+    if denominator == 0:
+        return default
+    return numerator / denominator
 
 
 def _check_real(name: str, value: Any) -> float:

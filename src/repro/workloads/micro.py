@@ -26,7 +26,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.util.validation import check_int
+from repro.util.validation import check_int, safe_ratio
 from repro.workloads.generators import pointer_chase_addresses, strided_addresses
 from repro.workloads.trace import Trace
 
@@ -104,7 +104,7 @@ def bandwidth_probe(
     sim = _simulator(cfg, seed)
     sim.warm_caches(trace)
     result = sim.run(trace)
-    return n_accesses / result.total_cycles
+    return safe_ratio(n_accesses, result.total_cycles)
 
 
 def mlp_probe(

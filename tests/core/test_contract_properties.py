@@ -1,0 +1,194 @@
+"""Property-based tests of the model-invariant contract layer.
+
+Two things are under test here:
+
+1. the paper's identities themselves — Eq. (4) layer coupling and the
+   Eq. (9)-(11) LPMR definitions hold on randomized parameter draws;
+2. the contract machinery — under :func:`repro.lint.contracts.runtime_checks`
+   every decorated producer (``measure_layer``, ``CAMATAnalyzer.run``,
+   ``measure_hierarchy``, ``HierarchyStats.lpmr_report``) verifies its own
+   output, and doctored outputs raise :class:`ContractViolation`.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import CAMATAnalyzer, measure_layer
+from repro.core.camat import CAMATParams, CAMATStack, eta, recursive_camat
+from repro.core.lpm import LPMRReport, lpmr1, lpmr2, lpmr3
+from repro.lint.contracts import (
+    CONTRACTS,
+    ContractViolation,
+    check_layer,
+    check_report,
+    runtime_checks,
+    runtime_checks_enabled,
+    verify,
+)
+from tests.core.test_analyzer_properties import access_population
+
+# Positive model quantities, bounded away from 0 so ratios stay well
+# conditioned (the identities are exact; we only admit rounding error).
+positive = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+fraction = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+concurrency = st.floats(min_value=1.0, max_value=64.0, allow_nan=False)
+
+
+class TestEq4Recursion:
+    @given(
+        hit_time=positive,
+        hit_concurrency=concurrency,
+        pmr=fraction,
+        pamp=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        amp_extra=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        c_m=concurrency,
+        cm_ratio=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_recursion_collapses_to_eq2(
+        self, hit_time, hit_concurrency, pmr, pamp, amp_extra, c_m, cm_ratio
+    ):
+        """Eq. (4) equals Eq. (2) when eta and C-AMAT_2 come from the same
+        measurement: pMR*eta*C-AMAT_2 == pMR*pAMP/C_M with
+        eta = (pAMP/AMP)(Cm/C_M) and C-AMAT_2 = AMP/Cm."""
+        amp = pamp + amp_extra  # AMP >= pAMP (overlapped cycles only add)
+        if amp == 0.0:
+            return  # no misses: the recursion term vanishes trivially
+        cm = c_m * cm_ratio  # conventional miss concurrency, any positive value
+        upper = CAMATParams(
+            hit_time=hit_time,
+            hit_concurrency=hit_concurrency,
+            pure_miss_rate=pmr,
+            pure_miss_penalty=pamp,
+            pure_miss_concurrency=c_m,
+        )
+        eta1 = eta(pamp, amp, cm, c_m)
+        camat2 = amp / cm  # the lower layer's per-access latency, Eq. (4) term
+        assert recursive_camat(upper, eta1, camat2) == pytest.approx(
+            upper.value, rel=1e-9, abs=1e-12
+        )
+
+    @given(
+        params=st.lists(
+            st.tuples(positive, concurrency, fraction, positive, positive, concurrency),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stack_recursion_matches_direct_value(self, params):
+        """A stack built so each lower layer's Eq. (2) value equals the upper
+        layer's AMP/Cm collapses the full recursion to layer 0's direct value."""
+        layers = []
+        etas = []
+        for i, (h, c_h, pmr, pamp, amp_extra, c_m) in enumerate(params):
+            amp = pamp + amp_extra
+            cm = max(c_m * 0.5, 1.0)
+            if i > 0:
+                # Make this layer's direct C-AMAT equal the upper layer's
+                # AMP/Cm so the telescoping is exact.
+                prev_h, prev_cm = layers[-1][0], layers[-1][1]
+                h = prev_h / prev_cm
+                c_h, pmr, pamp = 1.0, 0.0, 0.0
+            layers.append((amp, cm))
+            etas.append(eta(pamp, amp, cm, c_m) if i < len(params) - 1 else None)
+            params[i] = (h, c_h, pmr, pamp, c_m)
+        stack = CAMATStack(
+            layers=tuple(
+                CAMATParams(h, c_h, pmr, pamp, c_m)
+                for (h, c_h, pmr, pamp, c_m) in params
+            ),
+            miss_rates=tuple(0.5 for _ in params),
+            etas=tuple(e for e in etas if e is not None),
+        )
+        top = stack.top_camat()
+        assert top >= stack.layers[0].hit_component - 1e-12
+        # The recursion is monotone in depth: cutting it off at any layer
+        # and substituting that layer's direct value changes nothing here.
+        for i in range(stack.depth):
+            assert stack.recursive_camat_of(i) >= 0.0
+
+
+class TestLPMRDefinitions:
+    @given(
+        camat1=positive, camat2=positive, camat3=positive,
+        f_mem=fraction, mr1=fraction, mr2=fraction,
+        cpi_exe=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        overlap=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+        eta_combined=fraction,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_report_built_from_definitions_satisfies_contracts(
+        self, camat1, camat2, camat3, f_mem, mr1, mr2, cpi_exe, overlap, eta_combined
+    ):
+        report = LPMRReport(
+            lpmr1=lpmr1(camat1, f_mem, cpi_exe),
+            lpmr2=lpmr2(camat2, f_mem, mr1, cpi_exe),
+            lpmr3=lpmr3(camat3, f_mem, mr1, mr2, cpi_exe),
+            camat1=camat1, camat2=camat2, camat3=camat3,
+            mr1=mr1, mr2=mr2, f_mem=f_mem, cpi_exe=cpi_exe,
+            overlap_ratio_cm=overlap, eta_combined=eta_combined,
+            hit_time1=1.0, hit_concurrency1=1.0,
+        )
+        assert check_report(report) is report
+
+    def test_tampered_lpmr_is_rejected(self):
+        report = LPMRReport(
+            lpmr1=lpmr1(2.0, 0.4, 1.0),
+            lpmr2=lpmr2(8.0, 0.4, 0.1, 1.0),
+            lpmr3=lpmr3(50.0, 0.4, 0.1, 0.2, 1.0),
+            camat1=2.0, camat2=8.0, camat3=50.0,
+            mr1=0.1, mr2=0.2, f_mem=0.4, cpi_exe=1.0,
+            overlap_ratio_cm=0.3, eta_combined=0.5,
+            hit_time1=1.0, hit_concurrency1=2.0,
+        )
+        broken = dataclasses.replace(report, lpmr2=report.lpmr2 * 1.5 + 0.1)
+        with pytest.raises(ContractViolation, match=r"Eq\. 10"):
+            check_report(broken)
+
+
+class TestMeasuredLayerContracts:
+    @given(access_population())
+    @settings(max_examples=120, deadline=None)
+    def test_measure_layer_satisfies_all_layer_contracts(self, pop):
+        with runtime_checks():
+            m = measure_layer(*pop)  # the decorator itself asserts
+        assert not verify(m, [c for c in CONTRACTS if CONTRACTS[c].applies_to == "layer"])
+
+    @given(access_population(max_accesses=8, max_start=20, max_penalty=6))
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_analyzer_satisfies_contracts(self, pop):
+        analyzer = CAMATAnalyzer()
+        for hs, he, ms, me in zip(*pop):
+            analyzer.add_access(hs, he, ms, me)
+        with runtime_checks():
+            analyzer.run()
+
+    def test_doctored_measurement_raises(self):
+        m = measure_layer([0, 2], [3, 5], [3, 0], [10, 0])
+        broken = dataclasses.replace(m, active_cycles=m.active_cycles + 1)
+        with pytest.raises(ContractViolation):
+            check_layer(broken)
+
+    def test_runtime_mode_is_scoped(self):
+        assert not runtime_checks_enabled()
+        with runtime_checks():
+            assert runtime_checks_enabled()
+        assert not runtime_checks_enabled()
+
+
+class TestEndToEndPipeline:
+    def test_simulated_hierarchy_passes_all_contracts(self):
+        from repro.sim.params import table1_config
+        from repro.sim.stats import simulate_and_measure
+        from repro.workloads.spec import get_benchmark
+
+        trace = get_benchmark("401.bzip2").trace(800, seed=1)
+        with runtime_checks():
+            # measure_hierarchy and lpmr_report both self-verify here.
+            _, stats = simulate_and_measure(table1_config("A"), trace, seed=0)
+            report = stats.lpmr_report()
+        assert report.lpmr1 > 0.0

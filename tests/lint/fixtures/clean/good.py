@@ -1,0 +1,12 @@
+"""Violation-free fixture: the CLI must exit 0 on this directory."""
+
+
+def add(a: int, b: int) -> int:
+    return a + b
+
+
+def mean(values: list[float]) -> float:
+    total = len(values)
+    if total == 0:
+        return 0.0
+    return sum(values) / total

@@ -1,0 +1,14 @@
+"""Seeded taxonomy violations (directory named ``runtime`` on purpose)."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # ERR001: swallows ReproError
+        return None
+
+
+def reject(value):
+    if value < 0:
+        raise ValueError("negative")  # ERR002: taxonomy bypass
+    return value

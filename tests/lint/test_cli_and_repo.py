@@ -1,0 +1,93 @@
+"""CLI exit codes on the seeded fixtures, and the repo-clean gate itself."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.lint.engine import run_lint
+
+TESTS_LINT = Path(__file__).resolve().parent
+FIXTURES = TESTS_LINT / "fixtures"
+REPO_ROOT = TESTS_LINT.parents[1]
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+
+
+class TestCLIExitCodes:
+    def test_seeded_violations_exit_nonzero(self):
+        proc = run_cli(str(FIXTURES / "sim"))
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+        assert "NUM001" in proc.stdout
+
+    def test_taxonomy_fixture_exit_nonzero(self):
+        proc = run_cli(str(FIXTURES / "runtime"))
+        assert proc.returncode == 1
+        assert "ERR001" in proc.stdout
+        assert "ERR002" in proc.stdout
+
+    def test_clean_fixture_exits_zero(self):
+        proc = run_cli(str(FIXTURES / "clean"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 violations" in proc.stdout
+
+    def test_json_output_parses(self):
+        proc = run_cli("--json", str(FIXTURES / "sim"))
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert {v["rule"] for v in payload["violations"]} >= {
+            "DET001", "DET002", "NUM001", "NUM002", "CON001",
+        }
+
+    def test_rule_selection_narrows_the_run(self):
+        proc = run_cli("--rules", "NUM002", str(FIXTURES / "sim"))
+        assert proc.returncode == 1
+        assert "NUM002" in proc.stdout
+        assert "DET001" not in proc.stdout
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        assert "DET001" in proc.stdout and "CTR001" in proc.stdout
+
+
+class TestSeededFixtureCoverage:
+    def test_every_seeded_rule_fires(self):
+        result = run_lint([FIXTURES / "sim", FIXTURES / "runtime"])
+        fired = {v.rule for v in result.violations}
+        assert fired >= {
+            "DET001", "DET002", "NUM001", "NUM002",
+            "CON001", "ERR001", "ERR002",
+        }
+
+
+class TestRepoIsClean:
+    def test_package_lints_clean(self):
+        """The acceptance gate: the shipped package has zero violations."""
+        package_dir = Path(repro.__file__).parent
+        result = run_lint([package_dir])
+        assert result.files_checked > 50
+        details = "\n".join(v.format() for v in result.violations)
+        assert result.ok, f"repo must lint clean:\n{details}"
+
+    def test_suppressions_carry_justifications(self):
+        """Every real ``# repro: noqa[RULE]`` must say why (`` -- reason``)."""
+        from repro.lint.engine import _NOQA_RE
+
+        package_dir = Path(repro.__file__).parent
+        bad = []
+        for path in sorted(package_dir.rglob("*.py")):
+            for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                if _NOQA_RE.search(line) and " -- " not in line:
+                    bad.append(f"{path}:{lineno}")
+        assert not bad, f"noqa without justification: {bad}"

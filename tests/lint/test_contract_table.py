@@ -1,0 +1,112 @@
+"""Tests of the contract table machinery (decorator, registry, verify)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.analyzer import measure_layer
+from repro.lint.contracts import (
+    CONTRACTS,
+    ContractViolation,
+    check_layer,
+    check_stats,
+    runtime_checks,
+    satisfies,
+    verify,
+)
+
+
+class TestContractTable:
+    def test_every_contract_is_typed(self):
+        for name, contract in CONTRACTS.items():
+            assert contract.name == name
+            assert contract.equation
+            assert contract.applies_to
+            assert callable(contract.check)
+
+    def test_expected_contracts_present(self):
+        assert {
+            "cycle_conservation", "pure_subset", "rate_bounds",
+            "concurrency_floor", "eq2_identity", "eq3_apc_inverse",
+            "finite_layer", "lpmr_definitions", "report_bounds",
+            "finite_report", "stats_layers",
+        } <= set(CONTRACTS)
+
+    def test_verify_reports_equation_in_message(self):
+        m = measure_layer([0], [3], [3], [10])
+        broken = dataclasses.replace(m, pure_miss_rate=2.0)
+        problems = verify(broken, ["rate_bounds"])
+        assert len(problems) == 1
+        assert "0 <= pMR <= MR <= 1" in problems[0]
+
+
+class TestSatisfiesDecorator:
+    def test_unknown_contract_rejected_at_decoration(self):
+        with pytest.raises(KeyError, match="unknown contract"):
+            @satisfies("no_such_contract")
+            def f():
+                pass
+
+    def test_empty_declaration_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            @satisfies()
+            def f():
+                pass
+
+    def test_declaration_is_introspectable(self):
+        @satisfies("finite_layer")
+        def produce():
+            return measure_layer([0], [2], [0], [0])
+
+        assert produce.__repro_contracts__ == ("finite_layer",)
+
+    def test_disabled_mode_never_checks(self):
+        @satisfies("cycle_conservation")
+        def produce_broken():
+            m = measure_layer([0], [2], [0], [0])
+            return dataclasses.replace(m, active_cycles=99)
+
+        assert produce_broken().active_cycles == 99  # no mode, no check
+
+    def test_enabled_mode_raises_on_broken_output(self):
+        @satisfies("cycle_conservation")
+        def produce_broken():
+            m = measure_layer([0], [2], [0], [0])
+            return dataclasses.replace(m, active_cycles=99)
+
+        with runtime_checks():
+            with pytest.raises(ContractViolation, match="cycle_conservation"):
+                produce_broken()
+
+    def test_violation_is_not_retryable(self):
+        from repro.runtime.errors import is_retryable
+
+        broken = dataclasses.replace(
+            measure_layer([0], [2], [0], [0]), active_cycles=99
+        )
+        with pytest.raises(ContractViolation) as info:
+            check_layer(broken)
+        assert not is_retryable(info.value)
+
+
+class TestStatsContracts:
+    def test_measured_hierarchy_passes(self):
+        from repro.sim.params import table1_config
+        from repro.sim.stats import simulate_and_measure
+        from repro.workloads.spec import get_benchmark
+
+        trace = get_benchmark("429.mcf").trace(600, seed=2)
+        _, stats = simulate_and_measure(table1_config("B"), trace, seed=0)
+        assert check_stats(stats) is stats
+
+    def test_tampered_layer_inside_stats_is_caught(self):
+        from repro.sim.params import table1_config
+        from repro.sim.stats import simulate_and_measure
+        from repro.workloads.spec import get_benchmark
+
+        trace = get_benchmark("429.mcf").trace(600, seed=2)
+        _, stats = simulate_and_measure(table1_config("B"), trace, seed=0)
+        broken_l1 = dataclasses.replace(stats.l1, pure_miss_cycles=10**9)
+        broken = dataclasses.replace(stats, l1=broken_l1)
+        with pytest.raises(ContractViolation, match="l1"):
+            check_stats(broken)

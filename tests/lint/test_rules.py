@@ -1,0 +1,301 @@
+"""Per-rule positive/negative cases for every rule pack."""
+
+from repro.lint.engine import lint_source
+
+SIM = "src/repro/sim/mod.py"
+CORE = "src/repro/core/mod.py"
+RUNTIME = "src/repro/runtime/mod.py"
+SCHED = "src/repro/sched/mod.py"
+
+
+def rules_hit(source, path, *rules):
+    return sorted({v.rule for v in lint_source(source, path, rules=list(rules) or None)})
+
+
+class TestDET001:
+    def test_flags_stdlib_random(self):
+        src = "import random\n\ndef f():\n    return random.gauss(0, 1)\n"
+        assert rules_hit(src, SIM, "DET001") == ["DET001"]
+
+    def test_flags_time_and_uuid(self):
+        src = (
+            "import time\nimport uuid\n\n"
+            "def f():\n    return time.time(), uuid.uuid4()\n"
+        )
+        assert len(lint_source(src, CORE, rules=["DET001"])) == 2
+
+    def test_flags_legacy_numpy_random(self):
+        src = "import numpy as np\n\ndef f():\n    return np.random.rand(3)\n"
+        assert rules_hit(src, SIM, "DET001") == ["DET001"]
+
+    def test_allows_seeded_generator_api(self):
+        src = "import numpy as np\n\ndef f(seed):\n    return np.random.default_rng(seed)\n"
+        assert lint_source(src, SIM, rules=["DET001"]) == []
+
+    def test_ignores_unimported_name_collisions(self):
+        # A local object that happens to be called ``random`` is not the
+        # stdlib module; without an import the chain must not resolve.
+        src = "def f(random):\n    return random.random()\n"
+        assert lint_source(src, SIM, rules=["DET001"]) == []
+
+    def test_ignores_monotonic_timing(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert lint_source(src, SIM, rules=["DET001"]) == []
+
+
+class TestDET002:
+    def test_flags_for_over_set_literal(self):
+        src = "def f():\n    for x in {1, 2}:\n        pass\n"
+        assert rules_hit(src, SIM, "DET002") == ["DET002"]
+
+    def test_flags_comprehension_over_set_call(self):
+        src = "def f(xs):\n    return [x for x in set(xs)]\n"
+        assert rules_hit(src, SIM, "DET002") == ["DET002"]
+
+    def test_allows_sorted_set(self):
+        src = "def f(xs):\n    return [x for x in sorted(set(xs))]\n"
+        assert lint_source(src, SIM, rules=["DET002"]) == []
+
+
+class TestNUM001:
+    def test_flags_unguarded_model_division(self):
+        src = "def f(cycles, accesses):\n    return cycles / accesses\n"
+        assert rules_hit(src, CORE, "NUM001") == ["NUM001"]
+
+    def test_ternary_guard_accepted(self):
+        src = "def f(c, accesses):\n    return c / accesses if accesses else 0.0\n"
+        assert lint_source(src, CORE, rules=["NUM001"]) == []
+
+    def test_early_return_guard_accepted(self):
+        src = (
+            "def f(c, accesses):\n"
+            "    if accesses == 0:\n        return 0.0\n"
+            "    return c / accesses\n"
+        )
+        assert lint_source(src, CORE, rules=["NUM001"]) == []
+
+    def test_validator_guard_accepted(self):
+        src = (
+            "from repro.util.validation import check_positive\n\n"
+            "def f(c, cpi_exe):\n"
+            "    check_positive('cpi_exe', cpi_exe)\n"
+            "    return c / cpi_exe\n"
+        )
+        assert lint_source(src, CORE, rules=["NUM001"]) == []
+
+    def test_check_int_minimum_guard_accepted(self):
+        src = (
+            "from repro.util.validation import check_int\n\n"
+            "def f(c, n_accesses):\n"
+            "    check_int('n_accesses', n_accesses, minimum=1)\n"
+            "    return c / n_accesses\n"
+        )
+        assert lint_source(src, CORE, rules=["NUM001"]) == []
+
+    def test_post_init_validation_covers_methods(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "from repro.util.validation import check_positive\n\n"
+            "@dataclass\nclass Model:\n"
+            "    cpi_exe: float\n"
+            "    stall: float\n\n"
+            "    def __post_init__(self):\n"
+            "        check_positive('cpi_exe', self.cpi_exe)\n\n"
+            "    def fraction(self):\n"
+            "        return self.stall / self.cpi_exe\n"
+        )
+        assert lint_source(src, CORE, rules=["NUM001"]) == []
+
+    def test_unvalidated_self_field_flagged(self):
+        src = (
+            "class Model:\n"
+            "    def fraction(self):\n"
+            "        return self.stall / self.cpi_exe\n"
+        )
+        assert rules_hit(src, CORE, "NUM001") == ["NUM001"]
+
+    def test_non_model_denominator_ignored(self):
+        src = "def f(a, width):\n    return a / width\n"
+        assert lint_source(src, CORE, rules=["NUM001"]) == []
+
+
+class TestNUM002:
+    def test_flags_nonzero_float_equality(self):
+        src = "def f(x):\n    return x == 0.25\n"
+        assert rules_hit(src, CORE, "NUM002") == ["NUM002"]
+
+    def test_zero_sentinel_exempt(self):
+        src = "def f(x):\n    return x == 0.0\n"
+        assert lint_source(src, CORE, rules=["NUM002"]) == []
+
+    def test_int_equality_ignored(self):
+        src = "def f(x):\n    return x == 3\n"
+        assert lint_source(src, CORE, rules=["NUM002"]) == []
+
+
+class TestNUM003:
+    def test_flags_float_inf_string(self):
+        src = "LIMIT = float('inf')\n"
+        out = lint_source(src, CORE, rules=["NUM003"])
+        assert [v.rule for v in out] == ["NUM003"]
+        assert out[0].severity.value == "warning"
+
+    def test_float_of_number_ignored(self):
+        src = "def f(x):\n    return float(x)\n"
+        assert lint_source(src, CORE, rules=["NUM003"]) == []
+
+
+class TestERR001:
+    def test_flags_swallowing_broad_handler(self):
+        src = (
+            "def f(fn):\n"
+            "    try:\n        return fn()\n"
+            "    except Exception:\n        return None\n"
+        )
+        assert rules_hit(src, RUNTIME, "ERR001") == ["ERR001"]
+
+    def test_bare_except_flagged(self):
+        src = (
+            "def f(fn):\n"
+            "    try:\n        return fn()\n"
+            "    except:\n        return None\n"
+        )
+        assert rules_hit(src, RUNTIME, "ERR001") == ["ERR001"]
+
+    def test_reraise_is_allowed(self):
+        src = (
+            "def f(fn):\n"
+            "    try:\n        return fn()\n"
+            "    except Exception:\n        log()\n        raise\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["ERR001"]) == []
+
+    def test_taxonomy_first_then_broad_is_allowed(self):
+        src = (
+            "from repro.runtime.errors import ReproError\n\n"
+            "def f(fn):\n"
+            "    try:\n        return fn()\n"
+            "    except ReproError:\n        raise\n"
+            "    except Exception:\n        return None\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["ERR001"]) == []
+
+    def test_narrow_handler_is_fine(self):
+        src = (
+            "def f(fn):\n"
+            "    try:\n        return fn()\n"
+            "    except (OSError, KeyError):\n        return None\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["ERR001"]) == []
+
+
+class TestERR002:
+    def test_flags_builtin_raise_in_runtime(self):
+        src = "def f(x):\n    raise ValueError('bad')\n"
+        assert rules_hit(src, RUNTIME, "ERR002") == ["ERR002"]
+
+    def test_scoped_to_runtime_package(self):
+        src = "def f(x):\n    raise ValueError('bad')\n"
+        assert lint_source(src, CORE, rules=["ERR002"]) == []
+
+    def test_taxonomy_raise_is_fine(self):
+        src = (
+            "from repro.runtime.errors import ConfigError\n\n"
+            "def f(x):\n    raise ConfigError('bad')\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["ERR002"]) == []
+
+
+class TestCON001:
+    def test_flags_module_level_mutable(self):
+        src = "cache = {}\n"
+        assert rules_hit(src, RUNTIME, "CON001") == ["CON001"]
+
+    def test_all_caps_registry_exempt(self):
+        src = "RULES = {}\n"
+        assert lint_source(src, RUNTIME, rules=["CON001"]) == []
+
+    def test_function_local_mutable_is_fine(self):
+        src = "def f():\n    cache = {}\n    return cache\n"
+        assert lint_source(src, RUNTIME, rules=["CON001"]) == []
+
+    def test_scoped_to_pool_adjacent_packages(self):
+        src = "cache = {}\n"
+        assert lint_source(src, "src/repro/analysis/mod.py", rules=["CON001"]) == []
+
+
+class TestCON002:
+    def test_flags_global_in_worker(self):
+        src = (
+            "counter = 0\n\n"
+            "def _worker_main(conn):\n"
+            "    global counter\n"
+            "    counter += 1\n"
+        )
+        assert "CON002" in rules_hit(src, RUNTIME, "CON002")
+
+    def test_flags_attribute_write_on_nonlocal_object(self):
+        src = (
+            "def _worker_main(conn, pool):\n"
+            "    state.jobs_done += 1\n"
+        )
+        assert rules_hit(src, RUNTIME, "CON002") == ["CON002"]
+
+    def test_local_attribute_writes_are_fine(self):
+        src = (
+            "def _worker_main(conn):\n"
+            "    result = make()\n"
+            "    result.value = 3\n"
+            "    conn.send(result)\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["CON002"]) == []
+
+    def test_process_target_detected(self):
+        src = (
+            "from multiprocessing import Process\n\n"
+            "def entry(q):\n"
+            "    shared.total = 1\n\n"
+            "def start():\n"
+            "    return Process(target=entry, args=(1,))\n"
+        )
+        assert rules_hit(src, RUNTIME, "CON002") == ["CON002"]
+
+    def test_non_worker_functions_ignored(self):
+        src = "def helper(state):\n    state.value = 1\n"
+        assert lint_source(src, RUNTIME, rules=["CON002"]) == []
+
+
+class TestCTR001:
+    def test_flags_undeclared_producer(self):
+        src = (
+            "def measure(x):\n"
+            "    return LayerMeasurement(accesses=x)\n"
+        )
+        assert rules_hit(src, CORE, "CTR001") == ["CTR001"]
+
+    def test_satisfies_decorator_accepted(self):
+        src = (
+            "from repro.lint.contracts import satisfies\n\n"
+            "@satisfies('finite_layer')\n"
+            "def measure(x):\n"
+            "    return LayerMeasurement(accesses=x)\n"
+        )
+        assert lint_source(src, CORE, rules=["CTR001"]) == []
+
+    def test_from_dict_exempt(self):
+        src = (
+            "class LayerMeasurement:\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, data):\n"
+            "        return LayerMeasurement(**data)\n"
+        )
+        assert lint_source(src, CORE, rules=["CTR001"]) == []
+
+    def test_one_violation_per_function(self):
+        src = (
+            "def measure(x):\n"
+            "    if x:\n"
+            "        return LayerMeasurement(accesses=1)\n"
+            "    return LayerMeasurement(accesses=0)\n"
+        )
+        assert len(lint_source(src, CORE, rules=["CTR001"])) == 1

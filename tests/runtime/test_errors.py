@@ -8,6 +8,7 @@ from repro.runtime.errors import (
     MeasurementError,
     ReproError,
     WorkerCrashed,
+    is_retryable,
 )
 
 
@@ -32,6 +33,27 @@ class TestTaxonomy:
             raise ConfigError("x")
         with pytest.raises(ReproError):
             raise EvaluationTimeout("x")
+
+
+class TestRetryability:
+    def test_transient_failures_are_retryable(self):
+        for exc in (MeasurementError("x"), EvaluationTimeout("x"), WorkerCrashed("x")):
+            assert is_retryable(exc)
+
+    def test_deterministic_rejections_are_not(self):
+        assert not is_retryable(ConfigError("bad knob"))
+
+    def test_contract_violation_is_not_retryable(self):
+        from repro.lint.contracts import ContractViolation
+
+        # A broken identity rebreaks on every retry; the flag must override
+        # the MeasurementError default it inherits from.
+        assert issubclass(ContractViolation, MeasurementError)
+        assert not is_retryable(ContractViolation("Eq. 2 broken"))
+
+    def test_unknown_errors_get_benefit_of_the_doubt(self):
+        assert is_retryable(OSError("flaky disk"))
+        assert is_retryable(ValueError("who knows"))
 
 
 class TestRaiseSites:

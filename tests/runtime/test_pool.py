@@ -11,7 +11,12 @@ import time
 
 import pytest
 
-from repro.runtime.errors import EvaluationTimeout, MeasurementError, WorkerCrashed
+from repro.runtime.errors import (
+    ConfigError,
+    EvaluationTimeout,
+    MeasurementError,
+    WorkerCrashed,
+)
 from repro.runtime.pool import EvaluationPool, Job, JobResult, PoolConfig, RetryPolicy
 
 
@@ -21,6 +26,20 @@ def _square(x):
 
 def _boom():
     raise MeasurementError("always fails")
+
+
+def _bad_config():
+    raise ConfigError("knob off its ladder")
+
+
+def _broken_contract():
+    from repro.lint.contracts import ContractViolation
+
+    raise ContractViolation("Eq. 2 broken")
+
+
+def _interrupt():
+    raise KeyboardInterrupt
 
 
 def _fail_until_attempt(threshold, _attempt=1):
@@ -116,6 +135,56 @@ class TestInlineMode:
         assert sorted(r.key for r in seen) == ["a", "b"]
         by_key = {r.key: r for r in seen}
         assert by_key["a"].ok and not by_key["b"].ok
+
+
+class TestNonRetryableTaxonomy:
+    """Deterministic taxonomy errors must fail fast with their class intact."""
+
+    def test_inline_config_error_fails_fast(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        results = pool.run([Job("j", _bad_config)], on_error="keep")
+        r = results["j"]
+        assert isinstance(r.error, ConfigError)
+        assert r.attempts == 1  # no retry budget burned on a deterministic error
+        assert pool.retries == 0
+
+    def test_inline_config_error_raises_with_taxonomy(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        with pytest.raises(ConfigError, match="knob off its ladder"):
+            pool.run([Job("j", _bad_config)])
+
+    def test_inline_contract_violation_fails_fast(self):
+        from repro.lint.contracts import ContractViolation
+
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        results = pool.run([Job("j", _broken_contract)], on_error="keep")
+        r = results["j"]
+        assert isinstance(r.error, ContractViolation)
+        assert r.attempts == 1
+        assert pool.retries == 0
+
+    def test_supervised_config_error_fails_fast(self):
+        pool = EvaluationPool(PoolConfig(max_workers=1, retry=FAST_RETRY))
+        results = pool.run(
+            [Job("j", _bad_config), Job("k", _square, (3,))], on_error="keep"
+        )
+        assert isinstance(results["j"].error, ConfigError)
+        assert results["j"].attempts == 1
+        assert pool.retries == 0
+        assert results["k"].value == 9  # the batch keeps going
+
+    def test_retryable_errors_still_burn_retries(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        results = pool.run(
+            [Job("j", _fail_until_attempt, (2,), pass_attempt=True)]
+        )
+        assert results["j"].ok and pool.retries == 1
+
+    def test_inline_keyboard_interrupt_propagates(self):
+        pool = EvaluationPool(PoolConfig(retry=FAST_RETRY))
+        with pytest.raises(KeyboardInterrupt):
+            pool.run([Job("j", _interrupt)])
+        assert pool.retries == 0
 
 
 class TestSupervisedMode:
