@@ -48,7 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="simulate one benchmark on one configuration")
+    # Observability flags shared by every measurement-producing command.
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--trace", default=None, metavar="PATH", dest="trace_path",
+                     help="append a JSONL span trace to PATH "
+                          "(schema: docs/OBSERVABILITY.md)")
+    obs.add_argument("--metrics", default=None, choices=("text", "json"),
+                     help="collect the repro.obs metrics registry and print "
+                          "it after the command")
+
+    sim = sub.add_parser("simulate", parents=[obs],
+                         help="simulate one benchmark on one configuration")
     sim.add_argument("--benchmark", default="410.bwaves",
                      help="profile name, e.g. 410.bwaves or just bwaves")
     sim.add_argument("--config", default="A",
@@ -57,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="memory accesses to generate")
     sim.add_argument("--seed", type=int, default=7)
 
-    walk = sub.add_parser("walk", help="run the LPM algorithm over the A..E ladder")
+    walk = sub.add_parser("walk", parents=[obs], help="run the LPM algorithm over the A..E ladder")
     walk.add_argument("--benchmark", default="410.bwaves")
     walk.add_argument("--delta", type=float, default=140.0,
                       help="stall target as %% of CPI_exe (substrate-scaled)")
@@ -71,14 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the fault-injection RNG")
 
-    sweep = sub.add_parser("sweep", help="APC1/APC2 across private L1 sizes")
+    sweep = sub.add_parser("sweep", parents=[obs], help="APC1/APC2 across private L1 sizes")
     sweep.add_argument("--benchmark", default="403.gcc")
     sweep.add_argument("--accesses", type=int, default=20_000)
     sweep.add_argument("--seed", type=int, default=3)
     sweep.add_argument("--sizes", default="4,16,32,64",
                        help="comma-separated L1 sizes in KB")
 
-    sched = sub.add_parser("schedule", help="the Fig. 8 scheduling comparison")
+    sched = sub.add_parser("schedule", parents=[obs], help="the Fig. 8 scheduling comparison")
     sched.add_argument("--accesses", type=int, default=12_000,
                        help="profiling accesses per (benchmark, L1 size)")
     sched.add_argument("--seed", type=int, default=3)
@@ -89,6 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--journal", default=None, metavar="PATH",
                        help="JSONL checkpoint journal; an interrupted "
                             "profiling run resumes from it")
+
+    prof = sub.add_parser(
+        "profile", parents=[obs],
+        help="per-phase timing profile of the simulate-and-measure pipeline",
+    )
+    prof.add_argument("--benchmark", default="403.gcc")
+    prof.add_argument("--config", default="default",
+                      help="Table I configuration label A..E, or 'default'")
+    prof.add_argument("--accesses", type=int, default=30_000)
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--rounds", type=int, default=3,
+                      help="repetitions; each phase keeps its best time")
+    prof.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the structured report as JSON")
 
     diag = sub.add_parser("diagnose",
                           help="bottleneck diagnosis + technique recommendations")
@@ -244,6 +268,26 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import format_profile_report, profile_run
+    from repro.sim import DEFAULT_MACHINE, table1_config
+    from repro.workloads import get_benchmark
+
+    config = (
+        DEFAULT_MACHINE if args.config.lower() == "default"
+        else table1_config(args.config)
+    )
+    trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
+    _, report = profile_run(config, trace, seed=0, rounds=args.rounds)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_profile_report(report))
+    return 0
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.core.diagnosis import render_diagnosis
     from repro.sim import DEFAULT_MACHINE, simulate_and_measure, table1_config
@@ -292,6 +336,7 @@ _COMMANDS = {
     "walk": _cmd_walk,
     "sweep": _cmd_sweep,
     "schedule": _cmd_schedule,
+    "profile": _cmd_profile,
     "benchmarks": _cmd_benchmarks,
     "lint": _cmd_lint,
 }
@@ -308,8 +353,18 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     from repro.runtime.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace_path", None)
+    metrics_format = getattr(args, "metrics", None)
+    if trace_path is not None:
+        from repro.obs import configure_tracing
+
+        configure_tracing(trace_path)
+    if metrics_format is not None:
+        from repro.obs import set_metrics_enabled
+
+        set_metrics_enabled(True)
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
@@ -318,6 +373,27 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    finally:
+        if trace_path is not None:
+            from repro.obs import configure_tracing
+
+            configure_tracing(None)  # flush + close the JSONL exporter
+    if metrics_format is not None:
+        from repro.obs import (
+            format_metrics_json,
+            format_metrics_text,
+            get_registry,
+            set_metrics_enabled,
+        )
+
+        # Snapshot-and-reset so in-process callers (tests, notebooks) can
+        # invoke main() repeatedly without metrics bleeding across runs.
+        snapshot = get_registry().snapshot_and_reset()
+        set_metrics_enabled(False)
+        fmt = format_metrics_json if metrics_format == "json" else format_metrics_text
+        print()
+        print(fmt(snapshot))
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

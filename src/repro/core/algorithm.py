@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.core.lpm import LPMRReport, MatchingThresholds
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.util.validation import check_int, check_positive
 
 __all__ = [
@@ -204,29 +206,52 @@ class LPMAlgorithm:
         """
         result = LPMRunResult(status=LPMStatus.STEP_LIMIT)
         for index in range(self.max_steps):
-            report = backend.measure()
-            thresholds = report.thresholds(self.delta_percent)
-            delta = self._delta_for(thresholds)
-            case = classify_case(report, thresholds, delta)
-            if case is LPMCase.DEPROVISION and not allow_deprovision:
-                case = LPMCase.MATCHED
-            # The label must describe the configuration the measurement was
-            # taken on, i.e. before any action mutates the backend.
-            label = backend.describe()
+            # One span per Fig. 3 iteration.  The attributes carry the full
+            # decision state (LPMR1/LPMR2, thresholds, case, Δ-stall), so
+            # the complete walk is reconstructable from the trace alone
+            # (tests/obs/test_walk_trace.py exercises exactly that).
+            with obs_trace.span("lpm.step", index=index) as span:
+                report = backend.measure()
+                thresholds = report.thresholds(self.delta_percent)
+                delta = self._delta_for(thresholds)
+                case = classify_case(report, thresholds, delta)
+                if case is LPMCase.DEPROVISION and not allow_deprovision:
+                    case = LPMCase.MATCHED
+                # The label must describe the configuration the measurement
+                # was taken on, i.e. before any action mutates the backend.
+                label = backend.describe()
 
-            if case is LPMCase.MATCHED:
-                result.steps.append(LPMStep(index, case, report, thresholds, label, False))
-                result.status = LPMStatus.MATCHED
-                return result
+                if case is LPMCase.MATCHED:
+                    acted = False
+                elif case is LPMCase.OPTIMIZE_BOTH:
+                    acted = backend.optimize(l1=True, l2=True)
+                elif case is LPMCase.OPTIMIZE_L1:
+                    acted = backend.optimize(l1=True, l2=False)
+                else:  # Case III
+                    acted = backend.deprovision()
 
-            if case is LPMCase.OPTIMIZE_BOTH:
-                acted = backend.optimize(l1=True, l2=True)
-            elif case is LPMCase.OPTIMIZE_L1:
-                acted = backend.optimize(l1=True, l2=False)
-            else:  # Case III
-                acted = backend.deprovision()
+                span.set(
+                    case=case.value,
+                    config=label,
+                    lpmr1=report.lpmr1,
+                    lpmr2=report.lpmr2,
+                    t1=thresholds.t1,
+                    t2=thresholds.t2,
+                    delta_slack=delta,
+                    stall_predicted=report.predicted_stall_per_instruction(),
+                    acted=acted,
+                )
+                if obs_metrics.metrics_enabled():
+                    reg = obs_metrics.get_registry()
+                    reg.counter("lpm.steps").inc()
+                    reg.counter(f"lpm.case_{case.value}").inc()
+                    reg.histogram("lpm.lpmr1").observe(report.lpmr1)
+                    reg.histogram("lpm.lpmr2").observe(report.lpmr2)
 
             result.steps.append(LPMStep(index, case, report, thresholds, label, acted))
+            if case is LPMCase.MATCHED:
+                result.status = LPMStatus.MATCHED
+                return result
             if not acted:
                 result.status = LPMStatus.EXHAUSTED
                 return result

@@ -22,6 +22,7 @@ from repro.lint import (  # noqa: F401  (imported for rule registration)
     rules_contracts,
     rules_determinism,
     rules_numeric,
+    rules_obs,
     rules_taxonomy,
 )
 from repro.lint.contracts import (

@@ -1,0 +1,210 @@
+"""Opt-in profiling hooks: per-phase timings and µs/instruction.
+
+``docs/PERFORMANCE.md``'s "measure first" rule used to be serviced by
+hand-run ``cProfile`` sessions; this module makes the measurement a
+first-class, reproducible artifact.  :func:`profile_run` executes the
+standard ``simulate_and_measure`` pipeline with wall-clock (monotonic
+``perf_counter``) timings around each phase:
+
+``warmup``
+    Functional cache warming (``HierarchySimulator.warm_caches``).
+``cpi_exe``
+    The perfect-L1 run that measures pure compute capability.
+``issue_loop``
+    The per-instruction dispatch/execute/retire loop — the hot loop.
+``fill_drain``
+    Post-loop record assembly: draining the interval lists into the numpy
+    ``AccessRecords`` / ``InstructionRecords`` arrays.
+``analysis``
+    The vectorized C-AMAT analyzer pass (``measure_hierarchy``).
+
+The ``issue_loop`` / ``fill_drain`` split lives inside
+:meth:`~repro.sim.engine.HierarchySimulator.run`, guarded by
+:func:`profiling_enabled` so the engine pays two clock reads per *run*
+(not per instruction) only while a profile is being taken, and nothing at
+all otherwise.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.params import MachineConfig
+    from repro.sim.stats import HierarchyStats
+    from repro.workloads.trace import Trace
+
+__all__ = [
+    "ProfileReport",
+    "profile_run",
+    "profiling_enabled",
+    "set_profiling_enabled",
+    "format_profile_report",
+]
+
+_PHASES = ("warmup", "cpi_exe", "issue_loop", "fill_drain", "analysis")
+
+_enabled = False
+
+
+def profiling_enabled() -> bool:
+    """Whether the engine should record phase timings (fast-path guard)."""
+    return _enabled
+
+
+def set_profiling_enabled(enabled: bool) -> None:
+    """Turn engine phase timing on or off globally."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextmanager
+def _profiling() -> Iterator[None]:
+    previous = _enabled
+    set_profiling_enabled(True)
+    try:
+        yield
+    finally:
+        set_profiling_enabled(previous)
+
+
+@dataclass
+class ProfileReport:
+    """Structured timing profile of one simulate-and-measure pipeline."""
+
+    trace_name: str
+    config_name: str
+    n_instructions: int
+    n_accesses: int
+    #: Phase name -> best (minimum over rounds) wall seconds.
+    phases: "dict[str, float]" = field(default_factory=dict)
+    rounds: int = 1
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all phase times."""
+        return sum(self.phases.values())
+
+    @property
+    def simulate_s(self) -> float:
+        """Time in the real-run engine (issue loop + record drain)."""
+        return self.phases.get("issue_loop", 0.0) + self.phases.get("fill_drain", 0.0)
+
+    @property
+    def us_per_instruction(self) -> float:
+        """Engine cost per simulated instruction, in microseconds."""
+        if not self.n_instructions:
+            return 0.0
+        return self.simulate_s / self.n_instructions * 1e6
+
+    @property
+    def instructions_per_s(self) -> float:
+        """Engine throughput in simulated instructions per wall second."""
+        return self.n_instructions / self.simulate_s if self.simulate_s > 0 else 0.0
+
+    def phase_share(self, name: str) -> float:
+        """Phase time as a fraction of the total pipeline time."""
+        total = self.total_s
+        return self.phases.get(name, 0.0) / total if total > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the structured report artifact)."""
+        return {
+            "trace_name": self.trace_name,
+            "config_name": self.config_name,
+            "n_instructions": self.n_instructions,
+            "n_accesses": self.n_accesses,
+            "rounds": self.rounds,
+            "phases_s": dict(self.phases),
+            "total_s": self.total_s,
+            "us_per_instruction": self.us_per_instruction,
+            "instructions_per_s": self.instructions_per_s,
+        }
+
+
+def profile_run(
+    config: "MachineConfig",
+    trace: "Trace",
+    *,
+    seed: int = 0,
+    warm: bool = True,
+    rounds: int = 1,
+) -> "tuple[HierarchyStats, ProfileReport]":
+    """Run the full measurement pipeline with per-phase wall timings.
+
+    Mirrors :func:`repro.sim.stats.simulate_and_measure` exactly (same
+    stats out), adding phase timing around each stage.  With ``rounds > 1``
+    every phase keeps its *minimum* observed time — the standard way to
+    strip scheduler noise from a single-threaded benchmark.
+    """
+    from repro.obs import trace as obs_trace
+    from repro.sim.engine import HierarchySimulator
+    from repro.sim.stats import measure_hierarchy
+
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    best: "dict[str, float]" = {}
+    stats = None
+    with _profiling(), obs_trace.span(
+        "profile.run", trace=trace.name, config=config.name, rounds=rounds
+    ):
+        for _ in range(rounds):
+            timings: "dict[str, float]" = {}
+
+            t0 = perf_counter()
+            perfect_sim = HierarchySimulator(config, seed=seed)
+            perfect = perfect_sim.run(trace, perfect=True)
+            timings["cpi_exe"] = perf_counter() - t0
+
+            sim = HierarchySimulator(config, seed=seed)
+            t0 = perf_counter()
+            if warm:
+                sim.warm_caches(trace)
+            timings["warmup"] = perf_counter() - t0
+
+            result = sim.run(trace)
+            timings["issue_loop"] = result.component_stats.get("phase_issue_loop_s", 0.0)
+            timings["fill_drain"] = result.component_stats.get("phase_fill_drain_s", 0.0)
+
+            t0 = perf_counter()
+            stats = measure_hierarchy(result, cpi_exe=perfect.cpi)
+            timings["analysis"] = perf_counter() - t0
+
+            for phase in _PHASES:
+                t = timings.get(phase, 0.0)
+                if phase not in best or t < best[phase]:
+                    best[phase] = t
+    assert stats is not None
+    report = ProfileReport(
+        trace_name=trace.name,
+        config_name=config.name,
+        n_instructions=result.instructions.n_instructions,
+        n_accesses=result.accesses.n_accesses,
+        phases=best,
+        rounds=rounds,
+    )
+    return stats, report
+
+
+def format_profile_report(report: ProfileReport) -> str:
+    """Text rendering of a profile — the PERFORMANCE.md measured table."""
+    lines = [
+        f"profile: {report.trace_name} on {report.config_name} "
+        f"({report.n_instructions} instructions, {report.n_accesses} accesses, "
+        f"best of {report.rounds} round{'s' if report.rounds != 1 else ''})",
+        f"{'phase':<12s} {'seconds':>10s} {'share':>7s}",
+    ]
+    for phase in _PHASES:
+        seconds = report.phases.get(phase, 0.0)
+        lines.append(
+            f"{phase:<12s} {seconds:>10.4f} {report.phase_share(phase):>6.1%}"
+        )
+    lines.append(f"{'total':<12s} {report.total_s:>10.4f} {1:>6.0%}")
+    lines.append(
+        f"engine: {report.us_per_instruction:.2f} us/instruction "
+        f"({report.instructions_per_s:,.0f} instructions/s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Structured tracing: nestable spans with a JSONL exporter.
+
+The LPM methodology is measurement all the way down — the C-AMAT analyzer
+instruments every layer of the *simulated* hierarchy — but until this
+module the *software* stack itself was opaque.  A :class:`Tracer` records
+**spans** (named, timed, attributed regions of execution) as one JSON
+object per line, so a full ``repro walk`` is reconstructable offline:
+every LPM iteration, every simulation, every pool attempt is one line in
+the trace file (schema in ``docs/OBSERVABILITY.md``).
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  Tracing is off by default; the module
+   level :func:`span` helper returns a shared no-op context manager
+   without touching the clock, and instrumented call sites guard any
+   attribute computation behind :func:`tracing_enabled`.
+2. **Monotonic timing.**  All durations come from ``time.perf_counter``
+   (never ``time.time``, which steps under NTP — rule OBS001 enforces
+   this repo-wide).  Span start times are reported relative to the
+   tracer's epoch so traces from one process share one timeline.
+3. **Thread and fork safety.**  The span stack is thread-local; the
+   exporter writes whole lines under a lock to a file opened in append
+   mode, and detects ``fork()`` (pid change) to reopen its handle — so
+   pool workers inherit the tracer and their spans interleave safely in
+   the same JSONL file, tagged with their pid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from time import perf_counter
+from typing import IO, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "configure_tracing",
+    "get_tracer",
+    "tracing_enabled",
+    "span",
+    "event",
+    "read_trace",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        """Discard attributes (matches :meth:`Span.set`)."""
+
+
+#: The singleton no-op span; identity-comparable in tests.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One named, timed region; a context manager emitting on exit.
+
+    Attributes attached at construction (``tracer.span(name, k=v)``) or
+    later via :meth:`set` are serialized into the span's ``attrs`` object.
+    Nesting is tracked per thread: the span entered while another is open
+    records that span's id as its ``parent_id``.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_t0", "duration_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._next_id()
+        self.parent_id: "int | None" = None
+        self._t0 = 0.0
+        self.duration_s = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        end = perf_counter()
+        self.duration_s = end - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_start_s": round(self._t0 - self._tracer.epoch, 9),
+            "duration_s": round(self.duration_s, 9),
+            "pid": os.getpid(),
+        }
+        if exc_type is not None:
+            record["error"] = getattr(exc_type, "__name__", str(exc_type))
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Span factory + JSONL exporter bound to one output path."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = os.fspath(path)
+        self.epoch = perf_counter()
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._fh: "IO[str] | None" = None
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
+        self._id = 0
+
+    # -- span API ----------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        """An unentered span; use as ``with tracer.span("x", k=v) as sp:``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit an instantaneous (zero-duration) record."""
+        stack = self._stack()
+        record = {
+            "kind": "event",
+            "name": name,
+            "span_id": self._next_id(),
+            "parent_id": stack[-1].span_id if stack else None,
+            "t_start_s": round(perf_counter() - self.epoch, 9),
+            "duration_s": 0.0,
+            "pid": os.getpid(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    # -- internals ---------------------------------------------------------
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._id += 1
+            # Disambiguate ids across forked workers: each process draws
+            # from its own counter, so the pid in the record is part of the
+            # span identity.  (Cross-process parent links are not tracked.)
+            return self._id
+
+    def _stack(self) -> "list[Span]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _emit(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._fh is None or os.getpid() != self._pid:
+                # First write, or we are a forked child that inherited the
+                # parent's handle: (re)open in append mode so concurrent
+                # writers interleave at line granularity (O_APPEND).
+                self._pid = os.getpid()
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the export file (reopened on the next emit)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+# -- module-level switchboard ----------------------------------------------
+
+_tracer: "Tracer | None" = None
+
+
+def configure_tracing(path: "str | os.PathLike[str] | None") -> "Tracer | None":
+    """Install a global tracer writing to *path* (``None`` disables)."""
+    global _tracer
+    if _tracer is not None:
+        _tracer.close()
+    _tracer = Tracer(path) if path is not None else None
+    return _tracer
+
+
+def get_tracer() -> "Tracer | None":
+    """The installed global tracer, if any."""
+    return _tracer
+
+
+def tracing_enabled() -> bool:
+    """Whether a global tracer is installed (call-site fast-path guard)."""
+    return _tracer is not None
+
+
+def span(name: str, **attrs: object) -> "Span | _NoopSpan":
+    """A span on the global tracer, or the shared no-op when disabled."""
+    if _tracer is None:
+        return NOOP_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: object) -> None:
+    """An event on the global tracer; dropped when disabled."""
+    if _tracer is not None:
+        _tracer.event(name, **attrs)
+
+
+def read_trace(path: "str | os.PathLike[str]") -> Iterator[dict]:
+    """Parse a JSONL trace file back into record dicts.
+
+    Torn tails (a process killed mid-write) are skipped, matching the
+    checkpoint journal's tolerance, so a trace from a crashed run is still
+    analyzable.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.faults import FaultConfig, FaultInjector
 from repro.runtime.guards import ensure_finite_stats
 from repro.runtime.journal import CheckpointJournal
@@ -125,6 +127,8 @@ class EvaluationRuntime:
 
         out: "dict[str, HierarchyStats]" = {}
         todo: "list[EvaluationRequest]" = []
+        batch_span = obs_trace.span("runtime.evaluate_many", requests=len(requests))
+        batch_span.__enter__()
         for req in requests:
             if req.key in out or any(t.key == req.key for t in todo):
                 continue  # duplicate request in one batch
@@ -133,31 +137,43 @@ class EvaluationRuntime:
                 self.counters.journal_hits += 1
             else:
                 todo.append(req)
-        if todo:
-            jobs = [
-                Job(
-                    key=req.key,
-                    fn=_simulate_job,
-                    args=(req.config, req.trace, req.seed, req.warm,
-                          self.faults, req.key),
-                    pass_attempt=self.faults is not None,
-                )
-                for req in todo
-            ]
-            before = (self._pool.retries, self._pool.timeouts, self._pool.worker_restarts)
+        if obs_metrics.metrics_enabled():
+            reg = obs_metrics.get_registry()
+            reg.counter("runtime.requests").inc(len(requests))
+            reg.counter("runtime.journal_hits").inc(len(out))
+        try:
+            if todo:
+                jobs = [
+                    Job(
+                        key=req.key,
+                        fn=_simulate_job,
+                        args=(req.config, req.trace, req.seed, req.warm,
+                              self.faults, req.key),
+                        pass_attempt=self.faults is not None,
+                    )
+                    for req in todo
+                ]
+                before = (self._pool.retries, self._pool.timeouts, self._pool.worker_restarts)
 
-            def _checkpoint(result) -> None:
-                # Fires per terminal job result, *during* the batch — a run
-                # killed mid-batch keeps everything finished so far.
-                if result.ok:
-                    self.counters.simulations += 1
-                    if self.journal is not None:
-                        self.journal.put(result.key, result.value.to_dict())
+                def _checkpoint(result) -> None:
+                    # Fires per terminal job result, *during* the batch — a run
+                    # killed mid-batch keeps everything finished so far.
+                    if result.ok:
+                        self.counters.simulations += 1
+                        if obs_metrics.metrics_enabled():
+                            obs_metrics.get_registry().counter(
+                                "runtime.simulations"
+                            ).inc()
+                        if self.journal is not None:
+                            self.journal.put(result.key, result.value.to_dict())
 
-            results = self._pool.run(jobs, on_result=_checkpoint)
-            self.counters.retries += self._pool.retries - before[0]
-            self.counters.timeouts += self._pool.timeouts - before[1]
-            self.counters.worker_restarts += self._pool.worker_restarts - before[2]
-            for req in todo:
-                out[req.key] = results[req.key].value
+                results = self._pool.run(jobs, on_result=_checkpoint)
+                self.counters.retries += self._pool.retries - before[0]
+                self.counters.timeouts += self._pool.timeouts - before[1]
+                self.counters.worker_restarts += self._pool.worker_restarts - before[2]
+                for req in todo:
+                    out[req.key] = results[req.key].value
+        finally:
+            batch_span.set(journal_hits=len(requests) - len(todo), simulated=len(todo))
+            batch_span.__exit__(None, None, None)
         return out

@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
+from repro.obs import metrics as obs_metrics
 from repro.runtime.errors import MeasurementError
 from repro.util.rng import spawn
 from repro.util.validation import check_fraction
@@ -104,6 +105,13 @@ class FaultInjector:
     def _fire(self, rate: float, kind: str) -> bool:
         if rate > 0.0 and self._rng.random() < rate:
             self.injected[kind] += 1
+            if obs_metrics.metrics_enabled():
+                # Recorded injector-side: under a worker pool these land in
+                # the worker registry and ship back with the (corrupted)
+                # result, so the parent's merged count stays exact.
+                reg = obs_metrics.get_registry()
+                reg.counter("runtime.faults_injected").inc()
+                reg.counter(f"runtime.faults.{kind}").inc()
             return True
         return False
 

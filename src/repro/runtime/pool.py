@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.errors import ConfigError, EvaluationTimeout, WorkerCrashed, is_retryable
 from repro.util.rng import derive_seed
 from repro.util.validation import check_int, check_non_negative
@@ -149,12 +151,32 @@ class _JobState:
         )
 
 
+def _worker_snapshot() -> "dict | None":
+    """The worker's metric snapshot to ship with a result (None when off).
+
+    Reset after snapshotting so each shipped payload carries exactly the
+    metrics of one attempt; the parent merges them in arrival order, which
+    is safe because snapshot merge is commutative (:mod:`repro.obs.metrics`).
+    """
+    if not obs_metrics.metrics_enabled():
+        return None
+    registry = obs_metrics.get_registry()
+    if registry.is_empty():
+        return None
+    return registry.snapshot_and_reset()
+
+
 def _worker_main(conn) -> None:
-    """Worker loop: receive ``(fn, args, kwargs)``, send ``(kind, payload)``."""
+    """Worker loop: receive ``(key, fn, args, kwargs)``, send
+    ``(kind, payload, metrics_snapshot)``."""
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group; leave interrupt handling (and worker teardown) to the
     # supervisor rather than spraying one traceback per worker.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # A forked worker inherits the parent's accumulated registry; start
+    # from the merge identity so shipped snapshots count each attempt once.
+    if obs_metrics.metrics_enabled():
+        obs_metrics.get_registry().reset()
     while True:
         try:
             msg = conn.recv()
@@ -162,18 +184,19 @@ def _worker_main(conn) -> None:
             return
         if msg is None:
             return
-        fn, args, kwargs = msg
+        key, fn, args, kwargs = msg
         try:
-            payload = ("ok", fn(*args, **kwargs))
+            with obs_trace.span("pool.attempt", key=key):
+                payload = ("ok", fn(*args, **kwargs), _worker_snapshot())
         except Exception as exc:  # repro: noqa[ERR001] -- designated transport boundary: the exception (taxonomy intact) is pickled to the supervisor, which re-classifies it
-            payload = ("err", exc)
+            payload = ("err", exc, _worker_snapshot())
         try:
             conn.send(payload)
         except Exception as exc:  # repro: noqa[ERR001] -- pickling failure of the payload itself; reported as an error result, nothing is swallowed
             # The value (or the exception) did not pickle; report that
             # instead of dying and looking like a crash.
             try:
-                conn.send(("err", RuntimeError(f"result not transferable: {exc}")))  # repro: noqa[ERR002] -- crosses the process boundary before the supervisor re-raises; must stay a stdlib type that always unpickles
+                conn.send(("err", RuntimeError(f"result not transferable: {exc}"), None))  # repro: noqa[ERR002] -- crosses the process boundary before the supervisor re-raises; must stay a stdlib type that always unpickles
             except Exception:  # repro: noqa[ERR001] -- pipe gone mid-report; the supervisor's liveness sweep charges a WorkerCrashed
                 return
 
@@ -192,7 +215,9 @@ class _Worker:
         self.deadline: "float | None" = None
 
     def assign(self, state: _JobState, timeout_s: "float | None") -> None:
-        self.conn.send((state.job.fn, state.job.args, state.attempt_kwargs()))
+        self.conn.send(
+            (state.job.key, state.job.fn, state.job.args, state.attempt_kwargs())
+        )
         self.state = state
         self.deadline = (time.monotonic() + timeout_s) if timeout_s else None
 
@@ -275,8 +300,29 @@ class EvaluationPool:
         on_result: "Callable[[JobResult], None] | None",
     ) -> None:
         results[result.key] = result
+        if obs_metrics.metrics_enabled():
+            reg = obs_metrics.get_registry()
+            reg.counter("pool.jobs_ok" if result.ok else "pool.jobs_failed").inc()
+        if obs_trace.tracing_enabled():
+            obs_trace.event(
+                "pool.job", key=result.key, ok=result.ok,
+                attempts=result.attempts, timeouts=result.timeouts,
+                crashes=result.crashes, waited_s=round(result.waited_s, 6),
+            )
         if on_result is not None:
             on_result(result)
+
+    @staticmethod
+    def _count_failure(error: BaseException) -> None:
+        """Parent-side failure counters (worker snapshots die with crashes)."""
+        if not obs_metrics.metrics_enabled():
+            return
+        reg = obs_metrics.get_registry()
+        reg.counter("pool.failed_attempts").inc()
+        if isinstance(error, EvaluationTimeout):
+            reg.counter("pool.timeouts").inc()
+        if isinstance(error, WorkerCrashed):
+            reg.counter("pool.crashes").inc()
 
     # -- inline mode ---------------------------------------------------------
     def _run_inline(
@@ -289,14 +335,20 @@ class EvaluationPool:
         for state in states:
             while True:
                 try:
-                    value = state.job.fn(*state.job.args, **state.attempt_kwargs())
+                    with obs_trace.span(
+                        "pool.attempt", key=state.job.key, attempt=state.failures + 1
+                    ):
+                        value = state.job.fn(*state.job.args, **state.attempt_kwargs())
                 except Exception as exc:  # repro: noqa[ERR001] -- supervision boundary: the error becomes the job's typed result (or is re-raised by run()); KeyboardInterrupt still propagates
                     state.failures += 1
                     state.last_error = exc
+                    self._count_failure(exc)
                     if not is_retryable(exc) or state.failures > policy.max_retries:
                         self._finish(results, state.result(error=exc), on_result)
                         break
                     self.retries += 1
+                    if obs_metrics.metrics_enabled():
+                        obs_metrics.get_registry().counter("pool.retries").inc()
                     delay = policy.delay(state.failures, state.rng)
                     state.waited_s += delay
                     time.sleep(delay)
@@ -334,6 +386,7 @@ class EvaluationPool:
         """
         state.failures += 1
         state.last_error = error
+        self._count_failure(error)
         if isinstance(error, EvaluationTimeout):
             state.timeouts += 1
             self.timeouts += 1
@@ -343,6 +396,8 @@ class EvaluationPool:
             self._finish(results, state.result(error=error), on_result)
             return
         self.retries += 1
+        if obs_metrics.metrics_enabled():
+            obs_metrics.get_registry().counter("pool.retries").inc()
         delay = self.config.retry.delay(state.failures, state.rng)
         state.waited_s += delay
         seq[0] += 1
@@ -411,9 +466,14 @@ class EvaluationPool:
                 for worker in busy:
                     if worker.conn in ready_conns:
                         try:
-                            kind, payload = worker.conn.recv()
+                            kind, payload, snapshot = worker.conn.recv()
                         except (EOFError, OSError):
                             continue  # pipe died; the liveness sweep handles it
+                        if snapshot is not None and obs_metrics.metrics_enabled():
+                            # Per-attempt worker metrics fold into the
+                            # parent registry; merge is commutative, so
+                            # arrival order across workers cannot matter.
+                            obs_metrics.get_registry().merge(snapshot)
                         state = worker.release()
                         if kind == "ok":
                             self._finish(results, state.result(payload), on_result)

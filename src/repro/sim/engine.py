@@ -33,9 +33,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import profiling_enabled
 from repro.sim.cache import FunctionalCache
 from repro.sim.dram import DRAMModel
 from repro.sim.mshr import MSHRFile
@@ -233,7 +237,95 @@ class HierarchySimulator:
         — issue width, ILP chains, ROB — so that the LPMR request rate
         ``IPC_exe * f_mem`` expresses true demand.  If L1 bandwidth limits
         were included here they would cancel out of the matching ratios.
+
+        With observability enabled (``repro.obs``), the run is wrapped in
+        a ``sim.run`` span and per-layer access/hit/miss/MSHR-stall
+        counters are recorded from the finished record arrays — the
+        per-instruction loop itself is never instrumented, so the disabled
+        fast path costs two boolean checks per run.
         """
+        if not (obs_trace.tracing_enabled() or obs_metrics.metrics_enabled()):
+            return self._run_impl(
+                trace, perfect=perfect, start_cycle=start_cycle,
+                stop_cycle=stop_cycle, resume=resume,
+            )
+        with obs_trace.span(
+            "sim.run", trace=trace.name, config=self.config.name, perfect=perfect,
+        ) as span:
+            stall_before = (
+                self.l1_mshrs.full_stall_cycles, self.l2_mshrs.full_stall_cycles,
+            )
+            result = self._run_impl(
+                trace, perfect=perfect, start_cycle=start_cycle,
+                stop_cycle=stop_cycle, resume=resume,
+            )
+            span.set(
+                instructions=result.instructions_executed,
+                cycles=result.total_cycles,
+                cpi=result.cpi,
+            )
+            if obs_metrics.metrics_enabled():
+                self._record_metrics(result, stall_before)
+        return result
+
+    def _record_metrics(
+        self, result: SimulationResult, stall_before: "tuple[int, int]"
+    ) -> None:
+        """Fold one finished run into the global metrics registry.
+
+        All counts come from the already-materialized record arrays
+        (vectorized ``count_nonzero``), so this costs O(accesses) numpy
+        work once per run — nothing is added to the issue loop.
+        """
+        reg = obs_metrics.get_registry()
+        acc = result.accesses
+        reg.counter("sim.runs").inc()
+        reg.counter("sim.instructions").inc(result.instructions_executed)
+        reg.counter("sim.cycles").inc(result.total_cycles)
+
+        n_l1 = acc.n_accesses
+        l1_miss = int(np.count_nonzero(acc.l1_is_miss))
+        reg.counter("sim.l1.accesses").inc(n_l1)
+        reg.counter("sim.l1.hits").inc(n_l1 - l1_miss)
+        reg.counter("sim.l1.misses").inc(l1_miss)
+        reg.counter("sim.l1.secondary_misses").inc(
+            int(np.count_nonzero(acc.l1_is_secondary))
+        )
+        reg.counter("sim.l1.mshr_stall_cycles").inc(
+            max(self.l1_mshrs.full_stall_cycles - stall_before[0], 0)
+        )
+        reg.gauge("sim.l1.mshr_peak").set_max(self.l1_mshrs.peak_occupancy)
+
+        n_l2 = len(acc.l2_hit_start)
+        l2_miss = int(np.count_nonzero(acc.l2_is_miss))
+        reg.counter("sim.l2.accesses").inc(n_l2)
+        reg.counter("sim.l2.hits").inc(n_l2 - l2_miss)
+        reg.counter("sim.l2.misses").inc(l2_miss)
+        reg.counter("sim.l2.secondary_misses").inc(
+            int(np.count_nonzero(acc.l2_is_secondary))
+        )
+        reg.counter("sim.l2.mshr_stall_cycles").inc(
+            max(self.l2_mshrs.full_stall_cycles - stall_before[1], 0)
+        )
+        reg.gauge("sim.l2.mshr_peak").set_max(self.l2_mshrs.peak_occupancy)
+
+        if acc.has_l3:
+            n_l3 = len(acc.l3_hit_start)
+            l3_miss = int(np.count_nonzero(acc.l3_is_miss))
+            reg.counter("sim.l3.accesses").inc(n_l3)
+            reg.counter("sim.l3.hits").inc(n_l3 - l3_miss)
+            reg.counter("sim.l3.misses").inc(l3_miss)
+        reg.counter("sim.mem.accesses").inc(len(acc.mem_start))
+
+    def _run_impl(
+        self,
+        trace: Trace,
+        *,
+        perfect: bool,
+        start_cycle: int,
+        stop_cycle: "int | None",
+        resume: bool,
+    ) -> SimulationResult:
         cfg = self.config
         n = trace.n_instructions
         check_int("n_instructions", n, minimum=0)
@@ -300,6 +392,11 @@ class HierarchySimulator:
 
         mem_i = 0  # memory-access row index
         memory_access = self._memory_access  # local binding for the hot loop
+
+        # Opt-in phase timing (repro.obs.profile): two clock reads per run,
+        # and only while a profile is being taken.
+        profile_phases = profiling_enabled()
+        t_loop_start = perf_counter() if profile_phases else 0.0
 
         executed = n
         for i in range(n):
@@ -390,6 +487,8 @@ class HierarchySimulator:
             retire[i] = r
             recent_retires.append(r)
 
+        t_loop_end = perf_counter() if profile_phases else 0.0
+
         # Save the pipeline state so a later run(resume=True) continues
         # without an artificial drain at the quantum boundary.
         self._pipe = {
@@ -464,6 +563,9 @@ class HierarchySimulator:
                 l1_bypassed_fills=self.bypass.bypassed,
                 l1_bypass_rate=self.bypass.bypass_rate,
             )
+        if profile_phases:
+            stats["phase_issue_loop_s"] = t_loop_end - t_loop_start
+            stats["phase_fill_drain_s"] = perf_counter() - t_loop_end
         return SimulationResult(
             config=cfg,
             trace_name=trace.name,

@@ -1,0 +1,15 @@
+"""Repo-wide pytest options.
+
+``--update-goldens`` rewrites the committed CLI snapshots under
+``tests/golden/`` instead of diffing against them (see
+``tests/golden/test_cli_goldens.py``).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.txt from the current CLI output",
+    )

@@ -1,0 +1,14 @@
+"""Seeded observability violations (directory named ``obs`` on purpose)."""
+
+import time
+
+
+def bad_duration(fn):
+    t0 = time.time()  # OBS001: wall clock for a duration
+    fn()
+    return time.time_ns() - t0  # OBS001: and again
+
+
+def bad_report(count):
+    print(f"merged {count} snapshots")  # OBS002: direct print
+    return count

@@ -36,6 +36,12 @@ class TestCLIExitCodes:
         assert "ERR001" in proc.stdout
         assert "ERR002" in proc.stdout
 
+    def test_obs_fixture_exit_nonzero(self):
+        proc = run_cli(str(FIXTURES / "obs"))
+        assert proc.returncode == 1
+        assert "OBS001" in proc.stdout
+        assert "OBS002" in proc.stdout
+
     def test_clean_fixture_exits_zero(self):
         proc = run_cli(str(FIXTURES / "clean"))
         assert proc.returncode == 0, proc.stdout + proc.stderr
@@ -63,11 +69,11 @@ class TestCLIExitCodes:
 
 class TestSeededFixtureCoverage:
     def test_every_seeded_rule_fires(self):
-        result = run_lint([FIXTURES / "sim", FIXTURES / "runtime"])
+        result = run_lint([FIXTURES / "sim", FIXTURES / "runtime", FIXTURES / "obs"])
         fired = {v.rule for v in result.violations}
         assert fired >= {
             "DET001", "DET002", "NUM001", "NUM002",
-            "CON001", "ERR001", "ERR002",
+            "CON001", "ERR001", "ERR002", "OBS001", "OBS002",
         }
 
 

@@ -6,6 +6,7 @@ SIM = "src/repro/sim/mod.py"
 CORE = "src/repro/core/mod.py"
 RUNTIME = "src/repro/runtime/mod.py"
 SCHED = "src/repro/sched/mod.py"
+OBS = "src/repro/obs/mod.py"
 
 
 def rules_hit(source, path, *rules):
@@ -263,6 +264,53 @@ class TestCON002:
     def test_non_worker_functions_ignored(self):
         src = "def helper(state):\n    state.value = 1\n"
         assert lint_source(src, RUNTIME, rules=["CON002"]) == []
+
+
+class TestOBS001:
+    def test_flags_wall_clock_duration(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert rules_hit(src, OBS, "OBS001") == ["OBS001"]
+
+    def test_flags_time_ns(self):
+        src = "import time\n\ndef f():\n    return time.time_ns()\n"
+        assert rules_hit(src, RUNTIME, "OBS001") == ["OBS001"]
+
+    def test_from_import_alias_resolved(self):
+        src = "from time import time as now\n\ndef f():\n    return now()\n"
+        assert rules_hit(src, OBS, "OBS001") == ["OBS001"]
+
+    def test_perf_counter_is_fine(self):
+        src = "from time import perf_counter\n\ndef f():\n    return perf_counter()\n"
+        assert lint_source(src, OBS, rules=["OBS001"]) == []
+
+    def test_scoped_to_obs_and_runtime(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert lint_source(src, "src/repro/analysis/mod.py", rules=["OBS001"]) == []
+
+    def test_noqa_suppresses_with_justification(self):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # repro: noqa[OBS001] -- epoch timestamp, not a duration\n"
+        )
+        assert lint_source(src, OBS, rules=["OBS001"]) == []
+
+
+class TestOBS002:
+    def test_flags_direct_print(self):
+        src = "def f(x):\n    print(x)\n"
+        assert rules_hit(src, OBS, "OBS002") == ["OBS002"]
+
+    def test_flags_print_in_runtime(self):
+        src = "def f(x):\n    print('done', x)\n"
+        assert rules_hit(src, RUNTIME, "OBS002") == ["OBS002"]
+
+    def test_scoped_outside_obs_runtime(self):
+        src = "def f(x):\n    print(x)\n"
+        assert lint_source(src, "src/repro/cli.py", rules=["OBS002"]) == []
+
+    def test_method_named_print_is_fine(self):
+        src = "def f(report):\n    report.print()\n"
+        assert lint_source(src, OBS, rules=["OBS002"]) == []
 
 
 class TestCTR001:

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry and its snapshot/merge semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    EMPTY_SNAPSHOT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics_json,
+    format_metrics_text,
+    get_registry,
+    merge_snapshots,
+    metrics_enabled,
+    set_metrics_enabled,
+)
+from repro.runtime.errors import ConfigError
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Counter().inc(-1)
+
+    def test_gauge_set_and_set_max(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+        g.set_max(1.0)
+        assert g.value == 1.5
+        g.set_max(4.0)
+        assert g.value == 4.0
+
+    def test_histogram_buckets_and_conservation(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 100.0):
+            h.observe(v)
+        # bisect_left: values strictly below a bound land in its bucket,
+        # values equal to a bound land in that bound's bucket too.
+        assert sum(h.counts) == h.total == 4
+        assert h.counts[-1] == 1  # the unbounded overflow bucket
+        assert h.mean == pytest.approx((0.5 + 1.0 + 1.5 + 100.0) / 4)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            Histogram(bounds=())
+        with pytest.raises(ConfigError):
+            Histogram(bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_create_on_demand_and_identity(self):
+        reg = MetricsRegistry()
+        assert reg.is_empty()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert not reg.is_empty()
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.25)
+        reg.histogram("h").observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.25}
+        assert snap["histograms"]["h"]["total"] == 1
+
+    def test_empty_snapshot_constant_matches_fresh_registry(self):
+        assert MetricsRegistry().snapshot() == EMPTY_SNAPSHOT
+
+    def test_merge_folds_worker_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(3.0)
+        a.histogram("h").observe(0.5)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc(1)
+        b.gauge("g").set(2.0)
+        b.histogram("h").observe(5.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"c": 5, "only_b": 1}
+        assert snap["gauges"]["g"] == 3.0  # max wins
+        assert snap["histograms"]["h"]["total"] == 2
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ConfigError):
+            a.merge(b.snapshot())
+
+    def test_snapshot_and_reset_hand_off(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(4)
+        snap = reg.snapshot_and_reset()
+        assert snap["counters"] == {"c": 4}
+        assert reg.is_empty()
+        assert reg.snapshot() == EMPTY_SNAPSHOT
+
+    def test_merge_snapshots_pure_helper(self):
+        a = {"counters": {"x": 1}, "gauges": {}, "histograms": {}}
+        b = {"counters": {"x": 2}, "gauges": {}, "histograms": {}}
+        merged = merge_snapshots(a, b)
+        assert merged["counters"] == {"x": 3}
+        # Inputs are untouched (merge is pure over snapshots).
+        assert a["counters"] == {"x": 1} and b["counters"] == {"x": 2}
+
+
+class TestSwitchboard:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+
+    def test_toggle(self):
+        set_metrics_enabled(True)
+        assert metrics_enabled()
+        set_metrics_enabled(False)
+        assert not metrics_enabled()
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestReporters:
+    def test_text_format_lists_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.runs").inc(3)
+        reg.gauge("sim.l1.mshr_peak").set_max(7)
+        reg.histogram("lpm.lpmr1").observe(1.5)
+        text = format_metrics_text(reg.snapshot())
+        assert "counter   sim.runs" in text
+        assert "gauge     sim.l1.mshr_peak" in text
+        assert "histogram lpm.lpmr1" in text and "n=1" in text
+
+    def test_text_format_empty(self):
+        assert "(no metrics recorded)" in format_metrics_text(EMPTY_SNAPSHOT)
+
+    def test_json_format_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        assert json.loads(format_metrics_json(reg.snapshot())) == reg.snapshot()

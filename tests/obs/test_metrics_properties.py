@@ -1,0 +1,123 @@
+"""Property tests: snapshot merge is a commutative monoid.
+
+The evaluation pool merges worker snapshots in arrival order, after
+retries and crashes have reordered and duplicated work arbitrarily.  The
+parent-side totals are only trustworthy if merge is associative and
+commutative with :data:`EMPTY_SNAPSHOT` as identity, if histogram counts
+are conserved, and if counters never decrease under merge — exactly the
+properties generated here.  All merges run under the repo's
+:func:`~repro.lint.contracts.runtime_checks` so any contract-decorated
+code touched along the way self-verifies too.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.contracts import runtime_checks
+from repro.obs.metrics import DEFAULT_BUCKETS, EMPTY_SNAPSHOT, merge_snapshots
+
+_names = st.text(alphabet="abcxyz._", min_size=1, max_size=8)
+_counter_values = st.integers(min_value=0, max_value=10**9)
+#: Gauges here are non-negative watermarks (peak occupancy etc.); merge by
+#: max means a fresh registry's 0.0 is their identity element.
+_gauge_values = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+@st.composite
+def _histogram_snapshots(draw):
+    n_buckets = len(DEFAULT_BUCKETS) + 1
+    counts = draw(st.lists(
+        st.integers(min_value=0, max_value=1000),
+        min_size=n_buckets, max_size=n_buckets,
+    ))
+    total = sum(counts)
+    value_sum = draw(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False))
+    return {
+        "bounds": list(DEFAULT_BUCKETS),
+        "counts": counts,
+        "total": total,
+        "sum": value_sum,
+    }
+
+
+_snapshots = st.fixed_dictionaries({
+    "counters": st.dictionaries(_names, _counter_values, max_size=4),
+    "gauges": st.dictionaries(_names, _gauge_values, max_size=4),
+    "histograms": st.dictionaries(_names, _histogram_snapshots(), max_size=3),
+})
+
+
+def _assert_equivalent(a: dict, b: dict) -> None:
+    """Snapshot equality, with float tolerance on histogram sums only.
+
+    Counter addition and bucket-count addition are exact integer ops and
+    gauge merge is ``max`` (exact), so those compare with ``==``; histogram
+    ``sum`` is float addition, where regrouping legitimately changes the
+    rounding by ~1 ulp.
+    """
+    assert a["counters"] == b["counters"]
+    assert a["gauges"] == b["gauges"]
+    assert a["histograms"].keys() == b["histograms"].keys()
+    for name, ha in a["histograms"].items():
+        hb = b["histograms"][name]
+        assert ha["bounds"] == hb["bounds"]
+        assert ha["counts"] == hb["counts"]
+        assert ha["total"] == hb["total"]
+        assert math.isclose(ha["sum"], hb["sum"], rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=75)
+@given(a=_snapshots, b=_snapshots, c=_snapshots)
+def test_merge_is_associative(a, b, c):
+    with runtime_checks():
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        flat = merge_snapshots(a, b, c)
+    _assert_equivalent(left, right)
+    _assert_equivalent(left, flat)
+
+
+@settings(max_examples=75)
+@given(a=_snapshots, b=_snapshots)
+def test_merge_is_commutative(a, b):
+    with runtime_checks():
+        _assert_equivalent(merge_snapshots(a, b), merge_snapshots(b, a))
+
+
+@settings(max_examples=75)
+@given(a=_snapshots)
+def test_empty_snapshot_is_identity(a):
+    with runtime_checks():
+        canonical = merge_snapshots(a)
+        left = merge_snapshots(EMPTY_SNAPSHOT, a)
+        right = merge_snapshots(a, EMPTY_SNAPSHOT)
+    assert left == canonical
+    assert right == canonical
+    # And the identity is idempotent on itself.
+    assert merge_snapshots(EMPTY_SNAPSHOT, EMPTY_SNAPSHOT) == EMPTY_SNAPSHOT
+
+
+@settings(max_examples=75)
+@given(snaps=st.lists(_snapshots, min_size=1, max_size=4))
+def test_histogram_counts_are_conserved(snaps):
+    with runtime_checks():
+        merged = merge_snapshots(*snaps)
+    for name, hist in merged["histograms"].items():
+        expected_total = sum(
+            s["histograms"][name]["total"]
+            for s in snaps if name in s["histograms"]
+        )
+        assert hist["total"] == expected_total
+        assert sum(hist["counts"]) == hist["total"]
+
+
+@settings(max_examples=75)
+@given(a=_snapshots, b=_snapshots)
+def test_counters_are_monotone_under_merge(a, b):
+    with runtime_checks():
+        merged = merge_snapshots(a, b)
+    for source in (a, b):
+        for name, value in source["counters"].items():
+            assert merged["counters"][name] >= value

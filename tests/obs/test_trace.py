@@ -1,0 +1,149 @@
+"""Tracing core: no-op fast path, nesting, JSONL export, thread/fork safety."""
+
+import json
+import threading
+from multiprocessing import get_context
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    configure_tracing,
+    event,
+    read_trace,
+    span,
+    tracing_enabled,
+)
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+
+    def test_span_returns_shared_noop_singleton(self):
+        assert span("anything", key=1) is NOOP_SPAN
+        assert span("other") is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with span("x", a=1) as sp:
+            sp.set(b=2)  # must not raise and must not record anything
+
+    def test_event_is_dropped(self, tmp_path):
+        event("nothing", x=1)  # no tracer installed; silently dropped
+
+
+class TestSpanRecording:
+    def test_span_record_shape(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with span("work", label="A") as sp:
+            sp.set(result=42)
+        records = list(read_trace(path))
+        assert len(records) == 1
+        (rec,) = records
+        assert rec["kind"] == "span"
+        assert rec["name"] == "work"
+        assert rec["parent_id"] is None
+        assert rec["duration_s"] >= 0.0
+        assert rec["attrs"] == {"label": "A", "result": 42}
+
+    def test_nesting_records_parent_id(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with span("outer") as outer:
+            with span("inner"):
+                pass
+        by_name = {r["name"]: r for r in read_trace(path)}
+        assert by_name["inner"]["parent_id"] == outer.span_id
+        assert by_name["outer"]["parent_id"] is None
+        # Inner exits (and is emitted) first; ids are unique.
+        assert by_name["inner"]["span_id"] != by_name["outer"]["span_id"]
+
+    def test_exception_recorded_and_propagated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        try:
+            with span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (rec,) = read_trace(path)
+        assert rec["error"] == "ValueError"
+
+    def test_event_nests_under_open_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with span("parent") as sp:
+            event("tick", n=1)
+        records = list(read_trace(path))
+        ev = next(r for r in records if r["kind"] == "event")
+        assert ev["parent_id"] == sp.span_id
+        assert ev["duration_s"] == 0.0
+        assert ev["attrs"] == {"n": 1}
+
+    def test_configure_none_disables(self, tmp_path):
+        configure_tracing(tmp_path / "t.jsonl")
+        assert tracing_enabled()
+        configure_tracing(None)
+        assert not tracing_enabled()
+        assert span("x") is NOOP_SPAN
+
+
+class TestConcurrency:
+    def test_threads_interleave_at_line_granularity(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+
+        def emit(tid):
+            for i in range(25):
+                with tracer.span("thread-span", tid=tid, i=i):
+                    pass
+
+        threads = [threading.Thread(target=emit, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.close()
+        records = list(read_trace(path))
+        assert len(records) == 100
+        # Every line parsed as a full record (no torn lines), each with a
+        # top-level span: stacks are thread-local, so no cross-thread parents.
+        assert all(r["parent_id"] is None for r in records)
+        assert len({r["span_id"] for r in records}) == 100
+
+    def test_forked_child_spans_land_in_same_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_tracing(path)
+        with span("parent-before-fork"):
+            pass
+        ctx = get_context("fork")
+        proc = ctx.Process(target=_child_emit)
+        proc.start()
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+        with span("parent-after-fork"):
+            pass
+        records = list(read_trace(path))
+        names = {r["name"] for r in records}
+        assert names == {"parent-before-fork", "child-span", "parent-after-fork"}
+        assert len({r["pid"] for r in records}) == 2
+
+
+def _child_emit():
+    with obs_trace.span("child-span"):
+        pass
+
+
+class TestReadTrace:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps({"kind": "span", "name": "ok"})
+        path.write_text(good + "\n" + '{"kind": "span", "name": "torn', encoding="utf-8")
+        records = list(read_trace(path))
+        assert [r["name"] for r in records] == ["ok"]
+
+    def test_blank_lines_and_non_dicts_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n[1, 2]\n{"kind": "event", "name": "e"}\n', encoding="utf-8")
+        assert [r["name"] for r in read_trace(path)] == ["e"]

@@ -1,0 +1,151 @@
+"""Observability integration: pool/runtime counters under fault injection.
+
+The acceptance property: metrics recorded *inside* workers (fault
+injections fire injector-side) ship back with results and merge into the
+parent registry so the totals match the runtime's own bookkeeping exactly
+— inline and across worker processes, which must agree with each other
+because the fault RNG is seeded per (job, attempt).
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.evaluate import EvaluationRequest, EvaluationRuntime
+from repro.runtime.faults import FaultConfig
+from repro.runtime.pool import PoolConfig, RetryPolicy
+from repro.sim.params import table1_config
+from repro.workloads.spec import get_benchmark
+
+FAULT_RATE = 0.6
+FAULT_SEED = 1
+FAST_RETRY = RetryPolicy(max_retries=6, backoff_base=0.001, backoff_jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_benchmark("401.bzip2").trace(1200, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def metrics_on():
+    obs_metrics.get_registry().reset()
+    obs_metrics.set_metrics_enabled(True)
+    yield
+    obs_metrics.set_metrics_enabled(False)
+    obs_metrics.get_registry().reset()
+    obs_trace.configure_tracing(None)
+
+
+def _requests(trace, labels="ABC"):
+    return [
+        EvaluationRequest(
+            key=f"{label}|{table1_config(label).cache_key()}",
+            config=table1_config(label), trace=trace,
+        )
+        for label in labels
+    ]
+
+
+def _faulty_runtime(workers=0):
+    return EvaluationRuntime(
+        pool=PoolConfig(max_workers=workers, retry=FAST_RETRY),
+        faults=FaultConfig.uniform(FAULT_RATE, seed=FAULT_SEED),
+    )
+
+
+def _counters():
+    return obs_metrics.get_registry().snapshot()["counters"]
+
+
+class TestInlineFaultCounters:
+    def test_retry_counter_matches_runtime_exactly(self, trace):
+        rt = _faulty_runtime()
+        rt.evaluate_many(_requests(trace))
+        counters = _counters()
+        assert rt.counters.retries > 0, "fault rate must actually trigger retries"
+        assert counters["pool.retries"] == rt.counters.retries
+        # Every attempt that failed was retried (jobs all succeed eventually).
+        assert counters["pool.failed_attempts"] == rt.counters.retries
+        assert counters["pool.jobs_ok"] == len(_requests(trace))
+        assert "pool.jobs_failed" not in counters
+
+    def test_fault_kind_counters_sum_to_total(self, trace):
+        rt = _faulty_runtime()
+        rt.evaluate_many(_requests(trace))
+        counters = _counters()
+        total = counters["runtime.faults_injected"]
+        by_kind = sum(
+            v for k, v in counters.items() if k.startswith("runtime.faults.")
+        )
+        assert total > 0
+        assert by_kind == total
+        # Each failed attempt was caused by at least one injected fault.
+        assert total >= counters["pool.failed_attempts"]
+
+    def test_request_accounting(self, trace):
+        rt = _faulty_runtime()
+        reqs = _requests(trace)
+        rt.evaluate_many(reqs)
+        counters = _counters()
+        assert counters["runtime.requests"] == len(reqs)
+        assert counters["runtime.simulations"] == rt.counters.simulations == len(reqs)
+        assert counters["runtime.journal_hits"] == 0
+
+
+class TestWorkerSnapshotMerge:
+    def test_worker_counters_match_inline_exactly(self, trace):
+        """Fault RNG is seeded per (job, attempt): worker-shipped snapshots
+        must reproduce the inline totals bit-for-bit."""
+        reqs = _requests(trace)
+        inline_rt = _faulty_runtime(workers=0)
+        inline_rt.evaluate_many(reqs)
+        inline = _counters()
+
+        obs_metrics.get_registry().reset()
+        worker_rt = _faulty_runtime(workers=2)
+        worker_rt.evaluate_many(reqs)
+        merged = _counters()
+
+        assert worker_rt.counters.retries == inline_rt.counters.retries
+        for key in (
+            "pool.retries", "pool.failed_attempts", "pool.jobs_ok",
+            "runtime.faults_injected", "runtime.requests",
+            "runtime.simulations",
+        ):
+            assert merged.get(key) == inline.get(key), key
+        kinds = {k for k in (*merged, *inline) if k.startswith("runtime.faults.")}
+        for key in kinds:
+            assert merged.get(key) == inline.get(key), key
+
+    def test_fault_free_pool_ships_sim_counters(self, trace):
+        rt = EvaluationRuntime(pool=PoolConfig(max_workers=2, retry=FAST_RETRY))
+        reqs = _requests(trace, "AB")
+        rt.evaluate_many(reqs)
+        counters = _counters()
+        # Simulation metrics are recorded worker-side; their arrival proves
+        # the snapshot hand-off (engine runs in the children only).
+        assert counters["sim.runs"] >= 2 * len(reqs)  # perfect + real run each
+        assert counters["sim.l1.accesses"] > 0
+        assert counters["pool.jobs_ok"] == len(reqs)
+        assert "pool.retries" not in counters
+
+    def test_worker_spans_interleave_into_one_trace(self, trace, tmp_path):
+        path = tmp_path / "pool.jsonl"
+        obs_trace.configure_tracing(path)
+        rt = EvaluationRuntime(pool=PoolConfig(max_workers=2, retry=FAST_RETRY))
+        reqs = _requests(trace, "AB")
+        rt.evaluate_many(reqs)
+        obs_trace.configure_tracing(None)
+        records = list(obs_trace.read_trace(path))
+        attempts = [r for r in records if r["name"] == "pool.attempt"]
+        jobs = [r for r in records if r["name"] == "pool.job"]
+        assert len(attempts) == len(reqs)  # no faults: one attempt per job
+        assert {r["attrs"]["key"] for r in attempts} == {r.key for r in reqs}
+        assert len(jobs) == len(reqs)
+        parent_pid = next(
+            r["pid"] for r in records if r["name"] == "runtime.evaluate_many"
+        )
+        # Attempts ran in forked children, supervision events in the parent.
+        assert all(r["pid"] != parent_pid for r in attempts)
+        assert all(r["pid"] == parent_pid for r in jobs)
