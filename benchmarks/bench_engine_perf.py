@@ -1,9 +1,13 @@
 """Engine throughput benchmark (true timing benchmark, not an experiment).
 
 Measures the simulator's instructions-per-second on a representative
-workload so performance regressions in the hot loop are visible.  This is
-the one bench where pytest-benchmark's statistics (multiple rounds) are
-meaningful.
+workload so performance regressions in the hot loop are visible.  Both
+issue loops are timed — the specialized fast path (what ``engine="auto"``
+picks on the default machine) and the reference loop it must match —
+so their ratio is tracked alongside absolute throughput.  This is the one
+bench where pytest-benchmark's statistics (multiple rounds) are
+meaningful.  CI gates the fast/reference ratio via
+``python -m repro bench compare`` (see ``baseline_engine_perf.json``).
 """
 
 from repro.sim import DEFAULT_MACHINE, HierarchySimulator
@@ -12,15 +16,23 @@ from repro.workloads.spec import get_benchmark
 N_ACCESSES = 10_000
 
 
-def test_engine_throughput(benchmark):
+def _time_engine(benchmark, engine):
     trace = get_benchmark("403.gcc").trace(N_ACCESSES, seed=1)
 
     def run():
-        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0, engine=engine)
         return sim.run(trace)
 
     result = benchmark(run)
     assert result.accesses.n_accesses == N_ACCESSES
+
+
+def test_engine_throughput(benchmark):
+    _time_engine(benchmark, "fast")
+
+
+def test_engine_throughput_reference(benchmark):
+    _time_engine(benchmark, "reference")
 
 
 def test_analyzer_throughput(benchmark):

@@ -21,6 +21,10 @@ Python:
     Measure, then print the bottleneck diagnosis and the recommended
     techniques from the paper's "technique pool".
 
+``python -m repro bench run|compare``
+    Fast-vs-reference engine throughput A/B; ``compare`` gates the speedup
+    ratio against ``benchmarks/baseline_engine_perf.json``.
+
 ``python -m repro benchmarks``
     List the available benchmark profiles.
 
@@ -57,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="collect the repro.obs metrics registry and print "
                           "it after the command")
 
+    # Persistent evaluation cache, shared by the measurement-loop commands.
+    cache_p = argparse.ArgumentParser(add_help=False)
+    cache_p.add_argument("--eval-cache", default=None, metavar="PATH",
+                         dest="eval_cache",
+                         help="persistent evaluation-cache directory; "
+                              "repeated runs recall identical measurements "
+                              "instead of re-simulating "
+                              "(keyed on trace content + config + seed + "
+                              "engine version)")
+
     sim = sub.add_parser("simulate", parents=[obs],
                          help="simulate one benchmark on one configuration")
     sim.add_argument("--benchmark", default="410.bwaves",
@@ -67,7 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="memory accesses to generate")
     sim.add_argument("--seed", type=int, default=7)
 
-    walk = sub.add_parser("walk", parents=[obs], help="run the LPM algorithm over the A..E ladder")
+    walk = sub.add_parser("walk", parents=[obs, cache_p],
+                          help="run the LPM algorithm over the A..E ladder")
     walk.add_argument("--benchmark", default="410.bwaves")
     walk.add_argument("--delta", type=float, default=140.0,
                       help="stall target as %% of CPI_exe (substrate-scaled)")
@@ -81,14 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the fault-injection RNG")
 
-    sweep = sub.add_parser("sweep", parents=[obs], help="APC1/APC2 across private L1 sizes")
+    sweep = sub.add_parser("sweep", parents=[obs, cache_p],
+                           help="APC1/APC2 across private L1 sizes")
     sweep.add_argument("--benchmark", default="403.gcc")
     sweep.add_argument("--accesses", type=int, default=20_000)
     sweep.add_argument("--seed", type=int, default=3)
     sweep.add_argument("--sizes", default="4,16,32,64",
                        help="comma-separated L1 sizes in KB")
 
-    sched = sub.add_parser("schedule", parents=[obs], help="the Fig. 8 scheduling comparison")
+    sched = sub.add_parser("schedule", parents=[obs, cache_p],
+                           help="the Fig. 8 scheduling comparison")
     sched.add_argument("--accesses", type=int, default=12_000,
                        help="profiling accesses per (benchmark, L1 size)")
     sched.add_argument("--seed", type=int, default=3)
@@ -120,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--config", default="A")
     diag.add_argument("--accesses", type=int, default=20_000)
     diag.add_argument("--seed", type=int, default=7)
+
+    bench = sub.add_parser(
+        "bench",
+        help="fast-vs-reference engine throughput A/B (run / compare)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bcommon = argparse.ArgumentParser(add_help=False)
+    bcommon.add_argument("--benchmark", default="403.gcc")
+    bcommon.add_argument("--accesses", type=int, default=10_000)
+    bcommon.add_argument("--rounds", type=int, default=3,
+                         help="timing repetitions; each engine keeps its best")
+    brun = bench_sub.add_parser(
+        "run", parents=[bcommon],
+        help="measure both engines and print/record the speedup ratio",
+    )
+    brun.add_argument("--json", default=None, metavar="PATH", dest="json_path",
+                      help="also write the JSON record to PATH (use as the "
+                           "committed baseline)")
+    bcmp = bench_sub.add_parser(
+        "compare", parents=[bcommon],
+        help="A/B the current tree against a recorded baseline; exit 1 on "
+             "regression past the tolerance",
+    )
+    bcmp.add_argument("--baseline", default="benchmarks/baseline_engine_perf.json",
+                      metavar="PATH")
+    bcmp.add_argument("--tolerance", type=float, default=0.2,
+                      help="allowed fractional speedup regression "
+                           "(default 0.2 = 20%%)")
+    bcmp.add_argument("--out", default=None, metavar="PATH",
+                      help="write the comparison record to PATH; default: "
+                           "the next free BENCH_<n>.json beside the baseline")
 
     sub.add_parser("benchmarks", help="list available benchmark profiles")
 
@@ -173,12 +221,14 @@ def _cmd_walk(args: argparse.Namespace) -> int:
 
     trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
     runtime = None
-    if args.fault_rate > 0.0:
+    if args.fault_rate > 0.0 or args.eval_cache is not None:
         from repro.runtime import EvaluationRuntime, FaultConfig
 
-        runtime = EvaluationRuntime(
-            faults=FaultConfig.uniform(args.fault_rate, seed=args.fault_seed)
+        faults = (
+            FaultConfig.uniform(args.fault_rate, seed=args.fault_seed)
+            if args.fault_rate > 0.0 else None
         )
+        runtime = EvaluationRuntime(faults=faults, cache=args.eval_cache)
     backend = LadderBackend(
         [table1_config(c) for c in "ABCD"], trace,
         deprovision_configs=[table1_config("E")],
@@ -189,7 +239,9 @@ def _cmd_walk(args: argparse.Namespace) -> int:
     result = algo.run(backend, allow_deprovision=not args.no_trim)
     print(format_run_result(result))
     print(f"\nsimulations spent: {backend.log.evaluations}")
-    if runtime is not None:
+    if args.eval_cache is not None:
+        print(f"recalled from cache/journal: {backend.log.cached}")
+    if runtime is not None and args.fault_rate > 0.0:
         print(f"measurement retries under {args.fault_rate:.0%} fault "
               f"injection: {runtime.counters.retries}")
     return 0
@@ -204,7 +256,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes_kb = [int(s) for s in args.sizes.split(",") if s]
     trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
     base = NUCAMachine().base_config
-    result = sweep_l1_sizes(base, trace, [kb * KB for kb in sizes_kb], seed=0)
+    runtime = None
+    if args.eval_cache is not None:
+        from repro.runtime import EvaluationRuntime
+
+        runtime = EvaluationRuntime(cache=args.eval_cache)
+    result = sweep_l1_sizes(base, trace, [kb * KB for kb in sizes_kb], seed=0,
+                            runtime=runtime)
     rows = [
         (label, st.apc1, st.apc2, st.mr1_conventional, st.ipc)
         for label, st in zip(result.labels, result.stats)
@@ -213,6 +271,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ["L1 size", "APC1", "APC2", "MR1", "IPC"], rows, float_fmt="{:.4f}",
         title=f"{args.benchmark}: L1-size sweep (Figs. 6/7 quantities)",
     ))
+    if runtime is not None:
+        print(f"\nevaluations: {runtime.counters.simulations} simulated, "
+              f"{runtime.counters.cache_hits} recalled from cache")
     return 0
 
 
@@ -234,11 +295,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(f"profiling {len(SELECTED_16)} benchmarks x "
           f"{len(machine.distinct_l1_sizes)} L1 sizes...")
     runtime = None
-    if args.workers > 0 or args.journal is not None:
+    if args.workers > 0 or args.journal is not None or args.eval_cache is not None:
         from repro.runtime import EvaluationRuntime, PoolConfig
 
         runtime = EvaluationRuntime(
-            pool=PoolConfig(max_workers=args.workers), journal=args.journal
+            pool=PoolConfig(max_workers=args.workers), journal=args.journal,
+            cache=args.eval_cache,
         )
     db = profile_benchmarks(
         machine, [get_benchmark(n) for n in SELECTED_16],
@@ -247,6 +309,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if runtime is not None and runtime.counters.journal_hits:
         print(f"resumed {runtime.counters.journal_hits} profiles from "
               f"{args.journal} ({runtime.counters.simulations} simulated)")
+    if runtime is not None and runtime.counters.cache_hits:
+        print(f"recalled {runtime.counters.cache_hits} profiles from "
+              f"{args.eval_cache} ({runtime.counters.simulations} simulated)")
     apps = list(SELECTED_16)
     results = {
         f"Random (avg of {args.random_seeds})": float(np.mean([
@@ -321,6 +386,48 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.bench import (
+        compare_benchmarks,
+        format_bench_record,
+        measure_engine_throughput,
+    )
+
+    record = measure_engine_throughput(
+        args.benchmark, accesses=args.accesses, rounds=args.rounds
+    )
+    if args.bench_command == "run":
+        print(format_bench_record(record))
+        if args.json_path is not None:
+            Path(args.json_path).write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"\nwrote {args.json_path}")
+        return 0 if record["identical"] else 2
+    baseline_path = Path(args.baseline)
+    baseline = json.loads(baseline_path.read_text())
+    ok, lines = compare_benchmarks(record, baseline, tolerance=args.tolerance)
+    print(format_bench_record(record))
+    print()
+    print("\n".join(lines))
+    out = args.out
+    if out is None:
+        n = 1
+        while (baseline_path.parent / f"BENCH_{n}.json").exists():
+            n += 1
+        out = baseline_path.parent / f"BENCH_{n}.json"
+    Path(out).write_text(json.dumps(
+        {"current": record, "baseline": baseline,
+         "tolerance": args.tolerance, "ok": ok},
+        indent=2, sort_keys=True,
+    ) + "\n")
+    print(f"\nwrote {out}")
+    return 0 if ok else 1
+
+
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     from repro.workloads import BENCHMARKS
 
@@ -337,6 +444,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "schedule": _cmd_schedule,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
     "benchmarks": _cmd_benchmarks,
     "lint": _cmd_lint,
 }

@@ -210,7 +210,7 @@ class LPMAlgorithm:
             # decision state (LPMR1/LPMR2, thresholds, case, Δ-stall), so
             # the complete walk is reconstructable from the trace alone
             # (tests/obs/test_walk_trace.py exercises exactly that).
-            with obs_trace.span("lpm.step", index=index) as span:
+            with obs_trace.span("lpm.step", index=index) as span:  # repro: noqa[PERF001] -- one span per Fig. 3 step (<= max_steps ~ 10), not per instruction
                 report = backend.measure()
                 thresholds = report.thresholds(self.delta_percent)
                 delta = self._delta_for(thresholds)

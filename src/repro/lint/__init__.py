@@ -4,7 +4,8 @@ Two complementary halves:
 
 * the **lint engine** (:mod:`repro.lint.engine`) with repo-specific rule
   packs — determinism (DET*), numerical safety (NUM*), error-taxonomy
-  discipline (ERR*), concurrency/fork safety (CON*), and contract
+  discipline (ERR*), concurrency/fork safety (CON*), observability
+  discipline (OBS*), hot-path performance (PERF*), and contract
   declaration (CTR*).  Run it with ``python -m repro lint``;
 * the **contract checker** (:mod:`repro.lint.contracts`): the paper's
   C-AMAT/LPMR identities (Eqs. 2-4, 9-11) as a typed table, declared at
@@ -23,6 +24,7 @@ from repro.lint import (  # noqa: F401  (imported for rule registration)
     rules_determinism,
     rules_numeric,
     rules_obs,
+    rules_perf,
     rules_taxonomy,
 )
 from repro.lint.contracts import (

@@ -8,7 +8,9 @@ Three composable pieces (see ``docs/OBSERVABILITY.md``):
   registry whose snapshots merge across pool workers as a commutative
   monoid;
 * **profiling** (:mod:`repro.obs.profile`) — opt-in per-phase timings of
-  the simulate-and-measure pipeline, replacing hand-run cProfile sessions.
+  the simulate-and-measure pipeline, replacing hand-run cProfile sessions;
+* **benchmarking** (:mod:`repro.obs.bench`) — the fast-vs-reference engine
+  throughput A/B used by ``python -m repro bench`` and the CI perf gate.
 
 Everything is disabled by default and instrumented call sites guard on
 :func:`tracing_enabled` / :func:`metrics_enabled`, so the hot paths pay
@@ -16,6 +18,11 @@ one boolean check per *run* (never per instruction) when observability is
 off.
 """
 
+from repro.obs.bench import (
+    compare_benchmarks,
+    format_bench_record,
+    measure_engine_throughput,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     EMPTY_SNAPSHOT,
@@ -76,4 +83,7 @@ __all__ = [
     "span",
     "event",
     "read_trace",
+    "measure_engine_throughput",
+    "compare_benchmarks",
+    "format_bench_record",
 ]

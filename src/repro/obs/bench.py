@@ -1,0 +1,118 @@
+"""Engine throughput A/B benchmark: fast path versus reference loop.
+
+The simulator keeps two implementations of its issue loop — the
+specialized fast path and the obviously-correct reference
+(:mod:`repro.sim.engine`).  This module measures both on the same trace
+and reports the machine-*independent* quantity that CI can gate on: the
+fast/reference speedup ratio.  Absolute instructions-per-second numbers
+vary wildly across machines; the ratio of two loops timed back-to-back in
+the same process is stable to within a few percent.
+
+``python -m repro bench run`` produces a JSON record;
+``python -m repro bench compare`` re-measures the current tree and fails
+when the speedup ratio regressed more than a tolerance below a recorded
+baseline (``benchmarks/baseline_engine_perf.json``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["measure_engine_throughput", "compare_benchmarks", "format_bench_record"]
+
+
+def measure_engine_throughput(
+    benchmark: str = "403.gcc",
+    *,
+    accesses: int = 10_000,
+    rounds: int = 3,
+    trace_seed: int = 1,
+    sim_seed: int = 0,
+) -> dict:
+    """Time the fast and reference engines on one workload; best-of-*rounds*.
+
+    Also verifies the two engines produce identical access records on this
+    workload — a throughput number for a wrong fast path is meaningless —
+    and reports the outcome in the record's ``identical`` field.
+    """
+    import numpy as np
+
+    from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+    from repro.sim.engine import ENGINE_VERSION
+    from repro.workloads.spec import get_benchmark
+
+    trace = get_benchmark(benchmark).trace(accesses, seed=trace_seed)
+    times: "dict[str, float]" = {}
+    results: "dict[str, object]" = {}
+    for engine in ("fast", "reference"):
+        best = math.inf
+        for _ in range(rounds):
+            sim = HierarchySimulator(DEFAULT_MACHINE, seed=sim_seed, engine=engine)
+            t0 = time.perf_counter()
+            res = sim.run(trace)
+            best = min(best, time.perf_counter() - t0)
+        times[engine] = best
+        results[engine] = res
+    fast_acc, ref_acc = results["fast"].accesses, results["reference"].accesses
+    identical = all(
+        np.array_equal(getattr(fast_acc, name), getattr(ref_acc, name))
+        for name in ("l1_hit_start", "l1_hit_end", "l1_miss_start", "l1_miss_end",
+                     "l2_hit_start", "l2_hit_end", "l2_miss_start", "l2_miss_end",
+                     "mem_start", "mem_end")
+    )
+    n_instr = trace.n_instructions
+    return {
+        "kind": "engine_throughput",
+        "benchmark": benchmark,
+        "accesses": accesses,
+        "instructions": n_instr,
+        "rounds": rounds,
+        "engine_version": ENGINE_VERSION,
+        "fast_instr_per_s": n_instr / times["fast"],
+        "reference_instr_per_s": n_instr / times["reference"],
+        "speedup": times["reference"] / times["fast"],
+        "identical": identical,
+    }
+
+
+def compare_benchmarks(
+    current: dict, baseline: dict, *, tolerance: float = 0.2
+) -> "tuple[bool, list[str]]":
+    """Gate *current* against *baseline* on the fast/reference speedup.
+
+    Returns ``(ok, report_lines)``.  The gate trips when the current
+    speedup falls more than ``tolerance`` (fractional) below the
+    baseline's, or when the fast path stopped being bit-identical.
+    Absolute throughput is reported for context but never gated on.
+    """
+    floor = baseline["speedup"] * (1.0 - tolerance)
+    ok = current["speedup"] >= floor and current.get("identical", True)
+    lines = [
+        f"baseline speedup: {baseline['speedup']:.3f}x "
+        f"(engine v{baseline.get('engine_version', '?')}, "
+        f"{baseline['accesses']} accesses)",
+        f"current speedup:  {current['speedup']:.3f}x "
+        f"(engine v{current.get('engine_version', '?')}, "
+        f"{current['accesses']} accesses)",
+        f"gate floor:       {floor:.3f}x (tolerance {tolerance:.0%})",
+        f"fast == reference: {current.get('identical', True)}",
+        "PASS" if ok else "FAIL: fast-path speedup regressed below the gate",
+    ]
+    return ok, lines
+
+
+def format_bench_record(record: dict) -> str:
+    """Human-oriented rendering of one throughput record."""
+    return "\n".join([
+        f"benchmark:  {record['benchmark']} ({record['accesses']} accesses, "
+        f"{record['instructions']} instructions, best of {record['rounds']})",
+        f"fast:       {record['fast_instr_per_s']:,.0f} instr/s",
+        f"reference:  {record['reference_instr_per_s']:,.0f} instr/s",
+        f"speedup:    {record['speedup']:.3f}x (engine v{record['engine_version']})",
+        f"identical:  {record['identical']}",
+    ])

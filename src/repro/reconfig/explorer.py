@@ -39,15 +39,26 @@ __all__ = ["LadderBackend", "GreedyReconfigBackend", "ExplorationLog"]
 
 @dataclass
 class ExplorationLog:
-    """Evaluation bookkeeping: how many simulations the search spent."""
+    """Evaluation bookkeeping: how many simulations the search spent.
+
+    ``evaluations`` counts only *fresh* simulations — the paper's "search
+    cost" currency.  Design points recalled from the checkpoint journal or
+    the persistent evaluation cache are tallied under ``cached`` instead,
+    so a resumed or cache-backed exploration reports zero duplicate work.
+    """
 
     evaluations: int = 0
+    cached: int = 0
     visited: list[str] = field(default_factory=list)
 
     def record(self, label: str) -> None:
         """Count one full simulate-and-measure evaluation."""
         self.evaluations += 1
         self.visited.append(label)
+
+    def record_cached(self, label: str) -> None:
+        """Count one evaluation recalled from a journal or cache."""
+        self.cached += 1
 
 
 class _SimulatingBackend:
@@ -94,11 +105,6 @@ class _SimulatingBackend:
         if fresh and self.runtime is not None:
             from repro.runtime.evaluate import EvaluationRequest
 
-            journal = self.runtime.journal
-            already_journaled = {
-                key for key, config in fresh.items()
-                if journal is not None and self._journal_key(config) in journal
-            }
             measured = self.runtime.evaluate_many([
                 EvaluationRequest(
                     key=self._journal_key(config), config=config,
@@ -106,10 +112,14 @@ class _SimulatingBackend:
                 )
                 for config in fresh.values()
             ])
+            sources = self.runtime.last_sources
             for key, config in fresh.items():
-                self._cache[key] = measured[self._journal_key(config)]
-                if key not in already_journaled:
+                jkey = self._journal_key(config)
+                self._cache[key] = measured[jkey]
+                if sources.get(jkey, "simulated") == "simulated":
                     self.log.record(config.name)
+                else:
+                    self.log.record_cached(config.name)
         elif fresh:
             for key, config in fresh.items():
                 _, stats = simulate_and_measure(

@@ -19,6 +19,12 @@ package makes that evaluation path production-grade:
     spurious exceptions) to prove degradation is graceful.
 ``repro.runtime.guards``
     Measurement validation separating "safe to act on" from "reject".
+``repro.runtime.trace_store``
+    Process-resident traces keyed by content digest, so job payloads ship
+    a digest string instead of pickled numpy arrays.
+``repro.runtime.evalcache``
+    Persistent content-addressed cache of measurements, shared across runs
+    and invalidated by engine-version bumps.
 ``repro.runtime.evaluate``
     :class:`EvaluationRuntime`, the façade composing all of the above.
 
@@ -60,6 +66,8 @@ __all__ = [
     "EvaluationRequest",
     "EvaluationRuntime",
     "RuntimeCounters",
+    "EvaluationCache",
+    "evaluation_cache_key",
 ]
 
 _LAZY = {
@@ -77,6 +85,8 @@ _LAZY = {
     "EvaluationRequest": "repro.runtime.evaluate",
     "EvaluationRuntime": "repro.runtime.evaluate",
     "RuntimeCounters": "repro.runtime.evaluate",
+    "EvaluationCache": "repro.runtime.evalcache",
+    "evaluation_cache_key": "repro.runtime.evalcache",
 }
 
 

@@ -1,0 +1,158 @@
+"""Persistent content-addressed cache of measured evaluations.
+
+The paper's walks re-visit design points constantly: a guided LPM walk, a
+greedy explorer frontier, an ``analysis/sweep`` grid and a CI run all
+measure overlapping ``(trace, config, seed, warm)`` points — and the
+checkpoint journal (:mod:`repro.runtime.journal`) only remembers them for
+one journal file.  :class:`EvaluationCache` is the cross-run, cross-process
+store: a directory of JSON entries keyed by content, so each measurement is
+paid for exactly once per machine.
+
+Key derivation
+--------------
+An entry's key is ``sha256`` over::
+
+    (trace content digest, MachineConfig.cache_key(), seed, warm, ENGINE_VERSION)
+
+* the *trace content digest* hashes the instruction arrays, not the trace
+  name — renaming a workload cannot alias two different traces;
+* ``MachineConfig.cache_key()`` covers every knob except the config's
+  display name;
+* :data:`repro.sim.engine.ENGINE_VERSION` is baked into the key, so a
+  timing-model change invalidates every entry at once (stale entries are
+  simply never looked up again); each entry also records the version so a
+  stale store can be audited or pruned by hand.
+
+When NOT to trust the cache: entries are only as good as the simulator
+version discipline — a timing change that forgets to bump
+``ENGINE_VERSION`` will keep serving pre-change measurements.  Delete the
+cache directory (or pass a fresh ``--eval-cache`` path) when in doubt.
+
+Storage layout is two-level (``root/ab/abcdef....json``) to keep directory
+fan-out bounded; writes go through a temp file + ``os.replace`` so a killed
+process never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs import metrics as obs_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.params import MachineConfig
+    from repro.workloads.trace import Trace
+
+__all__ = ["EvaluationCache", "evaluation_cache_key"]
+
+
+def evaluation_cache_key(
+    trace: "Trace", config: "MachineConfig", seed: int, warm: bool
+) -> str:
+    """Content-addressed key for one ``simulate_and_measure`` evaluation."""
+    from repro.sim.engine import ENGINE_VERSION
+
+    material = "|".join(
+        (
+            trace.content_digest(),
+            config.cache_key(),
+            f"seed={seed}",
+            f"warm={warm}",
+            f"engine_v{ENGINE_VERSION}",
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class EvaluationCache:
+    """Directory-backed ``key -> measurement dict`` store.
+
+    Values are the JSON dictionaries produced by
+    ``HierarchyStats.to_dict()`` — exactly what the checkpoint journal
+    stores — so a cache hit reconstructs byte-identical statistics.
+    Hit/miss/byte counters are kept on the instance and mirrored into the
+    ``obs`` metrics registry when metrics are enabled.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def get(self, key: str) -> "dict | None":
+        """The cached measurement for *key*, or None on miss.
+
+        Entries from another ``ENGINE_VERSION`` (or unreadable/torn files)
+        count as misses; they are left on disk for auditing.
+        """
+        from repro.sim.engine import ENGINE_VERSION
+
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+            entry = json.loads(raw)
+        except (OSError, json.JSONDecodeError):
+            self._record(hit=False)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("engine_version") != ENGINE_VERSION
+            or "stats" not in entry
+        ):
+            self._record(hit=False)
+            return None
+        self._record(hit=True, n_bytes=len(raw))
+        return entry["stats"]
+
+    def put(self, key: str, stats_dict: dict) -> None:
+        """Store one measurement atomically (last writer wins)."""
+        from repro.sim.engine import ENGINE_VERSION
+
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"engine_version": ENGINE_VERSION, "stats": stats_dict},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        self.bytes_written += len(payload)
+        if obs_metrics.metrics_enabled():
+            obs_metrics.get_registry().counter("evalcache.bytes_written").inc(
+                len(payload)
+            )
+
+    def _record(self, *, hit: bool, n_bytes: int = 0) -> None:
+        if hit:
+            self.hits += 1
+            self.bytes_read += n_bytes
+        else:
+            self.misses += 1
+        if obs_metrics.metrics_enabled():
+            reg = obs_metrics.get_registry()
+            reg.counter("evalcache.hits" if hit else "evalcache.misses").inc()
+            if n_bytes:
+                reg.counter("evalcache.bytes_read").inc(n_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

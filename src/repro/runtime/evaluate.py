@@ -15,6 +15,16 @@ Every completed evaluation is journaled, so an interrupted exploration or
 profiling run resumes without re-simulating finished design points; the
 ``counters`` attribute reports exactly how much work was real versus
 recovered from the journal.
+
+Two further layers keep repeated work cheap:
+
+* **Worker-resident traces** — traces are registered once per process in
+  :mod:`repro.runtime.trace_store` and job payloads carry the content
+  digest, so per-job pickle size no longer scales with trace length.
+* **Persistent evaluation cache** — an optional
+  :class:`~repro.runtime.evalcache.EvaluationCache` (``cache=`` kwarg)
+  recalls measurements across runs and processes, keyed by trace content,
+  config knobs, seed/warm and the engine version.
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ from typing import TYPE_CHECKING
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime import trace_store
+from repro.runtime.evalcache import EvaluationCache, evaluation_cache_key
 from repro.runtime.faults import FaultConfig, FaultInjector
 from repro.runtime.guards import ensure_finite_stats
 from repro.runtime.journal import CheckpointJournal
@@ -61,6 +73,7 @@ class RuntimeCounters:
 
     simulations: int = 0
     journal_hits: int = 0
+    cache_hits: int = 0
     retries: int = 0
     timeouts: int = 0
     worker_restarts: int = 0
@@ -68,7 +81,7 @@ class RuntimeCounters:
 
 def _simulate_job(
     config: "MachineConfig",
-    trace: "Trace",
+    trace: "Trace | str",
     seed: int,
     warm: bool,
     faults: "FaultConfig | None",
@@ -77,13 +90,18 @@ def _simulate_job(
 ) -> "HierarchyStats":
     """Worker-side job body: simulate, (optionally) inject faults, validate.
 
-    Module-level so it pickles across process boundaries.  The fault
-    injector is seeded per ``(job, attempt)``, so a retry of a corrupted
-    measurement draws fresh randomness while the clean measurement itself
-    stays bit-identical (the simulator is deterministic under its seed).
+    Module-level so it pickles across process boundaries.  *trace* is
+    normally a content digest resolved against the process-resident trace
+    store (a full :class:`Trace` is still accepted for direct callers).
+    The fault injector is seeded per ``(job, attempt)``, so a retry of a
+    corrupted measurement draws fresh randomness while the clean
+    measurement itself stays bit-identical (the simulator is deterministic
+    under its seed).
     """
     from repro.sim.stats import simulate_and_measure
 
+    if isinstance(trace, str):
+        trace = trace_store.resolve(trace)
     fn = simulate_and_measure
     if faults is not None and faults.total_rate > 0.0:
         fn = FaultInjector(faults, fault_label, _attempt).wrap_simulate(fn)
@@ -101,13 +119,20 @@ class EvaluationRuntime:
         pool: "PoolConfig | None" = None,
         journal: "CheckpointJournal | str | Path | None" = None,
         faults: "FaultConfig | None" = None,
+        cache: "EvaluationCache | str | Path | None" = None,
     ) -> None:
         self.pool_config = pool if pool is not None else PoolConfig()
         if isinstance(journal, (str, Path)):
             journal = CheckpointJournal(journal)
         self.journal = journal
+        if isinstance(cache, (str, Path)):
+            cache = EvaluationCache(cache)
+        self.cache = cache
         self.faults = faults
         self.counters = RuntimeCounters()
+        #: Where each key of the most recent :meth:`evaluate_many` batch came
+        #: from: ``"simulated"``, ``"journal"`` or ``"cache"``.
+        self.last_sources: "dict[str, str]" = {}
         self._pool = EvaluationPool(self.pool_config)
 
     def evaluate(self, request: EvaluationRequest) -> "HierarchyStats":
@@ -119,14 +144,19 @@ class EvaluationRuntime:
     ) -> "dict[str, HierarchyStats]":
         """Evaluate a batch; parallel across workers when the pool has any.
 
-        Journal hits are returned without simulating; fresh results are
-        journaled as soon as they complete, so a run killed mid-batch
-        resumes with zero duplicate evaluations.
+        Lookup order per request: checkpoint journal (this run's file),
+        then the persistent evaluation cache (cross-run), then a real
+        simulation.  Cache hits are re-journaled and fresh results are
+        journaled *and* cached as soon as they complete, so a run killed
+        mid-batch resumes with zero duplicate evaluations.
+        ``last_sources`` records where each key came from.
         """
         from repro.sim.stats import HierarchyStats
 
         out: "dict[str, HierarchyStats]" = {}
         todo: "list[EvaluationRequest]" = []
+        self.last_sources = {}
+        cache_keys: "dict[str, str]" = {}
         batch_span = obs_trace.span("runtime.evaluate_many", requests=len(requests))
         batch_span.__enter__()
         for req in requests:
@@ -135,20 +165,53 @@ class EvaluationRuntime:
             if self.journal is not None and req.key in self.journal:
                 out[req.key] = HierarchyStats.from_dict(self.journal.get(req.key))
                 self.counters.journal_hits += 1
-            else:
-                todo.append(req)
+                self.last_sources[req.key] = "journal"
+                continue
+            if self.cache is not None:
+                ckey = evaluation_cache_key(req.trace, req.config, req.seed, req.warm)
+                cache_keys[req.key] = ckey
+                cached = self.cache.get(ckey)
+                if cached is not None:
+                    out[req.key] = HierarchyStats.from_dict(cached)
+                    self.counters.cache_hits += 1
+                    self.last_sources[req.key] = "cache"
+                    if self.journal is not None:
+                        # Re-journal so later batches in this run hit the
+                        # journal without re-deriving the cache key.
+                        self.journal.put(req.key, cached)
+                    continue
+            todo.append(req)
+        n_cache = sum(1 for s in self.last_sources.values() if s == "cache")
         if obs_metrics.metrics_enabled():
             reg = obs_metrics.get_registry()
             reg.counter("runtime.requests").inc(len(requests))
-            reg.counter("runtime.journal_hits").inc(len(out))
+            reg.counter("runtime.journal_hits").inc(len(out) - n_cache)
+            reg.counter("runtime.cache_hits").inc(n_cache)
         try:
             if todo:
+                # Ship each distinct trace once per process, not once per
+                # job: register parent-side (covers inline execution and
+                # fork workers, which inherit the store) and, under spawn,
+                # once per worker via the pool's setup messages.
+                seen_digests: "set[str]" = set()
+                setup: "list[tuple]" = []
+                for req in todo:
+                    digest = req.trace.content_digest()
+                    if digest not in seen_digests:
+                        seen_digests.add(digest)
+                        trace_store.register(req.trace, digest)
+                        setup.append((trace_store.register, (req.trace, digest)))
+                self._pool.worker_setup = (
+                    setup
+                    if self._pool.effective_start_method() == "spawn"
+                    else []
+                )
                 jobs = [
                     Job(
                         key=req.key,
                         fn=_simulate_job,
-                        args=(req.config, req.trace, req.seed, req.warm,
-                              self.faults, req.key),
+                        args=(req.config, req.trace.content_digest(), req.seed,
+                              req.warm, self.faults, req.key),
                         pass_attempt=self.faults is not None,
                     )
                     for req in todo
@@ -164,8 +227,11 @@ class EvaluationRuntime:
                             obs_metrics.get_registry().counter(
                                 "runtime.simulations"
                             ).inc()
+                        stats_dict = result.value.to_dict()
                         if self.journal is not None:
-                            self.journal.put(result.key, result.value.to_dict())
+                            self.journal.put(result.key, stats_dict)
+                        if self.cache is not None and result.key in cache_keys:
+                            self.cache.put(cache_keys[result.key], stats_dict)
 
                 results = self._pool.run(jobs, on_result=_checkpoint)
                 self.counters.retries += self._pool.retries - before[0]
@@ -173,7 +239,12 @@ class EvaluationRuntime:
                 self.counters.worker_restarts += self._pool.worker_restarts - before[2]
                 for req in todo:
                     out[req.key] = results[req.key].value
+                    self.last_sources[req.key] = "simulated"
         finally:
-            batch_span.set(journal_hits=len(requests) - len(todo), simulated=len(todo))
+            batch_span.set(
+                journal_hits=len(requests) - len(todo) - n_cache,
+                cache_hits=n_cache,
+                simulated=len(todo),
+            )
             batch_span.__exit__(None, None, None)
         return out

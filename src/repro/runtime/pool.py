@@ -43,6 +43,13 @@ from repro.util.validation import check_int, check_non_negative
 
 __all__ = ["RetryPolicy", "PoolConfig", "Job", "JobResult", "EvaluationPool"]
 
+#: Sentinel job key marking a fire-and-forget worker setup message: the
+#: worker runs the callable and sends no reply (so setup never occupies the
+#: supervisor's result accounting).  Sent to every worker right after it
+#: starts — including crash replacements — before any job can reach it
+#: (the pipe is FIFO).
+_SETUP_KEY = "__pool_worker_setup__"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -185,6 +192,15 @@ def _worker_main(conn) -> None:
         if msg is None:
             return
         key, fn, args, kwargs = msg
+        if key == _SETUP_KEY:
+            # Fire-and-forget setup (e.g. trace-store registration); a
+            # failure here surfaces later as job errors, which the
+            # supervisor's normal retry path reports with taxonomy intact.
+            try:
+                fn(*args, **kwargs)
+            except Exception:  # repro: noqa[ERR001] -- no reply channel for setup; dependent jobs fail loudly instead
+                pass
+            continue
         try:
             with obs_trace.span("pool.attempt", key=key):
                 payload = ("ok", fn(*args, **kwargs), _worker_snapshot())
@@ -206,13 +222,15 @@ class _Worker:
 
     __slots__ = ("proc", "conn", "state", "deadline")
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, setup: "Sequence[tuple[Callable, tuple]]" = ()) -> None:
         self.conn, child = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
         self.proc.start()
         child.close()
         self.state: "_JobState | None" = None
         self.deadline: "float | None" = None
+        for fn, args in setup:
+            self.conn.send((_SETUP_KEY, fn, args, {}))
 
     def assign(self, state: _JobState, timeout_s: "float | None") -> None:
         self.conn.send(
@@ -253,6 +271,13 @@ class EvaluationPool:
         self.retries = 0
         self.timeouts = 0
         self.worker_restarts = 0
+        #: ``(fn, args)`` pairs sent to every worker as fire-and-forget
+        #: setup messages right after it starts (crash replacements
+        #: included).  Callers use this to make per-process state — e.g.
+        #: the trace store — resident once per worker instead of once per
+        #: job.  Only needed under ``spawn``; forked workers inherit the
+        #: parent's process state (see :meth:`effective_start_method`).
+        self.worker_setup: "list[tuple[Callable, tuple]]" = []
 
     # -- public API ---------------------------------------------------------
     def run(
@@ -367,6 +392,17 @@ class EvaluationPool:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return "spawn"
 
+    def effective_start_method(self) -> "str | None":
+        """The start method supervised workers will use (None when inline).
+
+        Callers deciding whether to ship :attr:`worker_setup` payloads can
+        skip them for ``fork`` (children inherit parent process state) and
+        inline mode (jobs run in the registering process).
+        """
+        if self.config.max_workers <= 0:
+            return None
+        return self._start_method()
+
     def _fail_attempt(
         self,
         state: _JobState,
@@ -410,7 +446,8 @@ class EvaluationPool:
     ) -> dict[str, JobResult]:
         ctx = get_context(self._start_method())
         n_workers = min(self.config.max_workers, max(len(states), 1))
-        workers = [_Worker(ctx) for _ in range(n_workers)]
+        setup = tuple(self.worker_setup)
+        workers = [_Worker(ctx, setup) for _ in range(n_workers)]
         results: dict[str, JobResult] = {}
         ready_heap: list = []
         seq = [0]
@@ -434,7 +471,7 @@ class EvaluationPool:
                         # Worker died between jobs; replace it and charge
                         # the attempt as a crash.
                         worker.stop(kill=True)
-                        workers[i] = _Worker(ctx)
+                        workers[i] = _Worker(ctx, setup)
                         self.worker_restarts += 1
                         self._fail_attempt(
                             state,
@@ -491,7 +528,7 @@ class EvaluationPool:
                         state = worker.release()
                         exitcode = worker.proc.exitcode
                         worker.stop(kill=True)
-                        workers[i] = _Worker(ctx)
+                        workers[i] = _Worker(ctx, setup)
                         self.worker_restarts += 1
                         self._fail_attempt(
                             state,
@@ -504,7 +541,7 @@ class EvaluationPool:
                     elif worker.deadline is not None and now >= worker.deadline:
                         state = worker.release()
                         worker.stop(kill=True)
-                        workers[i] = _Worker(ctx)
+                        workers[i] = _Worker(ctx, setup)
                         self.worker_restarts += 1
                         self._fail_attempt(
                             state,

@@ -247,6 +247,25 @@ class FunctionalCache:
     def _block_address(self, tag: int, set_idx: int) -> int:
         return ((tag << self._set_bits) | set_idx) << self._offset_bits
 
+    @property
+    def replacement(self) -> str:
+        """The replacement policy this cache was built with."""
+        return self._policy
+
+    def lru_hot_state(self) -> "tuple[dict[int, dict[int, None]], int, int, int]":
+        """Internal lookup state for the engine's inlined LRU probe.
+
+        Returns ``(sets, set_mask, set_bits, offset_bits)``.  Only valid for
+        the ``lru`` policy; the engine fast path (see
+        :meth:`repro.sim.engine.HierarchySimulator._run_impl_fast`) binds
+        these once per run so the per-access probe is two dict operations
+        instead of a method call.  The dict is shared state, not a copy —
+        mutations through it are mutations of the cache.
+        """
+        if self._policy != "lru":
+            raise ValueError(f"lru_hot_state() needs policy 'lru', not {self._policy!r}")
+        return self._sets, self._set_mask, self._set_bits, self._offset_bits
+
     # -- introspection -----------------------------------------------------
     def resident_blocks(self) -> int:
         """Total number of blocks currently resident."""

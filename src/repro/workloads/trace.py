@@ -182,6 +182,34 @@ class Trace:
     def __len__(self) -> int:
         return self.n_instructions
 
+    # -- identity ----------------------------------------------------------
+    def content_digest(self) -> str:
+        """Hex SHA-256 of the trace *content* — the instruction arrays only.
+
+        Two traces with identical ``is_mem``/``address``/``is_load``/
+        ``depends`` columns share a digest regardless of ``name`` or
+        ``metadata``; the digest is what the worker-resident trace store
+        (:mod:`repro.runtime.trace_store`) and the persistent evaluation
+        cache (:mod:`repro.runtime.evalcache`) key on.  Computed once and
+        cached on the instance — traces are treated as immutable after
+        construction; mutate the arrays and the cached digest goes stale.
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is not None:
+            return cached
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(b"trace-v1")
+        for arr in (self.is_mem, self.address, self.is_load):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        if self.depends is not None:
+            h.update(b"|depends")
+            h.update(np.ascontiguousarray(self.depends).tobytes())
+        digest = h.hexdigest()
+        self.__dict__["_content_digest"] = digest
+        return digest
+
     # -- serialization -----------------------------------------------------
     def save(self, path: "str") -> None:
         """Write the trace to a compressed ``.npz`` file.

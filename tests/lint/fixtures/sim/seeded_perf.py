@@ -1,0 +1,44 @@
+"""Seeded PERF001 violations: spans/events in per-instruction loops.
+
+Never imported; the directory is named ``sim`` so the package-scoped hot-
+path rules apply.  Each marked line must be flagged; the guarded variants
+at the bottom must stay clean.
+"""
+
+from repro.obs import trace as obs_trace
+from repro.obs import tracing_enabled
+from repro.obs.trace import event, span
+
+
+def issue_loop(instructions):
+    for instr in instructions:
+        with obs_trace.span("engine.issue", op=instr):  # PERF001: per-instruction span
+            pass
+
+
+def drain_loop(fills):
+    while fills:
+        event("engine.fill", block=fills.pop())  # PERF001: per-iteration event
+
+
+def unqualified_span(instructions):
+    for instr in instructions:
+        span("engine.issue")  # PERF001: from-imported span in a loop
+
+
+def guarded_per_call(instructions):
+    for instr in instructions:
+        if tracing_enabled():
+            event("engine.issue", op=instr)  # guarded: clean
+
+
+def guarded_hoisted(instructions):
+    if tracing_enabled():
+        for instr in instructions:
+            event("engine.issue", op=instr)  # hoisted guard: clean
+
+
+def span_outside_loop(instructions):
+    with obs_trace.span("engine.run", n=len(instructions)):  # once per run: clean
+        for instr in instructions:
+            pass

@@ -73,7 +73,7 @@ class TestSeededFixtureCoverage:
         fired = {v.rule for v in result.violations}
         assert fired >= {
             "DET001", "DET002", "NUM001", "NUM002",
-            "CON001", "ERR001", "ERR002", "OBS001", "OBS002",
+            "CON001", "ERR001", "ERR002", "OBS001", "OBS002", "PERF001",
         }
 
 

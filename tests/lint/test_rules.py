@@ -313,6 +313,77 @@ class TestOBS002:
         assert lint_source(src, OBS, rules=["OBS002"]) == []
 
 
+class TestPERF001:
+    def test_flags_span_in_loop(self):
+        src = (
+            "from repro.obs import trace as obs_trace\n\n"
+            "def run(instrs):\n"
+            "    for i in instrs:\n"
+            "        with obs_trace.span('issue', op=i):\n"
+            "            pass\n"
+        )
+        assert rules_hit(src, SIM, "PERF001") == ["PERF001"]
+
+    def test_flags_from_imported_event_in_while(self):
+        src = (
+            "from repro.obs.trace import event\n\n"
+            "def drain(q):\n"
+            "    while q:\n"
+            "        event('fill', block=q.pop())\n"
+        )
+        assert rules_hit(src, SIM, "PERF001") == ["PERF001"]
+
+    def test_guard_in_loop_accepted(self):
+        src = (
+            "from repro.obs import tracing_enabled\n"
+            "from repro.obs.trace import event\n\n"
+            "def run(instrs):\n"
+            "    for i in instrs:\n"
+            "        if tracing_enabled():\n"
+            "            event('issue', op=i)\n"
+        )
+        assert lint_source(src, SIM, rules=["PERF001"]) == []
+
+    def test_hoisted_guard_accepted(self):
+        src = (
+            "from repro.obs import tracing_enabled\n"
+            "from repro.obs.trace import event\n\n"
+            "def run(instrs):\n"
+            "    if tracing_enabled():\n"
+            "        for i in instrs:\n"
+            "            event('issue', op=i)\n"
+        )
+        assert lint_source(src, SIM, rules=["PERF001"]) == []
+
+    def test_span_outside_loop_is_fine(self):
+        src = (
+            "from repro.obs import trace as obs_trace\n\n"
+            "def run(instrs):\n"
+            "    with obs_trace.span('run'):\n"
+            "        for i in instrs:\n"
+            "            pass\n"
+        )
+        assert lint_source(src, SIM, rules=["PERF001"]) == []
+
+    def test_unrelated_span_name_ignored(self):
+        # A local helper named span that is not from repro.obs must not fire.
+        src = (
+            "def run(instrs, span):\n"
+            "    for i in instrs:\n"
+            "        span(i)\n"
+        )
+        assert lint_source(src, SIM, rules=["PERF001"]) == []
+
+    def test_scoped_to_sim_and_core(self):
+        src = (
+            "from repro.obs.trace import event\n\n"
+            "def run(instrs):\n"
+            "    for i in instrs:\n"
+            "        event('issue')\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["PERF001"]) == []
+
+
 class TestCTR001:
     def test_flags_undeclared_producer(self):
         src = (

@@ -1,0 +1,185 @@
+"""Persistent evaluation cache: keys, storage, runtime and explorer reuse."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.evalcache import EvaluationCache, evaluation_cache_key
+from repro.runtime.evaluate import EvaluationRequest, EvaluationRuntime
+from repro.runtime.pool import PoolConfig
+from repro.sim.params import MachineConfig
+from repro.workloads.generators import working_set_addresses
+from repro.workloads.trace import Trace
+
+
+def _trace(n: int = 400, seed: int = 3, name: str = "t") -> Trace:
+    return Trace.from_memory_addresses(
+        working_set_addresses(n, footprint_bytes=64 * 1024, seed=seed),
+        compute_per_access=1, name=name, seed=seed,
+    )
+
+
+class TestKeyDerivation:
+    def test_key_ignores_trace_name(self):
+        cfg = MachineConfig()
+        a = evaluation_cache_key(_trace(name="x"), cfg, 0, True)
+        b = evaluation_cache_key(_trace(name="y"), cfg, 0, True)
+        assert a == b
+
+    @pytest.mark.parametrize("mutate", [
+        lambda t, c, s, w: (_trace(seed=9), c, s, w),
+        lambda t, c, s, w: (t, c.with_knobs(mshr_count=8), s, w),
+        lambda t, c, s, w: (t, c, s + 1, w),
+        lambda t, c, s, w: (t, c, s, not w),
+    ])
+    def test_key_sensitive_to_each_component(self, mutate):
+        base = (_trace(), MachineConfig(), 0, True)
+        assert evaluation_cache_key(*base) != evaluation_cache_key(*mutate(*base))
+
+    def test_key_includes_engine_version(self, monkeypatch):
+        import repro.sim.engine as engine
+
+        base = evaluation_cache_key(_trace(), MachineConfig(), 0, True)
+        monkeypatch.setattr(engine, "ENGINE_VERSION", engine.ENGINE_VERSION + 1)
+        assert evaluation_cache_key(_trace(), MachineConfig(), 0, True) != base
+
+
+class TestStorage:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "c")
+        assert cache.get("ab" * 32) is None
+        assert cache.misses == 1
+        cache.put("ab" * 32, {"x": 1.5})
+        assert ("ab" * 32) in cache
+        assert cache.get("ab" * 32) == {"x": 1.5}
+        assert cache.hits == 1
+        assert cache.bytes_written > 0 and cache.bytes_read > 0
+        assert len(cache) == 1
+
+    def test_engine_version_bump_invalidates(self, tmp_path, monkeypatch):
+        import repro.sim.engine as engine
+
+        cache = EvaluationCache(tmp_path / "c")
+        cache.put("cd" * 32, {"x": 1.0})
+        monkeypatch.setattr(engine, "ENGINE_VERSION", engine.ENGINE_VERSION + 1)
+        assert cache.get("cd" * 32) is None  # stale entry is a miss
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "c")
+        key = "ef" * 32
+        cache.put(key, {"x": 1.0})
+        cache._path(key).write_text('{"engine_version"')  # simulate torn write
+        assert cache.get(key) is None
+
+    def test_entries_record_version(self, tmp_path):
+        from repro.sim.engine import ENGINE_VERSION
+
+        cache = EvaluationCache(tmp_path / "c")
+        key = "01" * 32
+        cache.put(key, {"x": 2.0})
+        entry = json.loads(cache._path(key).read_text())
+        assert entry["engine_version"] == ENGINE_VERSION
+
+
+class TestRuntimeIntegration:
+    def test_second_run_hits_cache_with_zero_simulations(self, tmp_path):
+        trace = _trace()
+        reqs = [
+            EvaluationRequest(key=f"k{i}", config=MachineConfig(), trace=trace, seed=i)
+            for i in range(3)
+        ]
+        first = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                  cache=tmp_path / "c")
+        out1 = first.evaluate_many(reqs)
+        assert first.counters.simulations == 3
+
+        second = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                   cache=tmp_path / "c")
+        out2 = second.evaluate_many(reqs)
+        assert second.counters.simulations == 0
+        assert second.counters.cache_hits == 3
+        assert second.last_sources == {f"k{i}": "cache" for i in range(3)}
+        for key in out1:
+            assert out1[key].to_dict() == out2[key].to_dict()
+
+    def test_cache_hits_are_rejournaled(self, tmp_path):
+        trace = _trace()
+        req = EvaluationRequest(key="k", config=MachineConfig(), trace=trace)
+        EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                          cache=tmp_path / "c").evaluate(req)
+        rt = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                               cache=tmp_path / "c",
+                               journal=tmp_path / "j.jsonl")
+        rt.evaluate(req)
+        assert rt.counters.cache_hits == 1
+        assert req.key in rt.journal  # cache hit landed in the journal
+        rt.evaluate_many([req])
+        assert rt.counters.journal_hits >= 1
+
+    def test_journal_takes_precedence_over_cache(self, tmp_path):
+        trace = _trace()
+        req = EvaluationRequest(key="k", config=MachineConfig(), trace=trace)
+        rt = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                               cache=tmp_path / "c",
+                               journal=tmp_path / "j.jsonl")
+        rt.evaluate(req)
+        rt2 = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                cache=tmp_path / "c",
+                                journal=tmp_path / "j.jsonl")
+        rt2.evaluate(req)
+        assert rt2.counters.journal_hits == 1
+        assert rt2.counters.cache_hits == 0
+        assert rt2.last_sources["k"] == "journal"
+
+
+class TestExplorerReuse:
+    def test_repeat_exploration_spends_zero_simulations(self, tmp_path):
+        from repro.reconfig.explorer import GreedyReconfigBackend
+        from repro.reconfig.space import DesignSpace
+
+        trace = _trace(800)
+        space = DesignSpace()
+
+        def explore(cache_dir):
+            rt = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                   cache=cache_dir)
+            backend = GreedyReconfigBackend(space, trace, seed=1, runtime=rt)
+            backend.measure()
+            backend.optimize(l1=True, l2=True)
+            report = backend.measure()
+            return backend, report
+
+        first, report1 = explore(tmp_path / "c")
+        assert first.log.evaluations > 0
+        assert first.log.cached == 0
+
+        second, report2 = explore(tmp_path / "c")
+        assert second.log.evaluations == 0  # zero redundant simulations
+        assert second.log.cached == first.log.evaluations
+        assert report2.lpmr1 == report1.lpmr1
+
+
+class TestHypothesisByteIdentical:
+    @given(
+        n=st.integers(min_value=50, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**16),
+        mshr=st.sampled_from([2, 4, 8]),
+        warm=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_cache_hit_returns_byte_identical_stats(self, tmp_path_factory,
+                                                    n, seed, mshr, warm):
+        trace = _trace(n, seed=seed)
+        config = MachineConfig().with_knobs(mshr_count=mshr)
+        cache_dir = tmp_path_factory.mktemp("evalcache")
+        req = EvaluationRequest(key="k", config=config, trace=trace,
+                                seed=0, warm=warm)
+        fresh = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                  cache=cache_dir).evaluate(req)
+        recalled_rt = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                        cache=cache_dir)
+        recalled = recalled_rt.evaluate(req)
+        assert recalled_rt.counters.cache_hits == 1
+        assert recalled.to_dict() == fresh.to_dict()

@@ -1,0 +1,151 @@
+"""Bit-for-bit equivalence of the engine fast path and the reference loop.
+
+The fast path (`engine="fast"`) is a specialization of the reference issue
+loop, not an approximation: on every eligible workload/machine pair it must
+produce byte-identical access records, instruction records and component
+statistics.  This suite sweeps the workload-generator matrix (strided /
+working-set / zipf / pointer-chase), warm and cold caches, and the Table I
+machines; it also pins down the eligibility gate (prefetch or non-LRU
+replacement fall back to the reference loop under `engine="auto"` and
+reject `engine="fast"` outright).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import ConfigError
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator, table1_config
+from repro.sim.params import MachineConfig
+from repro.sim.prefetch import PrefetchConfig
+from repro.workloads.generators import (
+    pointer_chase_addresses,
+    strided_addresses,
+    working_set_addresses,
+    zipf_addresses,
+)
+from repro.workloads.trace import Trace
+
+N = 4_000
+FOOTPRINT = 256 * 1024  # larger than L1, smaller than L2: exercises both
+
+
+def _make_trace(kind: str) -> Trace:
+    if kind == "strided":
+        addrs = strided_addresses(N, footprint_bytes=FOOTPRINT, stride_bytes=72)
+        depends = None
+    elif kind == "working_set":
+        addrs = working_set_addresses(N, footprint_bytes=FOOTPRINT, seed=5)
+        depends = None
+    elif kind == "zipf":
+        addrs = zipf_addresses(N, footprint_bytes=FOOTPRINT, alpha=1.1, seed=5)
+        depends = None
+    elif kind == "pointer_chase":
+        addrs = pointer_chase_addresses(N, footprint_bytes=FOOTPRINT, seed=5)
+        depends = np.ones(N, dtype=bool)
+    else:  # pragma: no cover - parametrization guard
+        raise AssertionError(kind)
+    return Trace.from_memory_addresses(
+        addrs, compute_per_access=2, load_fraction=0.8, name=kind,
+        seed=9, depends=depends,
+    )
+
+
+def _assert_identical(res_fast, res_ref) -> None:
+    for f in dataclasses.fields(res_ref.accesses):
+        a = getattr(res_fast.accesses, f.name)
+        b = getattr(res_ref.accesses, f.name)
+        assert a.dtype == b.dtype, f.name
+        assert np.array_equal(a, b), f.name
+    for f in dataclasses.fields(res_ref.instructions):
+        a = getattr(res_fast.instructions, f.name)
+        b = getattr(res_ref.instructions, f.name)
+        assert a.dtype == b.dtype, f.name
+        assert np.array_equal(a, b), f.name
+    assert res_fast.component_stats == res_ref.component_stats
+
+
+def _run_both(config: MachineConfig, trace: Trace, *, warm: bool):
+    results = []
+    for engine in ("fast", "reference"):
+        sim = HierarchySimulator(config, seed=0, engine=engine)
+        if warm:
+            sim.run(trace)
+            results.append(sim.run(trace))
+        else:
+            results.append(sim.run(trace))
+    return results
+
+
+class TestGeneratorMatrix:
+    @pytest.mark.parametrize("kind", ["strided", "working_set", "zipf",
+                                      "pointer_chase"])
+    @pytest.mark.parametrize("warm", [False, True])
+    def test_bit_identical(self, kind, warm):
+        res_fast, res_ref = _run_both(DEFAULT_MACHINE, _make_trace(kind),
+                                      warm=warm)
+        _assert_identical(res_fast, res_ref)
+
+    @pytest.mark.parametrize("label", ["A", "C", "E"])
+    def test_table1_machines(self, label):
+        res_fast, res_ref = _run_both(table1_config(label),
+                                      _make_trace("working_set"), warm=False)
+        _assert_identical(res_fast, res_ref)
+
+    def test_benchmark_profile_trace(self):
+        from repro.workloads.spec import get_benchmark
+
+        trace = get_benchmark("403.gcc").trace(3_000, seed=1)
+        res_fast, res_ref = _run_both(DEFAULT_MACHINE, trace, warm=False)
+        _assert_identical(res_fast, res_ref)
+
+    def test_stop_cycle_truncation(self):
+        trace = _make_trace("working_set")
+        sims = [HierarchySimulator(DEFAULT_MACHINE, seed=0, engine=e)
+                for e in ("fast", "reference")]
+        res_fast, res_ref = (s.run(trace, stop_cycle=5_000) for s in sims)
+        assert res_fast.instructions.n_instructions < trace.n_instructions
+        _assert_identical(res_fast, res_ref)
+
+
+class TestEligibilityGate:
+    def _prefetch_config(self) -> MachineConfig:
+        return dataclasses.replace(DEFAULT_MACHINE, prefetch=PrefetchConfig())
+
+    def test_auto_uses_fast_on_default_machine(self):
+        sim = HierarchySimulator(DEFAULT_MACHINE, seed=0)
+        assert sim._use_fast_path()
+
+    def test_prefetch_falls_back_to_reference(self):
+        sim = HierarchySimulator(self._prefetch_config(), seed=0)
+        assert not sim._use_fast_path()
+        # Auto mode must still run (through the reference loop).
+        res = sim.run(_make_trace("strided"))
+        assert res.accesses.n_accesses == N
+
+    def test_prefetch_rejects_engine_fast(self):
+        with pytest.raises(ConfigError):
+            HierarchySimulator(self._prefetch_config(), seed=0, engine="fast")
+
+    def test_non_lru_falls_back(self):
+        config = dataclasses.replace(
+            DEFAULT_MACHINE,
+            l1=dataclasses.replace(DEFAULT_MACHINE.l1, replacement="fifo"),
+        )
+        assert not HierarchySimulator(config, seed=0)._use_fast_path()
+        with pytest.raises(ConfigError):
+            HierarchySimulator(config, seed=0, engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            HierarchySimulator(DEFAULT_MACHINE, seed=0, engine="turbo")
+
+    def test_prefetch_reference_results_unchanged(self):
+        # engine="auto" and engine="reference" agree when the gate trips:
+        # fallback must not alter behavior.
+        config = self._prefetch_config()
+        trace = _make_trace("zipf")
+        res_auto = HierarchySimulator(config, seed=0).run(trace)
+        res_ref = HierarchySimulator(config, seed=0, engine="reference").run(trace)
+        _assert_identical(res_auto, res_ref)
