@@ -180,12 +180,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files/directories to lint (default: the "
                            "installed repro package source)")
     lint.add_argument("--json", action="store_true", dest="as_json",
-                      help="emit a machine-readable JSON report")
+                      help="emit a machine-readable JSON report "
+                           "(alias for --format json)")
+    lint.add_argument("--format", default=None, dest="lint_format",
+                      choices=("text", "json", "sarif"),
+                      help="report format (default: text)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule names to run "
                            "(default: all registered rules)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
+    lint.add_argument("--program", action="store_true",
+                      help="also run the whole-program analysis "
+                           "(call graph, purity, fork safety, RNG "
+                           "provenance: RACE/PURE/FLOW/SUP rules)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      dest="lint_baseline",
+                      help="baseline file of grandfathered program "
+                           "findings (default: lint-baseline.json beside "
+                           "the linted tree, when present)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file with the current "
+                           "program findings instead of failing on them")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      dest="lint_output",
+                      help="also write the report to PATH")
     return parser
 
 
@@ -371,19 +390,99 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     import repro
-    from repro.lint import format_json, format_rule_listing, format_text, run_lint
+    from repro.lint import (
+        ASTCache,
+        format_json,
+        format_rule_listing,
+        format_text,
+        run_lint,
+    )
 
     if args.list_rules:
         print(format_rule_listing())
         return 0
+    fmt = args.lint_format or ("json" if args.as_json else "text")
     paths = args.paths or [Path(repro.__file__).parent]
-    rules = [r.strip() for r in args.rules.split(",") if r.strip()] if args.rules else None
-    result = run_lint(paths, rules=rules)
-    print(format_json(result) if args.as_json else format_text(result))
-    return 0 if result.ok else 1
+    requested = (
+        [r.strip() for r in args.rules.split(",") if r.strip()] if args.rules else None
+    )
+    file_rules = program_rules = None
+    if requested is not None:
+        from repro.lint import RULES
+        from repro.lint.program import PROGRAM_RULES
+
+        file_rules = [r for r in requested if r in RULES]
+        program_rules = [r for r in requested if r in PROGRAM_RULES]
+        unknown = sorted(set(requested) - set(file_rules) - set(program_rules))
+        if unknown:
+            known = ", ".join(sorted([*RULES, *PROGRAM_RULES]))
+            raise KeyError(
+                f"unknown lint rule(s) {', '.join(unknown)} (known rules: {known})"
+            )
+        if program_rules and not args.program:
+            raise ValueError(
+                f"rule(s) {', '.join(program_rules)} are whole-program rules; "
+                "add --program to run them"
+            )
+
+    # One shared AST cache: the per-file engine and the program analyzer
+    # parse each file exactly once between them.
+    cache = ASTCache()
+    result = run_lint(paths, rules=file_rules, cache=cache)
+    program_result = None
+    if args.program:
+        from repro.lint.program import load_baseline, run_program_lint, write_baseline
+
+        baseline_path = Path(args.lint_baseline or "lint-baseline.json")
+        baseline = load_baseline(baseline_path)
+        program_result = run_program_lint(
+            paths, rules=program_rules, cache=cache, baseline=baseline
+        )
+        if args.update_baseline:
+            write_baseline(baseline_path, program_result.baseline_entries)
+            print(
+                f"wrote {baseline_path} "
+                f"({len(program_result.baseline_entries)} entries)"
+            )
+            return 0
+
+    if fmt == "sarif":
+        from repro.lint.sarif import format_sarif
+
+        violations = list(result.violations)
+        baselined = []
+        if program_result is not None:
+            violations.extend(program_result.violations)
+            baselined = program_result.baselined
+        text = format_sarif(sorted(violations), baselined=baselined)
+    elif fmt == "json":
+        payload = json.loads(format_json(result))
+        if program_result is not None:
+            program_payload = dict(program_result.summary())
+            program_payload["violations"] = [
+                v.to_dict() for v in program_result.violations
+            ]
+            program_payload["baselined_violations"] = [
+                v.to_dict() for v in program_result.baselined
+            ]
+            payload["program"] = program_payload
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        from repro.lint.reporters import format_program_text
+
+        parts = [format_text(result)]
+        if program_result is not None:
+            parts.append(format_program_text(program_result))
+        text = "\n".join(parts)
+    print(text)
+    if args.lint_output:
+        Path(args.lint_output).write_text(text + "\n", encoding="utf-8")
+    ok = result.ok and (program_result is None or program_result.ok)
+    return 0 if ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

@@ -11,7 +11,10 @@ Two complementary halves:
   C-AMAT/LPMR identities (Eqs. 2-4, 9-11) as a typed table, declared at
   report-producing sites via :func:`~repro.lint.contracts.satisfies` and
   enforceable at runtime under
-  :func:`~repro.lint.contracts.runtime_checks`.
+  :func:`~repro.lint.contracts.runtime_checks`;
+* the **whole-program analyzer** (:mod:`repro.lint.program`): call graph,
+  dataflow and purity inference behind the RACE/PURE/FLOW rule packs.
+  Run it with ``python -m repro lint --program``.
 
 Suppress a single finding with an inline justification comment::
 
@@ -40,6 +43,7 @@ from repro.lint.contracts import (
 )
 from repro.lint.engine import (
     RULES,
+    ASTCache,
     LintResult,
     Rule,
     Severity,
@@ -51,6 +55,7 @@ from repro.lint.reporters import format_json, format_rule_listing, format_text
 
 __all__ = [
     "RULES",
+    "ASTCache",
     "LintResult",
     "Rule",
     "Severity",

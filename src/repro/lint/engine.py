@@ -23,6 +23,7 @@ modules they analyze, so linting never executes repository code.
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
@@ -36,6 +37,7 @@ __all__ = [
     "Rule",
     "RULES",
     "register",
+    "ASTCache",
     "LintResult",
     "lint_source",
     "run_lint",
@@ -43,8 +45,14 @@ __all__ = [
 ]
 
 #: ``# repro: noqa[NUM001,ERR001] -- justification`` (the justification text
-#: after the bracket is free-form but expected by convention).
+#: after the bracket is free-form but required for the suppression to count
+#: as *justified*; program mode rejects unjustified suppressions outright).
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9_,\s]+)\]")
+
+#: The justification convention: `` -- why`` after the closing bracket.
+_NOQA_JUSTIFIED_RE = re.compile(
+    r"#\s*repro:\s*noqa\[[A-Z0-9_,\s]+\]\s*--\s*\S"
+)
 
 
 class Severity(Enum):
@@ -94,6 +102,8 @@ class ModuleContext:
         self.tree = tree
         #: line number -> set of suppressed rule names on that line.
         self.noqa: dict[int, set[str]] = {}
+        #: line number -> whether that line's noqa carries a ``-- why``.
+        self.noqa_justified: dict[int, bool] = {}
         #: local alias -> dotted module name, from import statements
         #: (``import numpy as np`` -> ``{"np": "numpy"}``).
         self.import_aliases: dict[str, str] = {}
@@ -116,6 +126,7 @@ class ModuleContext:
             if match:
                 names = {part.strip() for part in match.group(1).split(",") if part.strip()}
                 self.noqa.setdefault(lineno, set()).update(names)
+                self.noqa_justified[lineno] = bool(_NOQA_JUSTIFIED_RE.search(line))
 
     def _collect_imports(self) -> None:
         for node in ast.walk(self.tree):
@@ -159,6 +170,10 @@ class ModuleContext:
     def is_suppressed(self, violation: Violation) -> bool:
         """Whether a ``# repro: noqa[...]`` on the line covers this rule."""
         return violation.rule in self.noqa.get(violation.line, set())
+
+    def is_suppression_justified(self, line: int) -> bool:
+        """Whether the noqa on *line* carries the ``-- why`` justification."""
+        return self.noqa_justified.get(line, False)
 
     def resolve_call_chain(self, node: ast.AST) -> "list[str] | None":
         """Resolve an attribute/name chain to dotted parts, imports applied.
@@ -239,6 +254,46 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+class ASTCache:
+    """Per-run parse cache: each file's source is parsed exactly once.
+
+    Keyed by ``(path, sha256(source))`` so a content change within one run
+    (e.g. a fixer rewriting between passes) re-parses, while the common
+    case — the per-file rule engine and the whole-program analyzer both
+    visiting the same file — reuses the one :class:`ModuleContext`.
+    ``parses``/``hits`` make the single-parse property measurable.
+    """
+
+    def __init__(self) -> None:
+        self._contexts: dict[tuple[str, str], ModuleContext] = {}
+        self.parses = 0
+        self.hits = 0
+
+    @staticmethod
+    def _digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def context(self, path: str, source: "str | None" = None) -> ModuleContext:
+        """The parsed :class:`ModuleContext` for *path*.
+
+        Reads the file when *source* is not given.  Propagates
+        ``SyntaxError`` / ``OSError`` to the caller (the drivers turn those
+        into ``SYNTAX`` violations).
+        """
+        if source is None:
+            source = Path(path).read_text(encoding="utf-8")
+        key = (str(path), self._digest(source))
+        cached = self._contexts.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        tree = ast.parse(source, filename=str(path))
+        ctx = ModuleContext(str(path), source, tree)
+        self.parses += 1
+        self._contexts[key] = ctx
+        return ctx
+
+
 @dataclass
 class LintResult:
     """The outcome of one lint run."""
@@ -246,11 +301,32 @@ class LintResult:
     violations: list[Violation]
     files_checked: int
     suppressed: int = 0
+    #: Split of :attr:`suppressed` by whether the noqa carries a ``-- why``.
+    suppressed_justified: int = 0
+    suppressed_unjustified: int = 0
+    #: Parser work done by this run (single-parse satellite): ``parses``
+    #: counts real ``ast.parse`` calls, ``parse_reuses`` cache hits.
+    parses: int = 0
+    parse_reuses: int = 0
 
     @property
     def ok(self) -> bool:
         """Whether the run found no violations at all."""
         return not self.violations
+
+    def summary(self) -> dict[str, object]:
+        """The run's summary numbers — the single source both the text and
+        JSON reporters render, so their outputs cannot drift apart."""
+        return {
+            "violations": len(self.violations),
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "suppressed_justified": self.suppressed_justified,
+            "suppressed_unjustified": self.suppressed_unjustified,
+            "parses": self.parses,
+            "parse_reuses": self.parse_reuses,
+            "ok": self.ok,
+        }
 
 
 def _select_rules(rules: "Sequence[str] | None") -> list[Rule]:
@@ -302,23 +378,27 @@ def run_lint(
     paths: "Sequence[str | Path]",
     *,
     rules: "Sequence[str] | None" = None,
+    cache: "ASTCache | None" = None,
 ) -> LintResult:
     """Lint every Python file under *paths* with the selected rules.
 
     Violations are sorted by (path, line, col, rule); a file that fails to
     parse contributes one ``SYNTAX`` error violation rather than aborting
-    the run.
+    the run.  Passing a shared :class:`ASTCache` lets a caller (e.g. the
+    whole-program driver) guarantee each file is parsed once per run.
     """
     selected = _select_rules(rules)
+    cache = cache if cache is not None else ASTCache()
+    parses_before, hits_before = cache.parses, cache.hits
     violations: list[Violation] = []
     suppressed = 0
+    justified = 0
     files = 0
     for file_path in iter_python_files(Path(p) for p in paths):
         files += 1
         rel = str(file_path)
         try:
-            source = file_path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=rel)
+            ctx = cache.context(rel)
         except (SyntaxError, ValueError, OSError) as exc:
             violations.append(
                 Violation(
@@ -331,13 +411,22 @@ def run_lint(
                 )
             )
             continue
-        ctx = ModuleContext(rel, source, tree)
         for rule in selected:
             if not rule.applies_to(rel):
                 continue
             for violation in rule.check(ctx):
                 if ctx.is_suppressed(violation):
                     suppressed += 1
+                    if ctx.is_suppression_justified(violation.line):
+                        justified += 1
                 else:
                     violations.append(violation)
-    return LintResult(sorted(violations), files_checked=files, suppressed=suppressed)
+    return LintResult(
+        sorted(violations),
+        files_checked=files,
+        suppressed=suppressed,
+        suppressed_justified=justified,
+        suppressed_unjustified=suppressed - justified,
+        parses=cache.parses - parses_before,
+        parse_reuses=cache.hits - hits_before,
+    )

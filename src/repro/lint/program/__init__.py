@@ -1,0 +1,74 @@
+"""``repro.lint.program`` — whole-program static analysis.
+
+The per-file rule packs in :mod:`repro.lint` see one module at a time, so
+they can only *approximate* cross-module properties: CON001 flags every
+module-level mutable container in pool-adjacent packages because it cannot
+know which ones pool jobs actually reach, and DET001 bans legacy RNG APIs
+per file because it cannot follow a generator handed across modules.  This
+package sees the program:
+
+* a **cross-module symbol table and import graph**
+  (:mod:`~repro.lint.program.symbols`) built from one shared
+  :class:`~repro.lint.engine.ASTCache` parse per file;
+* a **call graph** (:mod:`~repro.lint.program.callgraph`) rooted at the
+  CLI commands, the evaluation-pool job paths and the simulation engine
+  entry points;
+* an **intraprocedural CFG with reaching definitions** and a transitive
+  **side-effect (purity) inference**
+  (:mod:`~repro.lint.program.dataflow`);
+* the **RACE / PURE / FLOW rule packs**
+  (:mod:`~repro.lint.program.rules`) plus SUP001, the eager rejection of
+  unjustified suppressions, and the baseline workflow
+  (:mod:`~repro.lint.program.baseline`) for graded adoption.
+
+Run it with ``python -m repro lint --program``; see
+``docs/STATIC_ANALYSIS.md`` for the architecture and rule reference.
+"""
+
+from repro.lint.program.baseline import (
+    Baseline,
+    fingerprint_violation,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.program.callgraph import CallGraph, EntryPoints, find_entry_points
+from repro.lint.program.dataflow import (
+    CFG,
+    EffectAnalysis,
+    FunctionEffects,
+    build_cfg,
+    reaching_definitions,
+)
+from repro.lint.program.driver import ProgramLintResult, run_program_lint
+from repro.lint.program.rules import PROGRAM_RULES, ProgramRule
+from repro.lint.program.symbols import (
+    FunctionInfo,
+    GlobalVar,
+    ModuleInfo,
+    ProgramModel,
+    build_program,
+)
+
+__all__ = [
+    "ProgramModel",
+    "ModuleInfo",
+    "FunctionInfo",
+    "GlobalVar",
+    "build_program",
+    "CallGraph",
+    "EntryPoints",
+    "find_entry_points",
+    "CFG",
+    "build_cfg",
+    "reaching_definitions",
+    "EffectAnalysis",
+    "FunctionEffects",
+    "PROGRAM_RULES",
+    "ProgramRule",
+    "Baseline",
+    "fingerprint_violation",
+    "load_baseline",
+    "write_baseline",
+    "ProgramLintResult",
+    "run_program_lint",
+]

@@ -1,0 +1,238 @@
+"""Call graph rooted at the CLI, pool and engine entry points.
+
+Edges are *resolved* static calls: direct names, import-expanded attribute
+chains (re-exports chased through the symbol table), ``self.method()``
+within a class, and class instantiation (an edge to ``__init__``).
+Dynamic dispatch — a method on an object of unknown type, a callable
+stored in a data structure — is out of scope and simply contributes no
+edge; rules built on reachability are therefore *under*-approximate and
+must treat unresolved calls as benign (documented per rule).
+
+The root sets mirror how the program is actually entered:
+
+* **cli** — ``main`` / ``_cmd_*`` in a ``cli`` module;
+* **pool** — the fork/spawn job paths: worker loops (``_worker*`` or a
+  ``Process(target=...)``), functions submitted as ``Job(fn=...)``, and
+  functions shipped through ``EvaluationPool.worker_setup``;
+* **engine** — public functions of a ``sim.engine`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.program.symbols import FunctionInfo, ModuleInfo, ProgramModel
+
+__all__ = ["CallSite", "CallGraph", "EntryPoints", "build_call_graph", "find_entry_points"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its resolution."""
+
+    caller: str  # FunctionInfo.ref of the enclosing function
+    node: ast.Call
+    #: ``module:qualname`` of the resolved callee, or None when dynamic.
+    callee: "str | None"
+    #: The import-expanded dotted chain, even when unresolved ("numpy.sqrt").
+    dotted: "str | None"
+
+
+def _module_has_segments(name: str, pairs: "tuple[tuple[str, ...], ...]") -> bool:
+    parts = name.split(".")
+    for pair in pairs:
+        n = len(pair)
+        if any(tuple(parts[i : i + n]) == pair for i in range(len(parts) - n + 1)):
+            return True
+    return False
+
+
+def _resolve_callee(
+    model: ProgramModel, info: ModuleInfo, func: "FunctionInfo | None", node: ast.AST
+) -> "tuple[str | None, str | None]":
+    """``(callee_ref, dotted_chain)`` for a call/reference expression."""
+    chain = info.ctx.resolve_call_chain(node)
+    if not chain:
+        return None, None
+    dotted = ".".join(chain)
+    # self.method() / cls.method() inside a class body.
+    if func is not None and func.class_name and chain[0] in ("self", "cls"):
+        if len(chain) == 2:
+            target = info.functions.get(f"{func.class_name}.{chain[1]}")
+            if target is not None:
+                return target.ref, dotted
+        return None, dotted
+    resolution = model.resolve_in_module(info, node)
+    if resolution is None:
+        return None, dotted
+    if resolution.kind == "function" and resolution.function is not None:
+        return resolution.function.ref, dotted
+    if resolution.kind == "class":
+        if resolution.function is not None:  # the __init__ method
+            return resolution.function.ref, dotted
+        return None, dotted
+    return None, dotted
+
+
+@dataclass
+class CallGraph:
+    """Resolved static call edges over a :class:`ProgramModel`."""
+
+    model: ProgramModel
+    edges: "dict[str, tuple[str, ...]]" = field(default_factory=dict)
+    sites: "dict[str, list[CallSite]]" = field(default_factory=dict)
+
+    def callees(self, ref: str) -> "tuple[str, ...]":
+        """Resolved direct callees of the function *ref*."""
+        return self.edges.get(ref, ())
+
+    def reachable(self, roots: "set[str] | list[str]") -> "set[str]":
+        """Functions transitively reachable from *roots* (roots included)."""
+        seen: "set[str]" = set()
+        stack = [r for r in sorted(roots) if r in self.edges or self.model.function(r)]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(c for c in self.callees(current) if c not in seen)
+        return seen
+
+    def path(self, roots: "set[str] | list[str]", target: str) -> "list[str] | None":
+        """A shortest root->target call chain, or None if unreachable."""
+        from collections import deque
+
+        parents: "dict[str, str | None]" = {r: None for r in sorted(roots)}
+        queue = deque(sorted(roots))
+        while queue:
+            current = queue.popleft()
+            if current == target:
+                chain = [current]
+                while parents[chain[-1]] is not None:
+                    chain.append(parents[chain[-1]])  # type: ignore[arg-type]
+                return list(reversed(chain))
+            for callee in self.callees(current):
+                if callee not in parents:
+                    parents[callee] = current
+                    queue.append(callee)
+        return None
+
+
+def build_call_graph(model: ProgramModel) -> CallGraph:
+    """Extract every resolvable call edge from the program model."""
+    graph = CallGraph(model)
+    for func in model.functions():
+        info = model.modules[func.module]
+        sites: "list[CallSite]" = []
+        targets: "set[str]" = set()
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee, dotted = _resolve_callee(model, info, func, node.func)
+            sites.append(CallSite(caller=func.ref, node=node, callee=callee, dotted=dotted))
+            if callee is not None:
+                targets.add(callee)
+        graph.sites[func.ref] = sites
+        graph.edges[func.ref] = tuple(sorted(targets))
+    return graph
+
+
+@dataclass
+class EntryPoints:
+    """The root sets the analysis walks from, by entry kind."""
+
+    cli: "set[str]" = field(default_factory=set)
+    pool: "set[str]" = field(default_factory=set)
+    engine: "set[str]" = field(default_factory=set)
+
+    def all(self) -> "set[str]":
+        """Every root across the three kinds."""
+        return self.cli | self.pool | self.engine
+
+
+#: Constructor names marking a function as a pool dispatcher: anything it
+#: lets escape as a value may run on the worker side of a fork.
+_POOL_MARKERS = frozenset({"Job", "Process"})
+
+
+def _escaped_function_refs(
+    model: ProgramModel, info: ModuleInfo, func: FunctionInfo
+) -> "set[str]":
+    """Function references that escape *func* as values (not direct calls).
+
+    A reference passed as ``Job(fn=...)``, ``Process(target=...)``, or
+    packed into a ``worker_setup`` payload tuple is *escaped*: it will be
+    invoked later, typically on the worker side of the pool.  Direct call
+    positions are excluded — those are ordinary edges of the call graph.
+    """
+    call_positions = {
+        id(node.func) for node in ast.walk(func.node) if isinstance(node, ast.Call)
+    }
+    # Exclude sub-expressions of call positions (``a.b`` inside ``a.b()``).
+    refs: "set[str]" = set()
+    for node in ast.walk(func.node):
+        if not isinstance(node, (ast.Name, ast.Attribute)):
+            continue
+        if id(node) in call_positions:
+            continue
+        parent = info.ctx.parent(node)
+        if isinstance(parent, ast.Attribute) or (
+            isinstance(parent, ast.Call) and id(parent.func) == id(node)
+        ):
+            continue
+        callee, _ = _resolve_callee(model, info, func, node)
+        if callee is not None:
+            refs.add(callee)
+    return refs
+
+
+def _is_pool_dispatcher(info: ModuleInfo, func: FunctionInfo) -> bool:
+    """Whether *func* hands work to the evaluation pool.
+
+    True when the body constructs a ``Job``/``Process`` or touches a
+    ``worker_setup`` attribute — the three ways code crosses the fork
+    boundary in this codebase.
+    """
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            target = node.func
+            name = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else None
+            )
+            if name in _POOL_MARKERS:
+                return True
+        if isinstance(node, ast.Attribute) and node.attr == "worker_setup":
+            return True
+    return False
+
+
+def find_entry_points(model: ProgramModel) -> EntryPoints:
+    """Discover the CLI / pool / engine roots of the program."""
+    entries = EntryPoints()
+    for func in model.functions():
+        parts = func.module.split(".")
+        if parts[-1] == "cli" and (
+            func.name == "main" or func.name.startswith("_cmd_")
+        ):
+            entries.cli.add(func.ref)
+        if _module_has_segments(func.module, (("sim", "engine"),)):
+            public_func = func.class_name is None and not func.name.startswith("_")
+            public_method = (
+                func.class_name is not None
+                and not func.class_name.startswith("_")
+                and not func.name.startswith("_")
+            )
+            if public_func or public_method:
+                entries.engine.add(func.ref)
+        if func.name.startswith("_worker"):
+            entries.pool.add(func.ref)
+        info = model.modules[func.module]
+        if _is_pool_dispatcher(info, func):
+            # Over-approximate: every function value escaping a dispatcher
+            # is treated as worker-side reachable.  For a fork-safety
+            # analysis, too many roots is safe; too few is a missed race.
+            entries.pool |= _escaped_function_refs(model, info, func)
+    return entries

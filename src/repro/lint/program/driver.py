@@ -1,0 +1,203 @@
+"""The whole-program lint driver: build once, run every rule pack.
+
+Builds the :class:`~repro.lint.program.symbols.ProgramModel` (through a
+shared :class:`~repro.lint.engine.ASTCache`, so a combined per-file +
+program run parses each file exactly once), derives the call graph,
+entry points and effect analysis, runs every registered
+:class:`~repro.lint.program.rules.ProgramRule`, then applies the two
+filters:
+
+* **suppressions** — a ``# repro: noqa[RULE] -- why`` on the finding's
+  line suppresses it *only when justified*; an unjustified noqa is
+  ignored and separately reported as SUP001 (eager failure);
+* **baseline** — findings whose fingerprint appears in the baseline are
+  split out as ``baselined`` (reported, but not gating); SUP001 and
+  SYNTAX findings never match the baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.engine import ASTCache, Severity, Violation
+from repro.lint.program.baseline import (
+    NEVER_BASELINED,
+    Baseline,
+    BaselineEntry,
+    fingerprint_violation,
+)
+from repro.lint.program.callgraph import EntryPoints, build_call_graph, find_entry_points
+from repro.lint.program.dataflow import EffectAnalysis
+from repro.lint.program.rules import PROGRAM_RULES, ProgramContext
+from repro.lint.program.symbols import ProgramModel, build_program
+
+__all__ = ["ProgramLintResult", "run_program_lint"]
+
+
+@dataclass
+class ProgramLintResult:
+    """The outcome of one whole-program lint run."""
+
+    #: Gating findings: not suppressed, not baselined.
+    violations: "list[Violation]"
+    #: Findings matched by the baseline file (reported, non-gating).
+    baselined: "list[Violation]"
+    files_checked: int
+    entries: EntryPoints = field(default_factory=EntryPoints)
+    suppressed: int = 0
+    suppressed_justified: int = 0
+    suppressed_unjustified: int = 0
+    parses: int = 0
+    parse_reuses: int = 0
+    #: Fingerprinted entries for every baselineable finding (what
+    #: ``--update-baseline`` writes).
+    baseline_entries: "list[BaselineEntry]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found no gating violations."""
+        return not self.violations
+
+    def summary(self) -> "dict[str, object]":
+        """Summary numbers — the single source every reporter renders."""
+        return {
+            "violations": len(self.violations),
+            "baselined": len(self.baselined),
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "suppressed_justified": self.suppressed_justified,
+            "suppressed_unjustified": self.suppressed_unjustified,
+            "parses": self.parses,
+            "parse_reuses": self.parse_reuses,
+            "entry_points": {
+                "cli": len(self.entries.cli),
+                "pool": len(self.entries.pool),
+                "engine": len(self.entries.engine),
+            },
+            "ok": self.ok,
+        }
+
+
+def _select_program_rules(rules: "Sequence[str] | None") -> "list[str]":
+    if rules is None:
+        return sorted(PROGRAM_RULES)
+    selected = []
+    for name in rules:
+        if name not in PROGRAM_RULES:
+            known = ", ".join(sorted(PROGRAM_RULES))
+            raise KeyError(
+                f"unknown program rule {name!r} (known program rules: {known})"
+            )
+        selected.append(name)
+    return selected
+
+
+def _line_text(model: ProgramModel, path_index: "dict[str, str]", v: Violation) -> str:
+    module_name = path_index.get(v.path)
+    if module_name is None:
+        return ""
+    lines = model.modules[module_name].ctx.lines
+    if 1 <= v.line <= len(lines):
+        return lines[v.line - 1]
+    return ""
+
+
+def run_program_lint(
+    paths: "Sequence[str | Path]",
+    *,
+    rules: "Sequence[str] | None" = None,
+    cache: "ASTCache | None" = None,
+    baseline: "Baseline | None" = None,
+) -> ProgramLintResult:
+    """Run the whole-program rule packs over every file under *paths*."""
+    selected = _select_program_rules(rules)
+    cache = cache if cache is not None else ASTCache()
+    parses_before, hits_before = cache.parses, cache.hits
+    model = build_program(paths, cache=cache)
+    graph = build_call_graph(model)
+    entries = find_entry_points(model)
+    effects = EffectAnalysis(model, graph)
+    pctx = ProgramContext(
+        model=model,
+        graph=graph,
+        entries=entries,
+        effects=effects,
+        pool_reachable=graph.reachable(entries.pool),
+    )
+
+    found: "list[Violation]" = []
+    for rel, error in sorted(model.parse_failures.items()):
+        found.append(
+            Violation(
+                path=rel,
+                line=1,
+                col=0,
+                rule="SYNTAX",
+                severity=Severity.ERROR,
+                message=f"could not parse: {error}",
+            )
+        )
+    for name in selected:
+        found.extend(PROGRAM_RULES[name].check(pctx))
+    found.sort()
+
+    # -- suppression filter (justified-only for program rules) ---------------
+    path_index = {info.path: name for name, info in model.modules.items()}
+    kept: "list[Violation]" = []
+    suppressed = justified = unjustified = 0
+    for violation in found:
+        module_name = path_index.get(violation.path)
+        ctx = model.modules[module_name].ctx if module_name is not None else None
+        if ctx is not None and violation.rule in ctx.noqa.get(violation.line, set()):
+            if ctx.is_suppression_justified(violation.line):
+                suppressed += 1
+                justified += 1
+                continue
+            # Unjustified: the suppression is ignored (finding kept) and
+            # SUP001 has already reported the hygiene failure itself.
+            unjustified += 1
+        kept.append(violation)
+
+    # -- baseline split ------------------------------------------------------
+    baseline = baseline if baseline is not None else Baseline()
+    occurrences: "dict[tuple[str, str, str], int]" = {}
+    gating: "list[Violation]" = []
+    grandfathered: "list[Violation]" = []
+    entries_out: "list[BaselineEntry]" = []
+    for violation in kept:
+        if violation.rule in NEVER_BASELINED or violation.rule == "SYNTAX":
+            gating.append(violation)
+            continue
+        text = _line_text(model, path_index, violation)
+        key = (violation.rule, violation.path, text.strip())
+        ordinal = occurrences.get(key, 0)
+        occurrences[key] = ordinal + 1
+        fingerprint = fingerprint_violation(violation, text, ordinal)
+        entries_out.append(
+            BaselineEntry(
+                fingerprint=fingerprint,
+                rule=violation.rule,
+                path=violation.path,
+                line=violation.line,
+                message=violation.message,
+            )
+        )
+        if fingerprint in baseline:
+            grandfathered.append(violation)
+        else:
+            gating.append(violation)
+
+    return ProgramLintResult(
+        violations=gating,
+        baselined=grandfathered,
+        files_checked=len(model.modules) + len(model.parse_failures),
+        entries=entries,
+        suppressed=suppressed,
+        suppressed_justified=justified,
+        suppressed_unjustified=unjustified,
+        parses=cache.parses - parses_before,
+        parse_reuses=cache.hits - hits_before,
+        baseline_entries=entries_out,
+    )

@@ -212,7 +212,7 @@ def merge_snapshots(*snapshots: dict) -> dict:
 # -- module-level switchboard ----------------------------------------------
 
 _REGISTRY = MetricsRegistry()
-_enabled = False
+_enabled = False  # repro: noqa[RACE002] -- metrics are best-effort observational: fork workers inherit the flag, spawn workers default to off and simply ship no snapshots; results are unaffected either way
 
 
 def get_registry() -> MetricsRegistry:

@@ -190,7 +190,7 @@ class Tracer:
 
 # -- module-level switchboard ----------------------------------------------
 
-_tracer: "Tracer | None" = None
+_tracer: "Tracer | None" = None  # repro: noqa[RACE002] -- workers intentionally trace to their own file (or not at all under spawn); configure_tracing documents the per-process contract
 
 
 def configure_tracing(path: "str | os.PathLike[str] | None") -> "Tracer | None":

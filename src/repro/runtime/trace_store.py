@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["register", "resolve", "is_registered", "clear", "size"]
 
-_TRACES: "dict[str, Trace]" = {}
+_TRACES: "dict[str, Trace]" = {}  # repro: noqa[RACE002] -- per-process store by design: workers populate their own copy via worker_setup; supervisor-side clear() only runs between evaluations
 
 
 def register(trace: "Trace", digest: "str | None" = None) -> str:
@@ -44,7 +44,7 @@ def register(trace: "Trace", digest: "str | None" = None) -> str:
     """
     if digest is None:
         digest = trace.content_digest()
-    _TRACES[digest] = trace
+    _TRACES[digest] = trace  # repro: noqa[RACE001] -- single-threaded per process: each worker registers into its own _TRACES before its job loop starts
     return digest
 
 

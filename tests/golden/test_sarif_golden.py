@@ -1,0 +1,45 @@
+"""Golden SARIF snapshot of a ``lint --program`` run over a seeded fixture.
+
+Pins the exact SARIF 2.1.0 document the CI pipeline uploads, so format
+drift (rule metadata, location shape, baseline states) shows up as a
+reviewable diff.  Refresh, like the CLI goldens, with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-goldens
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint.sarif import validate_sarif
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+REPO_ROOT = GOLDEN_DIR.parents[1]
+GOLDEN_PATH = GOLDEN_DIR / "lint_program_race_bad.sarif.json"
+FIXTURE = Path("tests") / "lint" / "fixtures" / "program" / "race_bad"
+
+
+def test_program_sarif_golden(capsys, request, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)  # fixture paths and baseline are repo-relative
+    code = main([
+        "lint", "--program", "--format", "sarif",
+        "--rules", "RACE001,RACE002", str(FIXTURE),
+    ])
+    out = capsys.readouterr().out
+    assert code == 1  # the seeded fixture must gate
+    doc = json.loads(out)
+    assert validate_sarif(doc) == []
+
+    normalized = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_PATH.write_text(normalized, encoding="utf-8")
+        return
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden {GOLDEN_PATH.name}; create it with "
+        "pytest tests/golden --update-goldens"
+    )
+    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert normalized == expected, (
+        f"SARIF output drifted from {GOLDEN_PATH.name}; if the change is "
+        "intended, refresh with pytest tests/golden --update-goldens"
+    )

@@ -1,0 +1,11 @@
+"""Seeded FLOW001 true positive: untracked RNG flowing into the engine."""
+
+import numpy as np
+
+from flow_bad.sim.engine import simulate
+
+
+def run(trace):
+    rng = np.random.default_rng(123)
+    generator = rng  # provenance survives the copy (reaching definitions)
+    return simulate(trace, generator)

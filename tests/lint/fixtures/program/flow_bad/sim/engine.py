@@ -1,0 +1,13 @@
+"""FLOW001 target module, plus a banned in-module RNG construction."""
+
+import random
+
+
+def simulate(trace, rng):
+    return [rng.random() for _ in trace]
+
+
+def jittered(trace):
+    # FLOW001 (at the target): RNG constructed inside sim.engine itself.
+    noise = random.Random(0)
+    return [noise.random() for _ in trace]

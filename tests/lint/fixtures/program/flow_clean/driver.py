@@ -1,0 +1,9 @@
+"""Clean negative for FLOW001: the generator comes from the seeded factory."""
+
+from flow_clean.rnghub import make_rng
+from flow_clean.sim.engine import simulate
+
+
+def run(trace, seed):
+    rng = make_rng(seed)
+    return simulate(trace, rng)

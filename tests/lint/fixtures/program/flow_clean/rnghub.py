@@ -1,0 +1,5 @@
+"""Sanctioned RNG factory (stands in for repro.util.rng in the fixture)."""
+
+
+def make_rng(seed):
+    return object()  # the construction detail is irrelevant to the rule

@@ -1,0 +1,5 @@
+"""FLOW001 target module with no RNG construction of its own."""
+
+
+def simulate(trace, rng):
+    return [rng.random() for _ in trace]

@@ -1,0 +1,21 @@
+"""Seeded PURE001/PURE002 true positives in a measurement module."""
+
+_CACHE = {}
+_FACTORS = {"default": 1.0}
+
+
+def measure(values):
+    # PURE001: a measurement producer caching into module state.
+    result = sum(values) / max(len(values), 1)
+    _CACHE["last"] = result
+    return result
+
+
+def set_factor(value):
+    # Runtime mutation making _FACTORS ambient state (also PURE001 itself).
+    _FACTORS["default"] = value
+
+
+def calibrated(values):
+    # PURE002: output depends on runtime-mutated module state.
+    return _FACTORS["default"] * sum(values)

@@ -1,0 +1,21 @@
+"""Clean negative for PURE001/PURE002: contained state only."""
+
+_WEIGHTS = {"hit": 1.0, "miss": 4.0}  # import-time frozen: a legal input
+
+
+def measure(values):
+    total = 0.0
+    for value in values:
+        total += value * _WEIGHTS["hit"]
+    return total
+
+
+class Accumulator:
+    """Instance state is contained; mutating ``self`` is not an effect."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def add(self, value):
+        self.total += value
+        return self.total

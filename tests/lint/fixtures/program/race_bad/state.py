@@ -1,0 +1,22 @@
+"""Seeded RACE001/RACE002 true positives: unguarded shared module state."""
+
+_JOBS = {}
+_MODE = "fast"
+
+
+def record(key, value):
+    # RACE001: reachable from the pool dispatcher (escaped via Job(fn=...))
+    # and mutates module state with no lock.
+    _JOBS[key] = value
+    return current_mode()
+
+
+def current_mode():
+    # Worker-side read of _MODE ...
+    return _MODE
+
+
+def set_mode(mode):
+    # ... while the supervisor rebinds it: RACE002 on the _MODE definition.
+    global _MODE
+    _MODE = mode

@@ -1,0 +1,12 @@
+"""Pool dispatcher identical to race_bad's; the store itself is safe."""
+
+from race_clean.state import record
+
+
+class Job:
+    def __init__(self, fn):
+        self.fn = fn
+
+
+def submit():
+    return Job(fn=record)

@@ -1,0 +1,12 @@
+"""Clean negative for RACE001/RACE002: the shared store is lock-guarded."""
+
+import threading
+
+_LOCK = threading.Lock()
+_JOBS = {}
+
+
+def record(key, value):
+    with _LOCK:
+        _JOBS[key] = value
+    return key

@@ -1,0 +1,12 @@
+"""Seeded SUP001: a program-rule noqa without a justification.
+
+The unjustified suppression is ignored (RACE001 still reports) and is
+itself flagged as SUP001 — eager failure, mirroring ContractViolation.
+"""
+
+_JOBS = {}
+
+
+def record(key, value):
+    _JOBS[key] = value  # repro: noqa[RACE001]
+    return key

@@ -97,3 +97,90 @@ class TestRepoIsClean:
                 if _NOQA_RE.search(line) and " -- " not in line:
                     bad.append(f"{path}:{lineno}")
         assert not bad, f"noqa without justification: {bad}"
+
+    def test_package_passes_program_analysis(self):
+        """The whole-program gate: zero non-baselined RACE/PURE/FLOW/SUP
+        findings over the shipped package, with the checked-in baseline."""
+        from repro.lint.program import load_baseline, run_program_lint
+
+        package_dir = Path(repro.__file__).parent
+        baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+        result = run_program_lint([package_dir], baseline=baseline)
+        details = "\n".join(v.format() for v in result.violations)
+        assert result.ok, f"program analysis must pass:\n{details}"
+        # The analysis actually saw the program: all three root kinds exist.
+        assert result.entries.cli and result.entries.pool and result.entries.engine
+        assert result.suppressed_unjustified == 0
+
+
+PROGRAM_FIXTURES = FIXTURES / "program"
+
+
+class TestProgramCLI:
+    def test_program_flag_gates_on_seeded_fixture(self):
+        proc = run_cli(
+            "--program", "--rules", "RACE001,RACE002",
+            str(PROGRAM_FIXTURES / "race_bad"),
+        )
+        assert proc.returncode == 1
+        assert "RACE001" in proc.stdout and "RACE002" in proc.stdout
+
+    def test_program_flag_passes_on_clean_fixture(self):
+        proc = run_cli(
+            "--program", "--rules", "RACE001,RACE002",
+            str(PROGRAM_FIXTURES / "race_clean"),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "program analysis: 0 violations" in proc.stdout
+
+    def test_program_rules_without_flag_is_an_error(self):
+        proc = run_cli("--rules", "RACE001", str(PROGRAM_FIXTURES / "race_clean"))
+        assert proc.returncode == 2
+        assert "--program" in proc.stderr + proc.stdout
+
+    def test_program_json_report_carries_program_section(self):
+        proc = run_cli(
+            "--program", "--format", "json", "--rules", "RACE001",
+            str(PROGRAM_FIXTURES / "race_bad"),
+        )
+        payload = json.loads(proc.stdout)
+        assert payload["program"]["ok"] is False
+        assert {v["rule"] for v in payload["program"]["violations"]} == {"RACE001"}
+        assert payload["program"]["entry_points"]["pool"] >= 1
+
+    def test_sarif_output_validates(self):
+        from repro.lint.sarif import validate_sarif
+
+        proc = run_cli(
+            "--program", "--format", "sarif", "--rules", "RACE001",
+            str(PROGRAM_FIXTURES / "race_bad"),
+        )
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert validate_sarif(doc) == []
+
+    def test_update_baseline_then_rerun_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        first = run_cli(
+            "--program", "--rules", "RACE001,RACE002",
+            "--baseline", str(baseline), "--update-baseline",
+            str(PROGRAM_FIXTURES / "race_bad"),
+        )
+        assert first.returncode == 0, first.stdout + first.stderr
+        assert baseline.exists()
+        second = run_cli(
+            "--program", "--rules", "RACE001,RACE002",
+            "--baseline", str(baseline),
+            str(PROGRAM_FIXTURES / "race_bad"),
+        )
+        assert second.returncode == 0, second.stdout + second.stderr
+        assert "[baselined]" in second.stdout
+
+    def test_output_flag_writes_the_report(self, tmp_path):
+        out = tmp_path / "report.sarif"
+        proc = run_cli(
+            "--program", "--format", "sarif", "--rules", "RACE001",
+            "--output", str(out), str(PROGRAM_FIXTURES / "race_clean"),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(out.read_text())["version"] == "2.1.0"

@@ -1,0 +1,165 @@
+"""Unit tests for call-graph construction and entry-point discovery."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.program import build_program, find_entry_points
+from repro.lint.program.callgraph import build_call_graph
+
+TESTS_LINT = Path(__file__).resolve().parent
+PROGRAM_FIXTURES = TESTS_LINT / "fixtures" / "program"
+
+
+def build(tmp_path, files):
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    model = build_program([tmp_path])
+    return model, build_call_graph(model)
+
+
+class TestEdges:
+    def test_direct_and_from_import_calls(self, tmp_path):
+        _, graph = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/impl.py": """
+                def helper():
+                    return 1
+
+                def outer():
+                    return helper()
+            """,
+            "pkg/user.py": """
+                from pkg.impl import outer
+
+                def use():
+                    return outer()
+            """,
+        })
+        assert graph.callees("pkg.impl:outer") == ("pkg.impl:helper",)
+        assert graph.callees("pkg.user:use") == ("pkg.impl:outer",)
+
+    def test_self_method_and_constructor_edges(self, tmp_path):
+        _, graph = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                class Runner:
+                    def __init__(self):
+                        self.n = 0
+
+                    def step(self):
+                        return self.reset()
+
+                    def reset(self):
+                        self.n = 0
+
+                def make():
+                    return Runner()
+            """,
+        })
+        assert graph.callees("pkg.mod:Runner.step") == ("pkg.mod:Runner.reset",)
+        assert graph.callees("pkg.mod:make") == ("pkg.mod:Runner.__init__",)
+
+    def test_unresolved_call_contributes_no_edge(self, tmp_path):
+        _, graph = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                import numpy as np
+
+                def use(obj):
+                    obj.method()
+                    return np.sqrt(2.0)
+            """,
+        })
+        assert graph.callees("pkg.mod:use") == ()
+        dotted = {s.dotted for s in graph.sites["pkg.mod:use"]}
+        assert "numpy.sqrt" in dotted  # chain kept even though unresolved
+
+
+class TestReachability:
+    def test_reachable_and_shortest_path(self, tmp_path):
+        _, graph = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                def a():
+                    return b()
+
+                def b():
+                    return c()
+
+                def c():
+                    return 1
+
+                def island():
+                    return 2
+            """,
+        })
+        reachable = graph.reachable({"pkg.mod:a"})
+        assert reachable == {"pkg.mod:a", "pkg.mod:b", "pkg.mod:c"}
+        assert graph.path({"pkg.mod:a"}, "pkg.mod:c") == [
+            "pkg.mod:a", "pkg.mod:b", "pkg.mod:c",
+        ]
+        assert graph.path({"pkg.mod:a"}, "pkg.mod:island") is None
+
+
+class TestEntryPoints:
+    def test_cli_roots(self, tmp_path):
+        model, _ = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/cli.py": """
+                def main():
+                    return 0
+
+                def _cmd_run(args):
+                    return 0
+
+                def _helper():
+                    return 0
+            """,
+        })
+        entries = find_entry_points(model)
+        assert entries.cli == {"pkg.cli:main", "pkg.cli:_cmd_run"}
+
+    def test_engine_roots_include_public_methods(self, tmp_path):
+        model, _ = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/sim/__init__.py": "",
+            "pkg/sim/engine.py": """
+                class Simulator:
+                    def run(self):
+                        return self._step()
+
+                    def _step(self):
+                        return 1
+
+                def simulate():
+                    return 0
+            """,
+        })
+        entries = find_entry_points(model)
+        assert entries.engine == {
+            "pkg.sim.engine:Simulator.run",
+            "pkg.sim.engine:simulate",
+        }
+
+    def test_pool_roots_are_escaped_dispatcher_references(self):
+        model = build_program([PROGRAM_FIXTURES / "race_bad"])
+        entries = find_entry_points(model)
+        # record escapes via Job(fn=record) in dispatch.submit.
+        assert "race_bad.state:record" in entries.pool
+
+    def test_worker_loops_are_roots_by_name(self, tmp_path):
+        model, _ = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/pool.py": """
+                def _worker_main(conn):
+                    return conn
+
+                def supervise():
+                    return 1
+            """,
+        })
+        entries = find_entry_points(model)
+        assert entries.pool == {"pkg.pool:_worker_main"}
+        assert entries.all() == entries.cli | entries.pool | entries.engine

@@ -1,0 +1,169 @@
+"""Unit tests for the cross-module symbol table and import graph."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.program import build_program
+from repro.lint.program.symbols import module_name_for
+
+TESTS_LINT = Path(__file__).resolve().parent
+PROGRAM_FIXTURES = TESTS_LINT / "fixtures" / "program"
+
+
+def build(tmp_path, files):
+    """Write a dict of relpath -> source and build the program model."""
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    return build_program([tmp_path])
+
+
+class TestModuleNames:
+    def test_package_chain(self):
+        path = PROGRAM_FIXTURES / "pure_bad" / "core" / "camat.py"
+        assert module_name_for(path) == "pure_bad.core.camat"
+
+    def test_init_names_the_package(self):
+        path = PROGRAM_FIXTURES / "race_bad" / "__init__.py"
+        assert module_name_for(path) == "race_bad"
+
+    def test_file_outside_any_package_is_its_stem(self, tmp_path):
+        path = tmp_path / "loose.py"
+        path.write_text("x = 1\n")
+        assert module_name_for(path) == "loose"
+
+
+class TestIndexing:
+    def test_functions_methods_and_globals(self, tmp_path):
+        model = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                REGISTRY = {}
+                LIMIT = 8
+
+                def top():
+                    return LIMIT
+
+                class Runner:
+                    def __init__(self):
+                        self.n = 0
+
+                    def run(self):
+                        return top()
+            """,
+        })
+        info = model.modules["pkg.mod"]
+        assert set(info.functions) == {"top", "Runner.__init__", "Runner.run"}
+        assert info.classes == {"Runner": ["Runner.__init__", "Runner.run"]}
+        assert info.globals["REGISTRY"].mutable
+        assert info.globals["REGISTRY"].constant_style
+        assert not info.globals["LIMIT"].mutable
+        method = info.functions["Runner.run"]
+        assert method.class_name == "Runner"
+        assert method.ref == "pkg.mod:Runner.run"
+        assert method.name == "run"
+
+    def test_decorators_resolve_through_imports(self, tmp_path):
+        model = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/contracts.py": """
+                def satisfies(*names):
+                    def deco(fn):
+                        return fn
+                    return deco
+            """,
+            "pkg/mod.py": """
+                from pkg.contracts import satisfies
+
+                @satisfies("amat")
+                def produce():
+                    return 1.0
+            """,
+        })
+        func = model.modules["pkg.mod"].functions["produce"]
+        assert func.decorators == ("pkg.contracts.satisfies",)
+
+    def test_parse_failure_is_recorded_not_fatal(self, tmp_path):
+        model = build(tmp_path, {
+            "ok.py": "x = 1\n",
+            "broken.py": "def f(:\n",
+        })
+        assert "ok" in model.modules
+        assert len(model.parse_failures) == 1
+        (path,) = model.parse_failures
+        assert path.endswith("broken.py")
+
+    def test_same_module_name_from_two_roots_gets_suffix(self, tmp_path):
+        for root in ("a", "b"):
+            d = tmp_path / root
+            d.mkdir()
+            (d / "pkg.py").write_text("x = 1\n")
+        model = build_program([tmp_path / "a", tmp_path / "b"])
+        names = sorted(model.modules)
+        assert names[0] == "pkg" and names[1].startswith("pkg@")
+
+
+class TestResolution:
+    def test_resolve_direct_and_from_import(self, tmp_path):
+        model = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/impl.py": """
+                def compute():
+                    return 1
+            """,
+            "pkg/user.py": """
+                from pkg.impl import compute
+
+                def use():
+                    return compute()
+            """,
+        })
+        direct = model.resolve("pkg.impl.compute")
+        assert direct is not None and direct.kind == "function"
+        assert direct.function.ref == "pkg.impl:compute"
+
+    def test_resolve_chases_reexport_through_init(self, tmp_path):
+        model = build(tmp_path, {
+            "pkg/__init__.py": "from pkg.impl import compute\n",
+            "pkg/impl.py": """
+                def compute():
+                    return 1
+            """,
+        })
+        reexported = model.resolve("pkg.compute")
+        assert reexported is not None and reexported.kind == "function"
+        assert reexported.function.ref == "pkg.impl:compute"
+
+    def test_resolve_class_returns_init(self, tmp_path):
+        model = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                class Thing:
+                    def __init__(self):
+                        self.x = 0
+            """,
+        })
+        res = model.resolve("pkg.mod.Thing")
+        assert res is not None and res.kind == "class"
+        assert res.function.ref == "pkg.mod:Thing.__init__"
+
+    def test_unknown_reference_is_none(self, tmp_path):
+        model = build(tmp_path, {"pkg/__init__.py": "", "pkg/mod.py": "x = 1\n"})
+        assert model.resolve("numpy.sqrt") is None
+        assert model.resolve("pkg.mod.missing") is None
+
+
+class TestImportGraph:
+    def test_fixture_import_edges(self):
+        model = build_program([PROGRAM_FIXTURES / "race_bad"])
+        graph = model.import_graph()
+        assert "race_bad.state" in graph["race_bad.dispatch"]
+        assert graph["race_bad.state"] == set()
+
+    def test_parse_is_shared_through_the_cache(self):
+        model = build_program([PROGRAM_FIXTURES / "race_bad"])
+        before = model.cache.parses
+        rebuilt = build_program([PROGRAM_FIXTURES / "race_bad"], cache=model.cache)
+        assert rebuilt.cache.parses == before  # all hits, no re-parse
+        assert rebuilt.cache.hits >= len(rebuilt.modules)
