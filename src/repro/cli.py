@@ -25,6 +25,15 @@ Python:
     Fast-vs-reference engine throughput A/B; ``compare`` gates the speedup
     ratio against ``benchmarks/baseline_engine_perf.json``.
 
+``python -m repro serve --port 0 --workers 2``
+    Run the evaluation service (docs/ROBUSTNESS.md, "Service layer"):
+    concurrent clients submit (trace, config) jobs over a line-delimited
+    JSON socket and share one journal/evalcache-backed runtime.
+
+``python -m repro submit --port 4000 --benchmark 403.gcc --configs A,B,C``
+    Submit a batch of design points to a running ``serve`` instance and
+    print the terminal replies as JSON.
+
 ``python -m repro benchmarks``
     List the available benchmark profiles.
 
@@ -168,6 +177,42 @@ def build_parser() -> argparse.ArgumentParser:
     bcmp.add_argument("--out", default=None, metavar="PATH",
                       help="write the comparison record to PATH; default: "
                            "the next free BENCH_<n>.json beside the baseline")
+
+    serve = sub.add_parser(
+        "serve", parents=[obs, cache_p],
+        help="run the evaluation service (line-delimited JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 binds an ephemeral port and prints "
+                            "the bound one (default: 0)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="evaluation worker processes (0 = in-process)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="JSONL checkpoint journal; a restarted server "
+                            "replays finished jobs from it")
+    serve.add_argument("--max-batch", type=int, default=4,
+                       help="jobs dispatched to the pool per batch")
+    serve.add_argument("--max-queued", type=int, default=64,
+                       help="global admission bound; past it submissions "
+                            "are rejected with a retry-after hint")
+    serve.add_argument("--max-queued-per-client", type=int, default=16,
+                       help="per-client admission bound")
+
+    smt = sub.add_parser(
+        "submit", parents=[obs],
+        help="submit a batch of design points to a running `serve` instance",
+    )
+    smt.add_argument("--host", default="127.0.0.1")
+    smt.add_argument("--port", type=int, required=True)
+    smt.add_argument("--benchmark", default="410.bwaves")
+    smt.add_argument("--configs", default="A",
+                     help="comma-separated Table I labels to evaluate")
+    smt.add_argument("--accesses", type=int, default=20_000)
+    smt.add_argument("--seed", type=int, default=7)
+    smt.add_argument("--client-id", default="cli")
+    smt.add_argument("--timeout", type=float, default=120.0, dest="timeout_s",
+                     help="overall budget for submit + wait, seconds")
 
     sub.add_parser("benchmarks", help="list available benchmark profiles")
 
@@ -527,6 +572,95 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.runtime import EvaluationRuntime, PoolConfig
+    from repro.service import (
+        AdmissionConfig,
+        EvaluationServer,
+        SchedulerConfig,
+        ServerConfig,
+    )
+
+    runtime = EvaluationRuntime(
+        pool=PoolConfig(max_workers=args.workers),
+        journal=args.journal,
+        cache=args.eval_cache,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        scheduler=SchedulerConfig(
+            max_batch=args.max_batch,
+            admission=AdmissionConfig(
+                max_queued_total=args.max_queued,
+                max_queued_per_client=args.max_queued_per_client,
+            ),
+        ),
+    )
+
+    async def serve() -> None:
+        server = EvaluationServer(runtime, config=config)
+        await server.start()
+        # Scripts read this line to learn the ephemeral port.
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(sig)
+            print("draining...", file=sys.stderr, flush=True)
+            await server.stop()
+            stats = server.scheduler.stats()
+            by_status = ", ".join(
+                f"{n} {status}" for status, n in sorted(stats["jobs"].items())
+            ) or "0"
+            print(
+                f"drained: {by_status} "
+                f"({stats['runtime']['simulations']} simulated), "
+                f"{server.connections} connections",
+                file=sys.stderr,
+            )
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import JobStatus, run_jobs
+    from repro.workloads import get_benchmark
+
+    labels = [c.strip() for c in args.configs.split(",") if c.strip()]
+    if not labels:
+        raise ValueError("--configs must name at least one configuration")
+    profile = get_benchmark(args.benchmark)
+    trace = profile.trace(args.accesses, seed=args.seed)
+    specs = [
+        {
+            "job_id": f"{profile.name}:{label}:{args.seed}",
+            "config": {"label": label},
+            "seed": 0,
+            "warm": True,
+        }
+        for label in labels
+    ]
+    results = run_jobs(
+        args.host, args.port, trace, specs,
+        client_id=args.client_id, timeout_s=args.timeout_s,
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))
+    ok = all(r.get("status") == JobStatus.DONE for r in results.values())
+    return 0 if ok else 2
+
+
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     from repro.workloads import BENCHMARKS
 
@@ -544,6 +678,8 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "benchmarks": _cmd_benchmarks,
     "lint": _cmd_lint,
 }

@@ -13,6 +13,13 @@ exits.  These rules flag the two shapes of that bug:
   as a ``Process(target=...)`` or named ``_worker_*``) rebinding module or
   closure state via ``global`` / ``nonlocal``, or writing attributes on
   anything other than its own locals.
+
+CON003 guards the asyncio side of the house: inside :mod:`repro.service`
+every await on a socket/stream/queue primitive must carry a deadline —
+wrapped in ``asyncio.wait_for`` (or an ``asyncio.timeout`` block) or
+passing a ``timeout=``/``deadline=`` argument — because one half-dead peer
+otherwise parks the coroutine, and with it a connection handler or the
+dispatch loop, forever.
 """
 
 from __future__ import annotations
@@ -22,7 +29,11 @@ from collections.abc import Iterator
 
 from repro.lint.engine import ModuleContext, Rule, Severity, Violation, register
 
-__all__ = ["ModuleLevelMutableGlobal", "WorkerSideSharedMutation"]
+__all__ = [
+    "ModuleLevelMutableGlobal",
+    "WorkerSideSharedMutation",
+    "UnboundedServiceAwait",
+]
 
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque", "Counter"})
 
@@ -150,3 +161,78 @@ class WorkerSideSharedMutation(Rule):
                             f"attribute on non-local {root.id!r}; the "
                             "mutation is invisible to the supervisor",
                         )
+
+
+#: Await targets that block on a peer, a pipe, or a queue — the calls that
+#: hang forever when the other side dies.  ``asyncio.wait_for`` itself is
+#: deliberately absent: it is the fix, not the hazard.
+_BLOCKING_AWAITS = frozenset({
+    "accept", "connect", "drain", "get", "join", "open_connection",
+    "put", "read", "readexactly", "readline", "readuntil", "recv",
+    "recv_into", "send", "sendall", "wait", "wait_closed",
+})
+
+
+def _has_deadline_kwarg(call: ast.Call) -> bool:
+    return any(
+        kw.arg is not None and ("timeout" in kw.arg or "deadline" in kw.arg)
+        for kw in call.keywords
+    )
+
+
+@register
+class UnboundedServiceAwait(Rule):
+    """CON003: unbounded await on a socket/stream/queue primitive."""
+
+    name = "CON003"
+    severity = Severity.ERROR
+    description = (
+        "await on a socket/stream/queue primitive in repro.service without "
+        "a deadline; wrap it in asyncio.wait_for (or an asyncio.timeout "
+        "block) or pass a timeout=/deadline= argument so one half-dead "
+        "peer cannot park the coroutine forever"
+    )
+    packages = ("service",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Await):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            name = (
+                call.func.attr if isinstance(call.func, ast.Attribute)
+                else call.func.id if isinstance(call.func, ast.Name)
+                else None
+            )
+            if name not in _BLOCKING_AWAITS:
+                continue
+            if _has_deadline_kwarg(call):
+                continue
+            if self._inside_timeout_block(ctx, node):
+                continue
+            yield self.violation(
+                ctx, node,
+                f"await {name}(...) has no deadline; wrap it in "
+                "asyncio.wait_for(...) or pass a timeout=/deadline= "
+                "argument",
+            )
+
+    @staticmethod
+    def _inside_timeout_block(ctx: ModuleContext, node: ast.AST) -> bool:
+        """Whether an ``async with asyncio.timeout(...)`` bounds *node*."""
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, (ast.With, ast.AsyncWith)):
+                for item in anc.items:
+                    expr = item.context_expr
+                    if not isinstance(expr, ast.Call):
+                        continue
+                    chain = ctx.resolve_call_chain(expr.func)
+                    if chain and chain[0] == "asyncio" and chain[-1] in (
+                        "timeout", "timeout_at",
+                    ):
+                        return True
+            elif isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # a timeout block outside the coroutine bounds nothing
+        return False

@@ -38,9 +38,10 @@ class WallClockDuration(Rule):
         "time.perf_counter (monotonic, never steps)"
     )
     # DET001 already bans wall-clock reads in sim/core/workloads; this rule
-    # covers the observability and runtime layers, where the failure mode is
-    # a corrupted span/phase timing rather than a nondeterministic result.
-    packages = ("obs", "runtime")
+    # covers the observability, runtime, and service layers, where the
+    # failure mode is a corrupted span/phase timing (or breaker/deadline
+    # arithmetic) rather than a nondeterministic result.
+    packages = ("obs", "runtime", "service")
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
@@ -65,10 +66,10 @@ class DirectPrint(Rule):
     name = "OBS002"
     severity = Severity.ERROR
     description = (
-        "direct print() in repro.obs/repro.runtime; route output through "
+        "direct print() in repro.obs/runtime/service; route output through "
         "the reporters, a trace event, or a metrics counter"
     )
-    packages = ("obs", "runtime")
+    packages = ("obs", "runtime", "service")
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):

@@ -31,6 +31,23 @@ cache directory (or pass a fresh ``--eval-cache`` path) when in doubt.
 Storage layout is two-level (``root/ab/abcdef....json``) to keep directory
 fan-out bounded; writes go through a temp file + ``os.replace`` so a killed
 process never leaves a torn entry behind.
+
+Corrupt-entry quarantine
+------------------------
+Even with atomic writes, a shard can rot under the store's feet: a crash
+mid-``os.replace`` on some filesystems, a partial copy, bit rot, or an
+injected chaos fault (:mod:`repro.service.chaos`) can leave truncated JSON
+or a payload that no longer matches its recorded digest.  Reads treat any
+such entry as a **miss**, move the damaged file to a ``.corrupt`` sibling
+(so it can never be served again but stays available for forensics), and
+bump the ``evalcache.corrupt_quarantined`` counter.  Corruption is
+detected two ways:
+
+* the file fails to parse as JSON (torn write), or lacks the entry shape;
+* the entry's recorded ``sha`` — written by :meth:`EvaluationCache.put`
+  over the canonical stats payload — does not match the payload
+  (silent content corruption).  Entries written before the digest field
+  existed carry no ``sha`` and are served as-is.
 """
 
 from __future__ import annotations
@@ -68,6 +85,12 @@ def evaluation_cache_key(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def _stats_digest(stats_dict: dict) -> str:
+    """Content digest of one canonicalized stats payload (entry integrity)."""
+    canonical = json.dumps(stats_dict, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 class EvaluationCache:
     """Directory-backed ``key -> measurement dict`` store.
 
@@ -83,6 +106,7 @@ class EvaluationCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -98,23 +122,33 @@ class EvaluationCache:
     def get(self, key: str) -> "dict | None":
         """The cached measurement for *key*, or None on miss.
 
-        Entries from another ``ENGINE_VERSION`` (or unreadable/torn files)
-        count as misses; they are left on disk for auditing.
+        Entries from another ``ENGINE_VERSION`` count as misses and are
+        left on disk for auditing.  Torn files (unparseable JSON, wrong
+        entry shape) and entries whose payload digest no longer matches
+        are **quarantined**: moved to a ``.corrupt`` sibling, counted, and
+        reported as a miss — corruption never raises out of the cache
+        layer and can never be served twice.
         """
         from repro.sim.engine import ENGINE_VERSION
 
         path = self._path(key)
         try:
             raw = path.read_bytes()
-            entry = json.loads(raw)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self._record(hit=False)
             return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("engine_version") != ENGINE_VERSION
-            or "stats" not in entry
-        ):
+        try:
+            entry = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, "torn")
+            return None
+        if not isinstance(entry, dict) or "stats" not in entry:
+            self._quarantine(path, "malformed")
+            return None
+        if "sha" in entry and entry["sha"] != _stats_digest(entry["stats"]):
+            self._quarantine(path, "digest-mismatch")
+            return None
+        if entry.get("engine_version") != ENGINE_VERSION:
             self._record(hit=False)
             return None
         self._record(hit=True, n_bytes=len(raw))
@@ -127,7 +161,11 @@ class EvaluationCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
-            {"engine_version": ENGINE_VERSION, "stats": stats_dict},
+            {
+                "engine_version": ENGINE_VERSION,
+                "sha": _stats_digest(stats_dict),
+                "stats": stats_dict,
+            },
             separators=(",", ":"),
         ).encode("utf-8")
         tmp = path.with_suffix(".json.tmp")
@@ -138,6 +176,22 @@ class EvaluationCache:
             obs_metrics.get_registry().counter("evalcache.bytes_written").inc(
                 len(payload)
             )
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a damaged shard to its ``.corrupt`` sibling; count a miss."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Could not move it (e.g. racing reader already did); a miss is
+            # still the right answer — the entry is never served.
+            pass
+        self.quarantined += 1
+        if obs_metrics.metrics_enabled():
+            reg = obs_metrics.get_registry()
+            reg.counter("evalcache.corrupt_quarantined").inc()
+            reg.counter(f"evalcache.corrupt.{reason}").inc()
+        self._record(hit=False)
 
     def _record(self, *, hit: bool, n_bytes: int = 0) -> None:
         if hit:

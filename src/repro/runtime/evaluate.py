@@ -43,11 +43,18 @@ from repro.runtime.journal import CheckpointJournal
 from repro.runtime.pool import EvaluationPool, Job, PoolConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
     from repro.sim.params import MachineConfig
     from repro.sim.stats import HierarchyStats
     from repro.workloads.trace import Trace
 
-__all__ = ["EvaluationRequest", "RuntimeCounters", "EvaluationRuntime"]
+__all__ = [
+    "EvaluationRequest",
+    "EvalOutcome",
+    "RuntimeCounters",
+    "EvaluationRuntime",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,30 @@ class EvaluationRequest:
     trace: "Trace"
     seed: int = 0
     warm: bool = True
+
+
+@dataclass
+class EvalOutcome:
+    """Per-request outcome of a detailed batch evaluation.
+
+    ``source`` records which layer produced the result (``"journal"``,
+    ``"cache"`` or ``"simulated"``); the attempt counters are zero for
+    journal/cache hits, which never touch the pool.
+    """
+
+    key: str
+    stats: "HierarchyStats | None" = None
+    error: "BaseException | None" = None
+    source: str = "simulated"
+    attempts: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    waited_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the evaluation produced usable statistics."""
+        return self.error is None
 
 
 @dataclass
@@ -120,6 +151,7 @@ class EvaluationRuntime:
         journal: "CheckpointJournal | str | Path | None" = None,
         faults: "FaultConfig | None" = None,
         cache: "EvaluationCache | str | Path | None" = None,
+        job_fn: "Callable | None" = None,
     ) -> None:
         self.pool_config = pool if pool is not None else PoolConfig()
         if isinstance(journal, (str, Path)):
@@ -129,6 +161,12 @@ class EvaluationRuntime:
             cache = EvaluationCache(cache)
         self.cache = cache
         self.faults = faults
+        #: Replacement worker-side job body.  Must be picklable and accept
+        #: the :func:`_simulate_job` signature (plus ``_attempt=``, which is
+        #: always passed when a custom body is installed).  The service
+        #: chaos layer uses this to wrap simulation with injected failures
+        #: without touching the journal/cache layering above it.
+        self.job_fn = job_fn
         self.counters = RuntimeCounters()
         #: Where each key of the most recent :meth:`evaluate_many` batch came
         #: from: ``"simulated"``, ``"journal"`` or ``"cache"``.
@@ -150,20 +188,44 @@ class EvaluationRuntime:
         journaled *and* cached as soon as they complete, so a run killed
         mid-batch resumes with zero duplicate evaluations.
         ``last_sources`` records where each key came from.
+
+        Raises the first failed request's error (in submission order); use
+        :meth:`evaluate_many_detailed` to keep per-request failures.
+        """
+        outcomes = self.evaluate_many_detailed(requests)
+        for req in requests:
+            error = outcomes[req.key].error
+            if error is not None:
+                raise error
+        return {key: outcome.stats for key, outcome in outcomes.items()}
+
+    def evaluate_many_detailed(
+        self, requests: "list[EvaluationRequest]"
+    ) -> "dict[str, EvalOutcome]":
+        """Like :meth:`evaluate_many`, but failures stay per-request.
+
+        Every request gets an :class:`EvalOutcome` — a failed one carries
+        its terminal error instead of raising out of the whole batch, so a
+        caller serving many independent clients (the evaluation service)
+        can fail one job without poisoning its neighbours.
         """
         from repro.sim.stats import HierarchyStats
 
-        out: "dict[str, HierarchyStats]" = {}
+        outcomes: "dict[str, EvalOutcome]" = {}
         todo: "list[EvaluationRequest]" = []
         self.last_sources = {}
         cache_keys: "dict[str, str]" = {}
         batch_span = obs_trace.span("runtime.evaluate_many", requests=len(requests))
         batch_span.__enter__()
         for req in requests:
-            if req.key in out or any(t.key == req.key for t in todo):
+            if req.key in outcomes or any(t.key == req.key for t in todo):
                 continue  # duplicate request in one batch
             if self.journal is not None and req.key in self.journal:
-                out[req.key] = HierarchyStats.from_dict(self.journal.get(req.key))
+                outcomes[req.key] = EvalOutcome(
+                    key=req.key,
+                    stats=HierarchyStats.from_dict(self.journal.get(req.key)),
+                    source="journal",
+                )
                 self.counters.journal_hits += 1
                 self.last_sources[req.key] = "journal"
                 continue
@@ -172,7 +234,11 @@ class EvaluationRuntime:
                 cache_keys[req.key] = ckey
                 cached = self.cache.get(ckey)
                 if cached is not None:
-                    out[req.key] = HierarchyStats.from_dict(cached)
+                    outcomes[req.key] = EvalOutcome(
+                        key=req.key,
+                        stats=HierarchyStats.from_dict(cached),
+                        source="cache",
+                    )
                     self.counters.cache_hits += 1
                     self.last_sources[req.key] = "cache"
                     if self.journal is not None:
@@ -185,7 +251,7 @@ class EvaluationRuntime:
         if obs_metrics.metrics_enabled():
             reg = obs_metrics.get_registry()
             reg.counter("runtime.requests").inc(len(requests))
-            reg.counter("runtime.journal_hits").inc(len(out) - n_cache)
+            reg.counter("runtime.journal_hits").inc(len(outcomes) - n_cache)
             reg.counter("runtime.cache_hits").inc(n_cache)
         try:
             if todo:
@@ -209,10 +275,10 @@ class EvaluationRuntime:
                 jobs = [
                     Job(
                         key=req.key,
-                        fn=_simulate_job,
+                        fn=self.job_fn if self.job_fn is not None else _simulate_job,
                         args=(req.config, req.trace.content_digest(), req.seed,
                               req.warm, self.faults, req.key),
-                        pass_attempt=self.faults is not None,
+                        pass_attempt=self.faults is not None or self.job_fn is not None,
                     )
                     for req in todo
                 ]
@@ -233,13 +299,24 @@ class EvaluationRuntime:
                         if self.cache is not None and result.key in cache_keys:
                             self.cache.put(cache_keys[result.key], stats_dict)
 
-                results = self._pool.run(jobs, on_result=_checkpoint)
+                results = self._pool.run(jobs, on_error="keep", on_result=_checkpoint)
                 self.counters.retries += self._pool.retries - before[0]
                 self.counters.timeouts += self._pool.timeouts - before[1]
                 self.counters.worker_restarts += self._pool.worker_restarts - before[2]
                 for req in todo:
-                    out[req.key] = results[req.key].value
-                    self.last_sources[req.key] = "simulated"
+                    result = results[req.key]
+                    outcomes[req.key] = EvalOutcome(
+                        key=req.key,
+                        stats=result.value if result.ok else None,
+                        error=result.error,
+                        source="simulated",
+                        attempts=result.attempts,
+                        timeouts=result.timeouts,
+                        crashes=result.crashes,
+                        waited_s=result.waited_s,
+                    )
+                    if result.ok:
+                        self.last_sources[req.key] = "simulated"
         finally:
             batch_span.set(
                 journal_hits=len(requests) - len(todo) - n_cache,
@@ -247,4 +324,4 @@ class EvaluationRuntime:
                 simulated=len(todo),
             )
             batch_span.__exit__(None, None, None)
-        return out
+        return outcomes

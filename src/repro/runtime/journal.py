@@ -50,14 +50,18 @@ class CheckpointJournal:
             with self.path.open("rb") as fh:
                 fh.seek(-1, os.SEEK_END)
                 self._tail_open = fh.read(1) != b"\n"
-        with self.path.open("r", encoding="utf-8") as fh:
+        # Read binary and parse per line: a crash can cut the tail at *any*
+        # byte offset, including inside a multi-byte UTF-8 sequence, and a
+        # text-mode read would raise UnicodeDecodeError instead of treating
+        # the torn tail as the recoverable damage it is.
+        with self.path.open("rb") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     obj = json.loads(line)
-                except json.JSONDecodeError:
+                except (json.JSONDecodeError, UnicodeDecodeError):
                     # Torn tail from a crash mid-write; skip, keep the rest.
                     self.dropped_lines += 1
                     continue
@@ -80,6 +84,19 @@ class CheckpointJournal:
     def get(self, key: str) -> object:
         """The journaled value for *key* (:class:`KeyError` if absent)."""
         return self._entries[key]
+
+    def sync_tail(self) -> None:
+        """Re-inspect the file tail after external damage (e.g. truncation).
+
+        Call when something other than :meth:`put` changed the file — a
+        chaos injector, a concurrent crash-test harness — so the next
+        append still starts on a fresh line.
+        """
+        self._tail_open = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                self._tail_open = fh.read(1) != b"\n"
 
     def put(self, key: str, value: object) -> None:
         """Append one entry and update the in-memory view.

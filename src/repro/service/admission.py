@@ -1,0 +1,123 @@
+"""Admission control: bounded queues with per-client fairness.
+
+The service never buffers unboundedly.  Submissions pass two gates — a
+global cap and a per-client cap — and anything over either is rejected
+*immediately* with an explicit ``retry_after_s`` hint, so a saturated
+server degrades into visible backpressure rather than latent memory
+growth.  Queued work drains in round-robin order across clients: a client
+streaming hundreds of jobs cannot starve one submitting a single job,
+because each pass over the ready clients takes at most one job from each.
+
+The controller is a plain single-threaded data structure; the scheduler
+drives it from the event loop, so no locking is needed (and none is
+pretended).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import metrics as obs_metrics
+from repro.runtime.errors import ConfigError
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Queue bounds and the backpressure hint."""
+
+    #: Total jobs queued across all clients before global rejection.
+    max_queued_total: int = 64
+    #: Jobs one client may have queued before per-client rejection.
+    max_queued_per_client: int = 16
+    #: Base retry hint returned with a rejection; scaled by queue fullness
+    #: so clients back off harder the deeper the overload.
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queued_total < 1:
+            raise ConfigError("max_queued_total must be >= 1")
+        if self.max_queued_per_client < 1:
+            raise ConfigError("max_queued_per_client must be >= 1")
+        if self.retry_after_s <= 0:
+            raise ConfigError("retry_after_s must be > 0")
+
+
+class AdmissionController:
+    """Bounded multi-client queue with round-robin fair dequeue."""
+
+    def __init__(self, config: "AdmissionConfig | None" = None) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self._queues: "dict[str, deque]" = {}
+        #: Clients with queued work, in round-robin service order.
+        self._ready: "deque[str]" = deque()
+        self.queued = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return self.queued
+
+    def pending(self, client: str) -> int:
+        """Jobs currently queued for *client*."""
+        queue = self._queues.get(client)
+        return len(queue) if queue is not None else 0
+
+    def try_admit(self, client: str, item: object) -> "float | None":
+        """Admit *item* for *client*; ``None`` on success.
+
+        On rejection returns the retry-after hint in seconds (the caller
+        relays it to the client verbatim) and buffers nothing.
+        """
+        queue = self._queues.get(client)
+        per_client = len(queue) if queue is not None else 0
+        if (
+            self.queued >= self.config.max_queued_total
+            or per_client >= self.config.max_queued_per_client
+        ):
+            self.rejected += 1
+            if obs_metrics.metrics_enabled():
+                obs_metrics.get_registry().counter("service.admission.rejected").inc()
+            fullness = self.queued / self.config.max_queued_total
+            return self.config.retry_after_s * (1.0 + fullness)
+        if queue is None:
+            queue = self._queues[client] = deque()
+        if not queue:
+            self._ready.append(client)
+        queue.append(item)
+        self.queued += 1
+        self.admitted += 1
+        if obs_metrics.metrics_enabled():
+            obs_metrics.get_registry().counter("service.admission.admitted").inc()
+        return None
+
+    def next(self) -> "object | None":
+        """Dequeue the next job fairly, or ``None`` when empty.
+
+        Takes one job from the client at the head of the ready ring, then
+        rotates that client to the tail — strict round-robin across every
+        client with pending work.
+        """
+        while self._ready:
+            client = self._ready.popleft()
+            queue = self._queues[client]
+            if not queue:
+                continue  # drained since it was enqueued on the ring
+            item = queue.popleft()
+            self.queued -= 1
+            if queue:
+                self._ready.append(client)
+            return item
+        return None
+
+    def drain_all(self) -> "list[object]":
+        """Remove and return every queued job (shutdown path)."""
+        drained: "list[object]" = []
+        for queue in self._queues.values():
+            drained.extend(queue)
+            queue.clear()
+        self._ready.clear()
+        self.queued = 0
+        return drained

@@ -1,0 +1,144 @@
+"""Circuit breaker around the evaluation pool.
+
+When workers start dying or timing out consecutively, retrying every
+queued job into the same broken pool multiplies the damage (each failure
+burns a full retry budget and a worker respawn).  The breaker converts
+that into fast, explicit degradation:
+
+* **closed** — normal operation; consecutive infrastructure failures are
+  counted, and ``failure_threshold`` of them in a row trip the breaker;
+* **open** — dispatch is suspended; jobs stay queued (bounded by
+  admission) and new submissions see backpressure.  After
+  ``reset_timeout_s`` the breaker half-opens;
+* **half-open** — exactly ``half_open_probes`` probe jobs are let through.
+  A probe success closes the breaker; a probe failure re-opens it and the
+  wait starts over.
+
+Only *infrastructure* failures (worker crashes, deadline timeouts) feed
+the trip counter — a job failing on its own terms (bad configuration, an
+unretryable measurement) says nothing about pool health and must not
+block other clients' work.
+
+The clock is injectable so tests drive state transitions deterministically
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs import metrics as obs_metrics
+from repro.runtime.errors import ConfigError, EvaluationTimeout, WorkerCrashed
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "is_infrastructure_failure"]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold and recovery pacing."""
+
+    #: Consecutive infrastructure failures that trip the breaker.
+    failure_threshold: int = 3
+    #: Seconds the breaker stays open before allowing probes.
+    reset_timeout_s: float = 1.0
+    #: Probe jobs allowed through while half-open.
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if self.reset_timeout_s <= 0:
+            raise ConfigError("reset_timeout_s must be > 0")
+        if self.half_open_probes < 1:
+            raise ConfigError("half_open_probes must be >= 1")
+
+
+def is_infrastructure_failure(error: "BaseException | None") -> bool:
+    """Whether *error* indicts the pool rather than the job itself."""
+    return isinstance(error, (WorkerCrashed, EvaluationTimeout))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probing."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        config: "BreakerConfig | None" = None,
+        *,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.trips = 0
+        self.probes = 0
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if obs_metrics.metrics_enabled():
+            obs_metrics.get_registry().counter(f"service.breaker.to_{state}").inc()
+
+    def allow(self) -> bool:
+        """Whether a dispatch may proceed right now.
+
+        In the half-open state each ``allow()`` consumes one probe slot;
+        the caller must follow up with :meth:`record_success` or
+        :meth:`record_failure` for that probe.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at < self.config.reset_timeout_s:
+                return False
+            self._transition(self.HALF_OPEN)
+            self._probes_in_flight = 0
+        if self._probes_in_flight >= self.config.half_open_probes:
+            return False
+        self._probes_in_flight += 1
+        self.probes += 1
+        return True
+
+    def retry_after_s(self) -> float:
+        """How long until the breaker would next admit work (0 when it would now)."""
+        if self.state != self.OPEN:
+            return 0.0
+        remaining = self.config.reset_timeout_s - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    def record_success(self) -> None:
+        """A dispatched job finished without an infrastructure failure."""
+        self._consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self._probes_in_flight = 0
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """A dispatched job died of an infrastructure failure."""
+        self._consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+            self.trips += 1
+            if obs_metrics.metrics_enabled():
+                obs_metrics.get_registry().counter("service.breaker.trips").inc()
+            self._transition(self.OPEN)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"consecutive_failures={self._consecutive_failures}, trips={self.trips})"
+        )

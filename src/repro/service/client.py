@@ -1,0 +1,247 @@
+"""Client for the evaluation service.
+
+:class:`ServiceClient` is the async building block — connect, register a
+trace once, submit jobs by digest, long-poll for results.  Every await is
+bounded by a timeout, and submissions honor the server's backpressure:
+an admission rejection carries a ``retry_after_s`` hint which
+:meth:`ServiceClient.submit_with_retry` obeys with seeded jitter, so a
+thundering herd of rejected clients does not resynchronize into the next
+thundering herd.
+
+:func:`run_jobs` is the one-call synchronous convenience used by the CLI
+and scripts: connect, upload, submit a batch, wait for every terminal
+status, disconnect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+from repro.runtime.errors import MeasurementError
+from repro.service.protocol import (
+    TERMINAL_STATUSES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    trace_to_wire,
+)
+from repro.util.rng import spawn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.trace import Trace
+
+__all__ = ["ServiceUnavailable", "ServiceClient", "run_jobs"]
+
+
+class ServiceUnavailable(MeasurementError):
+    """The service rejected or never answered within the client's budget."""
+
+
+class ServiceClient:
+    """One connection to an :class:`~repro.service.server.EvaluationServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str = "client",
+        timeout_s: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+        self._rng = spawn(seed, "service-client", client_id)
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self.rejections = 0
+
+    async def connect(self) -> "ServiceClient":
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout_s,
+            )
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            raise ServiceUnavailable(
+                f"cannot reach {self.host}:{self.port}: {exc}"
+            ) from exc
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await asyncio.wait_for(
+                    self._writer.wait_closed(), timeout=self.timeout_s
+                )
+            except (TimeoutError, ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        # connect() bounds itself with wait_for internally.
+        return await self.connect()  # repro: noqa[CON003] -- self-bounded
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- request plumbing ----------------------------------------------------
+    async def call(self, msg: dict) -> dict:
+        """One request/response round trip."""
+        if self._writer is None or self._reader is None:
+            raise ServiceUnavailable("client is not connected")
+        self._writer.write(encode_message(msg))
+        await asyncio.wait_for(self._writer.drain(), timeout=self.timeout_s)
+        line = await asyncio.wait_for(
+            self._reader.readline(), timeout=self.timeout_s
+        )
+        if not line:
+            raise ServiceUnavailable("server closed the connection")
+        return decode_message(line)
+
+    # -- operations ----------------------------------------------------------
+    async def ping(self) -> dict:
+        return await self.call({"op": "ping"})
+
+    async def register_trace(self, trace: "Trace") -> str:
+        reply = await self.call(
+            {"op": "register_trace", "trace": trace_to_wire(trace)}
+        )
+        if not reply.get("ok"):
+            raise ProtocolError(f"register_trace failed: {reply.get('error')}")
+        return reply["digest"]
+
+    async def submit(
+        self,
+        job_id: str,
+        *,
+        trace_digest: str,
+        config: dict,
+        seed: int = 0,
+        warm: bool = True,
+    ) -> dict:
+        """One submission attempt; the raw server reply (may be a rejection)."""
+        return await self.call({
+            "op": "submit",
+            "job_id": job_id,
+            "client": self.client_id,
+            "config": config,
+            "trace_digest": trace_digest,
+            "seed": seed,
+            "warm": warm,
+        })
+
+    async def submit_with_retry(
+        self,
+        job_id: str,
+        *,
+        trace_digest: str,
+        config: dict,
+        seed: int = 0,
+        warm: bool = True,
+        max_attempts: int = 50,
+    ) -> dict:
+        """Submit, backing off on admission rejections until accepted.
+
+        Honors the server's ``retry_after_s`` hint with multiplicative
+        seeded jitter.  Raises :class:`ServiceUnavailable` once
+        *max_attempts* rejections pile up or the service is draining.
+        """
+        for _ in range(max_attempts):
+            reply = await self.submit(
+                job_id, trace_digest=trace_digest, config=config,
+                seed=seed, warm=warm,
+            )
+            if reply.get("ok") or reply.get("code") not in ("rejected",):
+                return reply
+            self.rejections += 1
+            hint = float(reply.get("retry_after_s", 0.05))
+            await asyncio.sleep(hint * (1.0 + float(self._rng.random())))
+        raise ServiceUnavailable(
+            f"job {job_id!r} rejected {max_attempts} times; server saturated"
+        )
+
+    async def wait(self, job_id: str, *, timeout_s: "float | None" = None) -> dict:
+        """Long-poll until *job_id* is terminal (re-polls past server caps)."""
+        budget = timeout_s if timeout_s is not None else self.timeout_s
+        deadline = asyncio.get_running_loop().time() + budget
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise ServiceUnavailable(
+                    f"job {job_id!r} not terminal within {budget}s"
+                )
+            reply = await self.call({
+                "op": "wait", "job_id": job_id,
+                "timeout_s": max(0.01, min(remaining, 10.0)),
+            })
+            if not reply.get("ok"):
+                raise ProtocolError(f"wait failed: {reply.get('error')}")
+            if reply.get("status") in TERMINAL_STATUSES:
+                return reply
+
+    async def status(self, job_id: str) -> dict:
+        return await self.call({"op": "status", "job_id": job_id})
+
+    async def stats(self) -> dict:
+        reply = await self.call({"op": "stats"})
+        if not reply.get("ok"):
+            raise ProtocolError(f"stats failed: {reply.get('error')}")
+        return reply["stats"]
+
+
+async def _run_jobs_async(
+    host: str,
+    port: int,
+    trace: "Trace",
+    specs: "list[dict]",
+    *,
+    client_id: str,
+    timeout_s: float,
+) -> "dict[str, dict]":
+    results: "dict[str, dict]" = {}
+    async with ServiceClient(
+        host, port, client_id=client_id, timeout_s=timeout_s
+    ) as client:
+        digest = await client.register_trace(trace)
+        pending: "list[str]" = []
+        for spec in specs:
+            job_id = spec["job_id"]
+            reply = await client.submit_with_retry(
+                job_id,
+                trace_digest=digest,
+                config=spec["config"],
+                seed=spec.get("seed", 0),
+                warm=spec.get("warm", True),
+            )
+            if not reply.get("ok"):
+                results[job_id] = reply
+                continue
+            pending.append(job_id)
+        for job_id in pending:
+            results[job_id] = await client.wait(job_id, timeout_s=timeout_s)
+    return results
+
+
+def run_jobs(
+    host: str,
+    port: int,
+    trace: "Trace",
+    specs: "list[dict]",
+    *,
+    client_id: str = "cli",
+    timeout_s: float = 120.0,
+) -> "dict[str, dict]":
+    """Synchronous batch convenience: submit *specs*, wait for terminals.
+
+    Each spec is ``{"job_id": ..., "config": {...}, "seed": ..., "warm": ...}``
+    (config in wire form).  Returns the terminal server reply per job id.
+    """
+    return asyncio.run(_run_jobs_async(
+        host, port, trace, specs, client_id=client_id, timeout_s=timeout_s
+    ))

@@ -1,0 +1,238 @@
+"""Wire protocol of the evaluation service: line-delimited JSON.
+
+Every message is one JSON object on one ``\\n``-terminated line — trivially
+framed, inspectable with ``nc``, and torn-write detectable (a partial line
+never parses).  Client requests carry an ``op``; server replies always carry
+``ok`` and echo the request's ``job_id`` where one applies.
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "register_trace", "trace": {...}}          -> {"ok": true, "digest": ...}
+    {"op": "submit", "job_id": ..., "client": ...,
+     "config": {"label": "C"} | {"knobs": {...}},
+     "trace_digest": ... | "trace": {...},
+     "seed": 0, "warm": true}                         -> {"ok": true, "status": "queued"}
+    {"op": "status", "job_id": ...}
+    {"op": "wait", "job_id": ..., "timeout_s": 10.0}  -> terminal status + stats
+    {"op": "stats"}
+
+A rejected submission answers ``{"ok": false, "code": "rejected",
+"retry_after_s": ...}`` — backpressure is explicit, never an unbounded
+buffer.  Configurations travel as Table I labels or Case Study knob dicts
+(the two shapes every experiment in this repo is built from), traces as
+digests against the server's trace registry (upload once with
+``register_trace``, then submit by digest) or inline column arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.runtime.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.params import MachineConfig
+    from repro.workloads.trace import Trace
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "JobStatus",
+    "TERMINAL_STATUSES",
+    "ProtocolError",
+    "JobSpec",
+    "encode_message",
+    "decode_message",
+    "config_from_wire",
+    "config_to_wire",
+    "trace_from_wire",
+    "trace_to_wire",
+    "parse_submit",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one framed line; an inline trace beyond this must be
+#: uploaded via ``register_trace`` chunk-free as well, so it also bounds
+#: how much a single client can make the server buffer.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A message violates the wire protocol (malformed, oversized, unknown).
+
+    Deterministic — resending the same bytes fails the same way.
+    """
+
+    retryable = False
+
+
+class JobStatus:
+    """Lifecycle states of a submitted job; the last four are terminal."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    REJECTED = "rejected"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATUSES = frozenset(
+    {JobStatus.DONE, JobStatus.FAILED, JobStatus.REJECTED, JobStatus.CANCELLED}
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A parsed, validated ``submit`` request."""
+
+    job_id: str
+    client: str
+    config: "MachineConfig"
+    trace_digest: "str | None" = None
+    trace: "Trace | None" = None
+    seed: int = 0
+    warm: bool = True
+
+
+def encode_message(msg: dict) -> bytes:
+    """One protocol message as a framed line (compact JSON + newline)."""
+    line = json.dumps(msg, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte frame limit"
+        )
+    return line
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one framed line; :class:`ProtocolError` on anything malformed."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("oversized frame")
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+#: Knob names accepted on the wire — exactly MachineConfig.with_knobs minus
+#: the display name (names are cosmetic and must not affect identity).
+_WIRE_KNOBS = frozenset({
+    "issue_width", "iw_size", "rob_size", "l1_ports",
+    "mshr_count", "l2_banks", "l1_size_bytes",
+})
+
+
+def config_from_wire(obj: object) -> "MachineConfig":
+    """A :class:`MachineConfig` from its wire form (label or knob dict)."""
+    from repro.runtime.errors import ConfigError
+    from repro.sim.params import MachineConfig, table1_config
+
+    if not isinstance(obj, dict):
+        raise ProtocolError("config must be an object with 'label' or 'knobs'")
+    if "label" in obj:
+        try:
+            return table1_config(str(obj["label"]))
+        except ConfigError as exc:
+            raise ProtocolError(str(exc)) from exc
+    if "knobs" in obj:
+        knobs = obj["knobs"]
+        if not isinstance(knobs, dict):
+            raise ProtocolError("config knobs must be an object")
+        unknown = set(knobs) - _WIRE_KNOBS
+        if unknown:
+            raise ProtocolError(
+                f"unknown config knobs {sorted(unknown)}; "
+                f"allowed: {sorted(_WIRE_KNOBS)}"
+            )
+        try:
+            return MachineConfig().with_knobs(
+                **{k: int(v) for k, v in knobs.items()}
+            )
+        except (ConfigError, ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad config knobs: {exc}") from exc
+    raise ProtocolError("config must carry 'label' or 'knobs'")
+
+
+def config_to_wire(config: "MachineConfig") -> dict:
+    """The knob-dict wire form of *config* (round-trips the six + L1 size)."""
+    knobs = dict(config.knob_summary())
+    knobs["l1_size_bytes"] = config.l1.size_bytes
+    return {"knobs": knobs}
+
+
+def trace_from_wire(obj: object) -> "Trace":
+    """A :class:`Trace` from its column-array wire form."""
+    from repro.workloads.trace import Trace
+
+    if not isinstance(obj, dict):
+        raise ProtocolError("trace must be an object with column arrays")
+    try:
+        return Trace(
+            is_mem=[bool(x) for x in obj["is_mem"]],
+            address=[int(x) for x in obj["address"]],
+            is_load=[bool(x) for x in obj["is_load"]],
+            name=str(obj.get("name", "wire-trace")),
+            depends=(
+                [bool(x) for x in obj["depends"]]
+                if obj.get("depends") is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad trace payload: {exc}") from exc
+
+
+def trace_to_wire(trace: "Trace") -> dict:
+    """The column-array wire form of *trace*."""
+    wire = {
+        "is_mem": [bool(x) for x in trace.is_mem],
+        "address": [int(x) for x in trace.address],
+        "is_load": [bool(x) for x in trace.is_load],
+        "name": trace.name,
+    }
+    if trace.depends is not None:
+        wire["depends"] = [bool(x) for x in trace.depends]
+    return wire
+
+
+def parse_submit(msg: dict) -> JobSpec:
+    """Validate a ``submit`` request into a :class:`JobSpec`.
+
+    Exactly one of ``trace_digest`` (preferred — upload once, submit many)
+    and ``trace`` (inline columns) must be present.
+    """
+    job_id = msg.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise ProtocolError("submit requires a non-empty string job_id")
+    client = msg.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise ProtocolError("client must be a non-empty string")
+    config = config_from_wire(msg.get("config"))
+    digest = msg.get("trace_digest")
+    inline = msg.get("trace")
+    if (digest is None) == (inline is None):
+        raise ProtocolError("submit requires exactly one of trace_digest / trace")
+    trace = trace_from_wire(inline) if inline is not None else None
+    seed = msg.get("seed", 0)
+    warm = msg.get("warm", True)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ProtocolError("seed must be an integer")
+    if not isinstance(warm, bool):
+        raise ProtocolError("warm must be a boolean")
+    return JobSpec(
+        job_id=job_id,
+        client=client,
+        config=config,
+        trace_digest=str(digest) if digest is not None else None,
+        trace=trace,
+        seed=seed,
+        warm=warm,
+    )

@@ -1,0 +1,30 @@
+"""Seeded CON003/OBS002 violations for the lint CLI tests.
+
+Every unbounded await here is a deliberate bug specimen: a half-dead peer
+would park each of these coroutines forever.
+"""
+
+import asyncio
+import time
+
+
+async def relay(reader, writer, queue):
+    line = await reader.readline()  # CON003: no deadline on the read
+    await queue.put(line)  # CON003: queue may be full forever
+    writer.write(line)
+    await writer.drain()  # CON003: peer may never read
+    print("relayed", len(line))  # OBS002: service output must be structured
+
+
+async def dial(host, port):
+    reader, writer = await asyncio.open_connection(host, port)  # CON003
+    started = time.time()  # OBS001: steppable wall clock
+    return reader, writer, started
+
+
+async def bounded_ok(reader, queue, event):
+    line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+    await queue.put(line, timeout=1.0)
+    async with asyncio.timeout(2.0):
+        await event.wait()
+    return line

@@ -42,6 +42,12 @@ class TestCLIExitCodes:
         assert "OBS001" in proc.stdout
         assert "OBS002" in proc.stdout
 
+    def test_service_fixture_exit_nonzero(self):
+        proc = run_cli(str(FIXTURES / "service"))
+        assert proc.returncode == 1
+        assert "CON003" in proc.stdout
+        assert "OBS002" in proc.stdout
+
     def test_clean_fixture_exits_zero(self):
         proc = run_cli(str(FIXTURES / "clean"))
         assert proc.returncode == 0, proc.stdout + proc.stderr
@@ -69,11 +75,14 @@ class TestCLIExitCodes:
 
 class TestSeededFixtureCoverage:
     def test_every_seeded_rule_fires(self):
-        result = run_lint([FIXTURES / "sim", FIXTURES / "runtime", FIXTURES / "obs"])
+        result = run_lint([
+            FIXTURES / "sim", FIXTURES / "runtime", FIXTURES / "obs",
+            FIXTURES / "service",
+        ])
         fired = {v.rule for v in result.violations}
         assert fired >= {
-            "DET001", "DET002", "NUM001", "NUM002",
-            "CON001", "ERR001", "ERR002", "OBS001", "OBS002", "PERF001",
+            "DET001", "DET002", "NUM001", "NUM002", "CON001", "CON003",
+            "ERR001", "ERR002", "OBS001", "OBS002", "PERF001",
         }
 
 

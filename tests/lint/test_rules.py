@@ -7,6 +7,7 @@ CORE = "src/repro/core/mod.py"
 RUNTIME = "src/repro/runtime/mod.py"
 SCHED = "src/repro/sched/mod.py"
 OBS = "src/repro/obs/mod.py"
+SERVICE = "src/repro/service/mod.py"
 
 
 def rules_hit(source, path, *rules):
@@ -264,6 +265,76 @@ class TestCON002:
     def test_non_worker_functions_ignored(self):
         src = "def helper(state):\n    state.value = 1\n"
         assert lint_source(src, RUNTIME, rules=["CON002"]) == []
+
+
+class TestCON003:
+    def test_flags_bare_stream_read(self):
+        src = (
+            "async def handle(reader):\n"
+            "    return await reader.readline()\n"
+        )
+        assert rules_hit(src, SERVICE, "CON003") == ["CON003"]
+
+    def test_flags_queue_and_event_waits(self):
+        src = (
+            "async def pump(queue, event):\n"
+            "    item = await queue.get()\n"
+            "    await event.wait()\n"
+            "    return item\n"
+        )
+        assert len(lint_source(src, SERVICE, rules=["CON003"])) == 2
+
+    def test_wait_for_wrapper_accepted(self):
+        src = (
+            "import asyncio\n\n"
+            "async def handle(reader):\n"
+            "    return await asyncio.wait_for(reader.readline(), timeout=5)\n"
+        )
+        assert lint_source(src, SERVICE, rules=["CON003"]) == []
+
+    def test_timeout_kwarg_accepted(self):
+        src = (
+            "async def stop(scheduler):\n"
+            "    await scheduler.drain(timeout_s=30.0)\n"
+        )
+        assert lint_source(src, SERVICE, rules=["CON003"]) == []
+
+    def test_timeout_context_accepted(self):
+        src = (
+            "import asyncio\n\n"
+            "async def handle(event):\n"
+            "    async with asyncio.timeout(2.0):\n"
+            "        await event.wait()\n"
+        )
+        assert lint_source(src, SERVICE, rules=["CON003"]) == []
+
+    def test_timeout_context_outside_coroutine_does_not_count(self):
+        # The bounding block must enclose the await, not merely appear in
+        # an outer function that defines the coroutine.
+        src = (
+            "import asyncio\n\n"
+            "def make(event):\n"
+            "    async with asyncio.timeout(2.0):\n"
+            "        async def inner():\n"
+            "            await event.wait()\n"
+        )
+        assert rules_hit(src, SERVICE, "CON003") == ["CON003"]
+
+    def test_non_blocking_awaits_ignored(self):
+        src = (
+            "import asyncio\n\n"
+            "async def respond(self, line):\n"
+            "    await asyncio.sleep(0.1)\n"
+            "    return await self.handle(line)\n"
+        )
+        assert lint_source(src, SERVICE, rules=["CON003"]) == []
+
+    def test_scoped_to_service_package(self):
+        src = (
+            "async def handle(reader):\n"
+            "    return await reader.readline()\n"
+        )
+        assert lint_source(src, RUNTIME, rules=["CON003"]) == []
 
 
 class TestOBS001:

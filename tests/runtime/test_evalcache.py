@@ -83,6 +83,110 @@ class TestStorage:
         assert entry["engine_version"] == ENGINE_VERSION
 
 
+class TestCorruptQuarantine:
+    """Damaged shards are moved aside, counted, and never served."""
+
+    def test_torn_shard_is_quarantined_to_corrupt_sibling(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "c")
+        key = "ab" * 32
+        cache.put(key, {"x": 1.0})
+        path = cache._path(key)
+        path.write_text('{"engine_version": 3, "stats"')  # truncated JSON
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        # The quarantined shard no longer counts as a stored entry.
+        assert key not in cache and len(cache) == 0
+
+    def test_digest_mismatch_is_quarantined(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "c")
+        key = "cd" * 32
+        cache.put(key, {"x": 1.0})
+        path = cache._path(key)
+        entry = json.loads(path.read_text())
+        entry["stats"]["x"] = 2.0  # silent bit-flip: digest no longer matches
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_binary_garbage_is_quarantined(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "c")
+        key = "ee" * 32
+        cache.put(key, {"x": 1.0})
+        cache._path(key).write_bytes(b"\xff\xfe\x00garbage")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_pre_digest_entries_still_served(self, tmp_path):
+        """Backward compat: entries written before the sha field existed."""
+        from repro.sim.engine import ENGINE_VERSION
+
+        cache = EvaluationCache(tmp_path / "c")
+        key = "fa" * 32
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"engine_version": ENGINE_VERSION, "stats": {"x": 3.0}}
+        ))
+        assert cache.get(key) == {"x": 3.0}
+        assert cache.quarantined == 0
+
+    def test_quarantine_counts_in_obs_registry(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        cache = EvaluationCache(tmp_path / "c")
+        key = "bb" * 32
+        cache.put(key, {"x": 1.0})
+        cache._path(key).write_text("{torn")
+        obs_metrics.set_metrics_enabled(True)
+        try:
+            obs_metrics.get_registry().reset()
+            assert cache.get(key) is None
+            snap = obs_metrics.get_registry().snapshot_and_reset()
+        finally:
+            obs_metrics.set_metrics_enabled(False)
+        assert snap["counters"]["evalcache.corrupt_quarantined"] == 1
+        assert snap["counters"]["evalcache.corrupt.torn"] == 1
+
+    def test_wrong_version_is_not_quarantined(self, tmp_path, monkeypatch):
+        """Stale-but-intact entries stay on disk for auditing."""
+        import repro.sim.engine as engine
+
+        cache = EvaluationCache(tmp_path / "c")
+        key = "dd" * 32
+        cache.put(key, {"x": 1.0})
+        monkeypatch.setattr(engine, "ENGINE_VERSION", engine.ENGINE_VERSION + 1)
+        assert cache.get(key) is None
+        assert cache.quarantined == 0
+        assert cache._path(key).exists()
+
+    def test_corruption_mid_run_recomputes_and_repairs(self, tmp_path):
+        """End to end: a corrupted shard is re-simulated, re-cached, and the
+        recomputed entry is bit-identical to the original measurement."""
+        trace = _trace()
+        req = EvaluationRequest(key="k", config=MachineConfig(), trace=trace)
+        first = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                  cache=tmp_path / "c")
+        clean = first.evaluate(req)
+        ckey = evaluation_cache_key(trace, req.config, req.seed, req.warm)
+        shard = first.cache._path(ckey)
+        shard.write_text('{"engine_')  # chaos: torn shard on disk
+
+        second = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                   cache=tmp_path / "c")
+        recomputed = second.evaluate(req)
+        assert second.counters.simulations == 1  # treated as a miss
+        assert second.cache.quarantined == 1
+        assert recomputed.to_dict() == clean.to_dict()
+        # The fresh result was re-cached; a third run hits again.
+        third = EvaluationRuntime(pool=PoolConfig(max_workers=0),
+                                  cache=tmp_path / "c")
+        third.evaluate(req)
+        assert third.counters.cache_hits == 1
+
+
 class TestRuntimeIntegration:
     def test_second_run_hits_cache_with_zero_simulations(self, tmp_path):
         trace = _trace()

@@ -59,3 +59,78 @@ class TestCrashTolerance:
         j.put("c", 3)
         reloaded = CheckpointJournal(path)
         assert "a" in reloaded and "c" in reloaded
+
+
+class TestEveryByteOffsetTruncation:
+    """A crash can cut the file at *any* byte; resume must survive them all.
+
+    For every truncation point inside the final record the journal must
+    reload without raising, keep every fully-written earlier record with
+    its exact value, and either drop the torn final record or (only when
+    the cut lands at the record's very end) recover it intact.
+    """
+
+    def _journal_with_entries(self, path):
+        import json
+
+        j = CheckpointJournal(path)
+        j.put("first", {"cpi": 2.5, "label": "config-A"})
+        j.put("second", [1, 2, 3])
+        # Append the final record raw with ensure_ascii=False (as a foreign
+        # writer might): the line contains real multi-byte UTF-8, so a
+        # truncation can land *inside* a character — which must read as a
+        # torn tail, not a decode crash.
+        line = json.dumps(
+            {"key": "last", "value": {"note": "café → résumé", "x": 1.25}},
+            separators=(",", ":"), ensure_ascii=False,
+        )
+        with path.open("ab") as fh:
+            fh.write(line.encode("utf-8") + b"\n")
+        return path.read_bytes()
+
+    def test_truncate_at_every_byte_of_last_record(self, tmp_path):
+        full = self._journal_with_entries(tmp_path / "full.jsonl")
+        lines = full.splitlines(keepends=True)
+        last_start = len(full) - len(lines[-1])
+
+        for cut in range(last_start, len(full) + 1):
+            path = tmp_path / f"cut_{cut}.jsonl"
+            path.write_bytes(full[:cut])
+            j = CheckpointJournal(path)  # must never raise
+            assert j.get("first") == {"cpi": 2.5, "label": "config-A"}
+            assert j.get("second") == [1, 2, 3]
+            if "last" in j:  # only recoverable when the record is complete
+                assert j.get("last") == {"note": "café → résumé",
+                                         "x": 1.25}
+                assert cut >= len(full) - 1  # full record, newline optional
+            else:
+                assert j.dropped_lines <= 1
+
+    def test_resume_after_any_truncation_is_appendable(self, tmp_path):
+        """After any cut, the next put() starts a fresh line: the journal
+        repairs itself and the new entry survives another reload."""
+        full = self._journal_with_entries(tmp_path / "full.jsonl")
+        lines = full.splitlines(keepends=True)
+        last_start = len(full) - len(lines[-1])
+
+        # Sample the interesting offsets: record start, +1, an offset inside
+        # the multi-byte character, record end - 1, and record end.
+        note = '"note"'.encode("utf-8")
+        inside_utf8 = full.index("café".encode("utf-8"), last_start) + 4
+        offsets = {last_start, last_start + 1, inside_utf8,
+                   len(full) - 1, len(full)}
+        assert full.index(note, last_start) >= last_start
+        for cut in offsets:
+            path = tmp_path / f"resume_{cut}.jsonl"
+            path.write_bytes(full[:cut])
+            j = CheckpointJournal(path)
+            j.put("recovered", {"after": cut})
+            reloaded = CheckpointJournal(path)
+            assert reloaded.get("recovered") == {"after": cut}
+            assert reloaded.get("first") == {"cpi": 2.5, "label": "config-A"}
+            # At most the one torn line is lost, and a torn "last" is never
+            # resurrected with a wrong value.
+            assert reloaded.dropped_lines <= 1
+            if "last" in reloaded:
+                assert reloaded.get("last") == {"note": "café → résumé",
+                                                "x": 1.25}

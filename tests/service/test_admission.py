@@ -1,0 +1,94 @@
+"""Admission control: bounds, backpressure hints, round-robin fairness."""
+
+import pytest
+
+from repro.runtime.errors import ConfigError
+from repro.service.admission import AdmissionConfig, AdmissionController
+
+
+def _controller(**kwargs):
+    defaults = dict(max_queued_total=8, max_queued_per_client=4,
+                    retry_after_s=0.05)
+    defaults.update(kwargs)
+    return AdmissionController(AdmissionConfig(**defaults))
+
+
+class TestBounds:
+    def test_global_cap_rejects_with_hint(self):
+        ctrl = _controller(max_queued_total=2, max_queued_per_client=10)
+        assert ctrl.try_admit("a", 1) is None
+        assert ctrl.try_admit("b", 2) is None
+        hint = ctrl.try_admit("c", 3)
+        assert hint is not None and hint > 0
+        assert ctrl.queued == 2 and ctrl.rejected == 1
+
+    def test_per_client_cap_spares_other_clients(self):
+        ctrl = _controller(max_queued_per_client=2)
+        assert ctrl.try_admit("greedy", 1) is None
+        assert ctrl.try_admit("greedy", 2) is None
+        assert ctrl.try_admit("greedy", 3) is not None  # over its cap
+        assert ctrl.try_admit("modest", 4) is None  # unaffected
+
+    def test_hint_grows_with_fullness(self):
+        ctrl = _controller(max_queued_total=4, max_queued_per_client=1)
+        ctrl.try_admit("a", 1)
+        early = ctrl.try_admit("a", 2)
+        for client in ("b", "c", "d"):
+            ctrl.try_admit(client, 0)
+        late = ctrl.try_admit("e", 9)
+        assert late > early
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_queued_total=0)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(retry_after_s=0)
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        ctrl = _controller()
+        # Client "hog" enqueues 3 jobs before "late" enqueues 1.
+        for i in range(3):
+            assert ctrl.try_admit("hog", ("hog", i)) is None
+        assert ctrl.try_admit("late", ("late", 0)) is None
+        order = [ctrl.next() for _ in range(4)]
+        # The late client is served second, not fourth.
+        assert order.index(("late", 0)) == 1
+        assert order == [("hog", 0), ("late", 0), ("hog", 1), ("hog", 2)]
+
+    def test_interleave_of_three_clients(self):
+        ctrl = _controller(max_queued_total=64, max_queued_per_client=16)
+        for client in ("a", "b", "c"):
+            for i in range(2):
+                ctrl.try_admit(client, (client, i))
+        order = [ctrl.next() for _ in range(6)]
+        assert order == [("a", 0), ("b", 0), ("c", 0),
+                         ("a", 1), ("b", 1), ("c", 1)]
+
+    def test_next_on_empty_returns_none(self):
+        ctrl = _controller()
+        assert ctrl.next() is None
+        ctrl.try_admit("a", 1)
+        assert ctrl.next() == 1
+        assert ctrl.next() is None
+        assert len(ctrl) == 0
+
+    def test_capacity_frees_as_jobs_dequeue(self):
+        ctrl = _controller(max_queued_total=2, max_queued_per_client=2)
+        ctrl.try_admit("a", 1)
+        ctrl.try_admit("a", 2)
+        assert ctrl.try_admit("a", 3) is not None
+        ctrl.next()
+        assert ctrl.try_admit("a", 3) is None  # capacity came back
+
+
+class TestDrain:
+    def test_drain_all_empties_every_queue(self):
+        ctrl = _controller()
+        for client in ("a", "b"):
+            for i in range(3):
+                ctrl.try_admit(client, (client, i))
+        drained = ctrl.drain_all()
+        assert len(drained) == 6
+        assert ctrl.queued == 0 and ctrl.next() is None

@@ -1,0 +1,110 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.runtime.errors import (
+    ConfigError,
+    EvaluationTimeout,
+    MeasurementError,
+    WorkerCrashed,
+)
+from repro.service.breaker import (
+    BreakerConfig,
+    CircuitBreaker,
+    is_infrastructure_failure,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _breaker(**kwargs):
+    defaults = dict(failure_threshold=3, reset_timeout_s=1.0, half_open_probes=1)
+    defaults.update(kwargs)
+    clock = FakeClock()
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock), clock
+
+
+class TestTripping:
+    def test_trips_only_on_consecutive_failures(self):
+        breaker, _ = _breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_open_blocks_until_reset_timeout(self):
+        breaker, clock = _breaker(reset_timeout_s=2.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(2.0)
+        clock.advance(1.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+
+class TestHalfOpen:
+    def _opened(self):
+        breaker, clock = _breaker(reset_timeout_s=1.0, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        return breaker, clock
+
+    def test_probe_budget_is_bounded(self):
+        breaker, _ = self._opened()
+        assert breaker.allow()  # the one probe
+        assert not breaker.allow()  # a second concurrent probe is refused
+
+    def test_probe_success_closes(self):
+        breaker, _ = self._opened()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow() and breaker.allow()  # unlimited again
+
+    def test_probe_failure_reopens_and_waits_again(self):
+        breaker, clock = self._opened()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # a fresh probe after the full wait
+
+
+class TestClassification:
+    @pytest.mark.parametrize("error, infra", [
+        (WorkerCrashed("died"), True),
+        (EvaluationTimeout("deadline"), True),
+        (MeasurementError("bad stats"), False),
+        (ConfigError("bad knob"), False),
+        (None, False),
+    ])
+    def test_is_infrastructure_failure(self, error, infra):
+        assert is_infrastructure_failure(error) is infra
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(reset_timeout_s=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(half_open_probes=0)

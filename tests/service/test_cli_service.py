@@ -1,0 +1,80 @@
+"""`repro serve` / `repro submit` end to end, across real processes."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.workers == 0
+        assert args.max_queued == 64
+
+    def test_submit_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_options(self):
+        args = build_parser().parse_args(
+            ["submit", "--port", "4000", "--configs", "A,B"]
+        )
+        assert args.port == 4000 and args.configs == "A,B"
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    """A `repro serve` subprocess on an ephemeral port; yields the port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--journal", str(tmp_path / "serve.jsonl")],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert banner.startswith("serving on 127.0.0.1:"), banner
+        yield proc, int(banner.rsplit(":", 1)[1])
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+        proc.stdout.close()
+        proc.stderr.close()
+
+
+class TestServeSubmit:
+    def test_submit_round_trip_and_graceful_drain(self, serve_process, capsys):
+        proc, port = serve_process
+        rc = main([
+            "submit", "--port", str(port), "--benchmark", "bzip2",
+            "--configs", "A,B", "--accesses", "2000",
+        ])
+        assert rc == 0
+        results = json.loads(capsys.readouterr().out)
+        assert set(results) == {"401.bzip2:A:7", "401.bzip2:B:7"}
+        for reply in results.values():
+            assert reply["status"] == "done"
+            assert reply["stats"]["l1"]["accesses"] > 0
+        # SIGINT drains and exits 0 (not 130): the handler owns shutdown.
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) == 0
+        assert "drained:" in proc.stderr.read()
+
+    def test_submit_without_server_exits_2(self, capsys):
+        rc = main([
+            "submit", "--port", "1", "--benchmark", "bzip2",
+            "--configs", "A", "--accesses", "1000", "--timeout", "2",
+        ])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -1,0 +1,129 @@
+"""Wire protocol: framing, codecs, submit validation."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    config_from_wire,
+    config_to_wire,
+    decode_message,
+    encode_message,
+    parse_submit,
+    trace_from_wire,
+    trace_to_wire,
+)
+from repro.sim.params import MachineConfig, table1_config
+from repro.workloads.generators import working_set_addresses
+from repro.workloads.trace import Trace
+
+
+def _trace(n=64, seed=5):
+    return Trace.from_memory_addresses(
+        working_set_addresses(n, footprint_bytes=16 * 1024, seed=seed),
+        compute_per_access=1, name="wire", seed=seed,
+    )
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        msg = {"op": "ping", "n": 3, "nested": {"a": [1, 2]}}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_encode_is_one_line(self):
+        line = encode_message({"op": "ping"})
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+
+    @pytest.mark.parametrize("bad", [b"{not json}\n", b"[1,2,3]\n", b"\xff\xfe\n"])
+    def test_malformed_frames_raise(self, bad):
+        with pytest.raises(ProtocolError):
+            decode_message(bad)
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"blob": "x" * MAX_LINE_BYTES})
+
+
+class TestConfigCodec:
+    def test_label_resolves_table1(self):
+        config = config_from_wire({"label": "C"})
+        assert config.knob_summary() == table1_config("C").knob_summary()
+
+    def test_knobs_roundtrip(self):
+        original = MachineConfig().with_knobs(mshr_count=8, rob_size=128)
+        config = config_from_wire(config_to_wire(original))
+        assert config.cache_key() == original.cache_key()
+
+    @pytest.mark.parametrize("bad", [
+        None, [], {}, {"label": "Z"}, {"knobs": {"warp_drive": 1}},
+        {"knobs": {"mshr_count": "four"}},
+    ])
+    def test_bad_configs_raise(self, bad):
+        with pytest.raises(ProtocolError):
+            config_from_wire(bad)
+
+
+class TestTraceCodec:
+    def test_roundtrip_preserves_digest(self):
+        trace = _trace()
+        assert trace_from_wire(trace_to_wire(trace)).content_digest() == \
+            trace.content_digest()
+
+    def test_depends_column_survives(self):
+        import numpy as np
+
+        trace = Trace(
+            is_mem=[True, False, True], address=[0, 0, 64],
+            is_load=[True, False, True], depends=[False, False, True],
+        )
+        back = trace_from_wire(trace_to_wire(trace))
+        assert back.depends is not None and bool(np.all(back.depends == trace.depends))
+        assert back.content_digest() == trace.content_digest()
+
+    def test_bad_trace_raises(self):
+        with pytest.raises(ProtocolError):
+            trace_from_wire({"is_mem": [True], "address": [1]})  # no is_load
+
+
+class TestParseSubmit:
+    def _base(self):
+        return {
+            "op": "submit", "job_id": "j1", "client": "c1",
+            "config": {"label": "A"}, "trace_digest": "ab" * 32,
+        }
+
+    def test_minimal_submit(self):
+        spec = parse_submit(self._base())
+        assert spec.job_id == "j1" and spec.client == "c1"
+        assert spec.seed == 0 and spec.warm is True
+        assert spec.trace is None and spec.trace_digest == "ab" * 32
+
+    def test_inline_trace_accepted(self):
+        msg = self._base()
+        del msg["trace_digest"]
+        msg["trace"] = trace_to_wire(_trace())
+        assert parse_submit(msg).trace is not None
+
+    @pytest.mark.parametrize("mutate", [
+        lambda m: m.pop("job_id"),
+        lambda m: m.update(job_id=""),
+        lambda m: m.update(job_id=7),
+        lambda m: m.pop("trace_digest"),  # neither digest nor inline
+        lambda m: m.update(trace=trace_to_wire(_trace())),  # both
+        lambda m: m.update(seed="zero"),
+        lambda m: m.update(seed=True),
+        lambda m: m.update(warm=1),
+        lambda m: m.pop("config"),
+    ])
+    def test_invalid_submits_raise(self, mutate):
+        msg = self._base()
+        mutate(msg)
+        with pytest.raises(ProtocolError):
+            parse_submit(msg)
+
+    def test_wire_form_is_json_clean(self):
+        # Everything parse_submit consumes must round-trip through JSON.
+        msg = self._base()
+        assert parse_submit(json.loads(json.dumps(msg))).job_id == "j1"
