@@ -10,16 +10,21 @@ package sees the program:
 * a **cross-module symbol table and import graph**
   (:mod:`~repro.lint.program.symbols`) built from one shared
   :class:`~repro.lint.engine.ASTCache` parse per file;
-* a **call graph** (:mod:`~repro.lint.program.callgraph`) rooted at the
-  CLI commands, the evaluation-pool job paths and the simulation engine
-  entry points;
+* a **coroutine-aware call graph** (:mod:`~repro.lint.program.callgraph`)
+  rooted at the CLI commands, the evaluation-pool job paths and the
+  simulation engine entry points, with kinded edges (call / await /
+  spawn / executor) and a loop/thread/worker execution-context
+  classification;
 * an **intraprocedural CFG with reaching definitions** and a transitive
-  **side-effect (purity) inference**
+  **side-effect (purity + may-block) inference**
   (:mod:`~repro.lint.program.dataflow`);
-* the **RACE / PURE / FLOW rule packs**
+* a **lock discovery and acquisition-order graph**
+  (:mod:`~repro.lint.program.locks`) with cycle detection;
+* the **RACE / PURE / FLOW / ASYNC rule packs**
   (:mod:`~repro.lint.program.rules`) plus SUP001, the eager rejection of
   unjustified suppressions, and the baseline workflow
-  (:mod:`~repro.lint.program.baseline`) for graded adoption.
+  (:mod:`~repro.lint.program.baseline`) for graded adoption (the ASYNC
+  rules are never baselined).
 
 Run it with ``python -m repro lint --program``; see
 ``docs/STATIC_ANALYSIS.md`` for the architecture and rule reference.
@@ -31,7 +36,13 @@ from repro.lint.program.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.lint.program.callgraph import CallGraph, EntryPoints, find_entry_points
+from repro.lint.program.callgraph import (
+    CallGraph,
+    EntryPoints,
+    ExecutionContexts,
+    classify_contexts,
+    find_entry_points,
+)
 from repro.lint.program.dataflow import (
     CFG,
     EffectAnalysis,
@@ -40,6 +51,7 @@ from repro.lint.program.dataflow import (
     reaching_definitions,
 )
 from repro.lint.program.driver import ProgramLintResult, run_program_lint
+from repro.lint.program.locks import LockAnalysis
 from repro.lint.program.rules import PROGRAM_RULES, ProgramRule
 from repro.lint.program.symbols import (
     FunctionInfo,
@@ -57,7 +69,10 @@ __all__ = [
     "build_program",
     "CallGraph",
     "EntryPoints",
+    "ExecutionContexts",
+    "classify_contexts",
     "find_entry_points",
+    "LockAnalysis",
     "CFG",
     "build_cfg",
     "reaching_definitions",

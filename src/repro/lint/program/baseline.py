@@ -9,9 +9,12 @@ entries ratchets the gate tighter.
 Fingerprints hash the rule id, the normalized path, and the *stripped
 source line text* — not the line number — so unrelated edits above a
 finding do not invalidate the baseline.  Identical (rule, path, text)
-triples are disambiguated by an occurrence ordinal.  SUP001 findings are
-never baselined: an unjustified suppression must be fixed, not
-grandfathered (see :class:`~repro.lint.program.rules.UnjustifiedSuppression`).
+triples are disambiguated by an occurrence ordinal.  SUP001 and the
+ASYNC001-004 findings are never baselined: an unjustified suppression
+must be fixed, not grandfathered (see
+:class:`~repro.lint.program.rules.UnjustifiedSuppression`), and a call
+that can stall the event loop — or deadlock it — stalls every connected
+client, so the async tier starts, and stays, at zero.
 """
 
 from __future__ import annotations
@@ -32,7 +35,9 @@ __all__ = [
 ]
 
 #: Rules that may never be baselined (eager-failure semantics).
-NEVER_BASELINED = frozenset({"SUP001"})
+NEVER_BASELINED = frozenset({
+    "SUP001", "ASYNC001", "ASYNC002", "ASYNC003", "ASYNC004",
+})
 
 #: On-disk schema version, bumped if the fingerprint recipe changes.
 _BASELINE_VERSION = 1

@@ -10,7 +10,8 @@ Three layers, each feeding the rule packs:
   reach it.  FLOW001 uses this to track RNG provenance through local
   assignments instead of guessing from names;
 * :class:`EffectAnalysis` — per-function *direct* side effects (module
-  global writes, ambient-state reads, I/O, process-environment mutation)
+  global writes, ambient-state reads, I/O, process-environment mutation,
+  and synchronous may-block calls for the event-loop analysis)
   plus the call-graph walk that makes purity *transitive*: a measurement
   producer is rejected if any statically reachable callee is effectful.
 
@@ -28,7 +29,7 @@ import ast
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
-from repro.lint.program.callgraph import CallGraph
+from repro.lint.program.callgraph import CallGraph, in_async_context
 from repro.lint.program.symbols import (
     FunctionInfo,
     GlobalVar,
@@ -366,12 +367,16 @@ def reaching_definitions(
 class Effect:
     """One direct side effect observed in a function body."""
 
-    kind: str  # "global-write" | "io" | "env" | "ambient-rng"
+    kind: str  # "global-write" | "io" | "env" | "ambient-rng" | "blocking"
     node: ast.AST
     detail: str
     target: "GlobalVar | None" = None
     #: Whether the effect sits under a ``with <...lock...>:`` guard.
     lock_guarded: bool = False
+    #: Whether the effect is lexically inside an ``async def`` — directly
+    #: on the event loop, even when the enclosing indexed function is sync
+    #: (nested coroutines fold into their parent).
+    in_async: bool = False
 
 
 @dataclass
@@ -407,6 +412,39 @@ _MUTATING_METHODS = frozenset({
     "append", "extend", "insert", "add", "update", "setdefault", "pop",
     "popitem", "remove", "discard", "clear", "sort", "reverse",
 })
+
+#: Builtin calls that block the calling thread on the filesystem or tty.
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Dotted-chain prefixes whose *synchronous* calls park the calling
+#: thread: sleeps, raw sockets, subprocesses, filesystem trees.
+_BLOCKING_CHAIN_PREFIXES = (
+    ("time", "sleep"), ("socket",), ("subprocess",), ("select",),
+    ("shutil",), ("os", "fsync"), ("urllib", "request"), ("requests",),
+)
+
+#: Method names that block their caller: pathlib disk IO, thread/pool/
+#: queue joins, and blocking lock acquisition.  ``.join()`` counts only
+#: with zero arguments — ``",".join(parts)`` and ``os.path.join(a, b)``
+#: are string/path operations, and ``thread.join(timeout)`` is bounded.
+_BLOCKING_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes", "open",
+    "join", "acquire",
+})
+
+
+def _blocking_detail(info: ModuleInfo, node: ast.Call) -> "str | None":
+    """Why *node* may block its thread, or None when it cannot."""
+    if isinstance(node.func, ast.Name) and node.func.id in _BLOCKING_BUILTINS:
+        return f"{node.func.id}()"
+    chain = info.ctx.resolve_call_chain(node.func)
+    if chain and _chain_matches(chain, _BLOCKING_CHAIN_PREFIXES):
+        return f"{'.'.join(chain)}()"
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _BLOCKING_METHODS:
+        if node.func.attr == "join" and (node.args or node.keywords):
+            return None
+        return f".{node.func.attr}()"
+    return None
 
 
 def _chain_matches(chain: "list[str]", prefixes: "tuple[tuple[str, ...], ...]") -> bool:
@@ -571,6 +609,7 @@ class EffectAnalysis:
                     detail=f"{how} module-level {gvar.module}.{gvar.name}",
                     target=gvar,
                     lock_guarded=_is_lock_guarded(info, node),
+                    in_async=in_async_context(info, node),
                 )
             )
 
@@ -595,6 +634,22 @@ class EffectAnalysis:
                         record_write(node, target, "deletes")
             # -- calls -------------------------------------------------------
             elif isinstance(node, ast.Call):
+                blocking = _blocking_detail(info, node)
+                if blocking is not None and not isinstance(
+                    info.ctx.parent(node), ast.Await
+                ):
+                    # An awaited call is cooperative by construction (the
+                    # coroutine yields); only the synchronous form can park
+                    # the calling thread.  This is also what keeps ASYNC001
+                    # and CON003 from ever reporting the same line.
+                    out.effects.append(
+                        Effect(
+                            kind="blocking",
+                            node=node,
+                            detail=f"synchronous {blocking} may block",
+                            in_async=in_async_context(info, node),
+                        )
+                    )
                 if isinstance(node.func, ast.Name) and node.func.id in _IO_BUILTINS:
                     out.effects.append(
                         Effect(kind="io", node=node, detail=f"calls {node.func.id}()")

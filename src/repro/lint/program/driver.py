@@ -28,8 +28,14 @@ from repro.lint.program.baseline import (
     BaselineEntry,
     fingerprint_violation,
 )
-from repro.lint.program.callgraph import EntryPoints, build_call_graph, find_entry_points
+from repro.lint.program.callgraph import (
+    EntryPoints,
+    build_call_graph,
+    classify_contexts,
+    find_entry_points,
+)
 from repro.lint.program.dataflow import EffectAnalysis
+from repro.lint.program.locks import LockAnalysis
 from repro.lint.program.rules import PROGRAM_RULES, ProgramContext
 from repro.lint.program.symbols import ProgramModel, build_program
 
@@ -119,12 +125,15 @@ def run_program_lint(
     graph = build_call_graph(model)
     entries = find_entry_points(model)
     effects = EffectAnalysis(model, graph)
+    pool_reachable = graph.reachable(entries.pool)
     pctx = ProgramContext(
         model=model,
         graph=graph,
         entries=entries,
         effects=effects,
-        pool_reachable=graph.reachable(entries.pool),
+        pool_reachable=pool_reachable,
+        contexts=classify_contexts(model, graph, pool_reachable=pool_reachable),
+        locks=LockAnalysis(model, graph),
     )
 
     found: "list[Violation]" = []

@@ -15,11 +15,14 @@ exits.  These rules flag the two shapes of that bug:
   anything other than its own locals.
 
 CON003 guards the asyncio side of the house: inside :mod:`repro.service`
-every await on a socket/stream/queue primitive must carry a deadline —
-wrapped in ``asyncio.wait_for`` (or an ``asyncio.timeout`` block) or
-passing a ``timeout=``/``deadline=`` argument — because one half-dead peer
-otherwise parks the coroutine, and with it a connection handler or the
-dispatch loop, forever.
+every await on a raw socket/stream/queue transport primitive must carry a
+deadline — wrapped in ``asyncio.wait_for`` (or an ``asyncio.timeout``
+block) or passing a ``timeout=``/``deadline=`` argument — because one
+half-dead peer otherwise parks the coroutine, and with it a connection
+handler or the dispatch loop, forever.  Higher-level blocking shapes
+(``join``, ``wait``, sync disk IO on the loop) belong to the
+whole-program ASYNC tier (``repro lint --program``), which sees the call
+graph this per-file rule cannot.
 """
 
 from __future__ import annotations
@@ -163,13 +166,16 @@ class WorkerSideSharedMutation(Rule):
                         )
 
 
-#: Await targets that block on a peer, a pipe, or a queue — the calls that
-#: hang forever when the other side dies.  ``asyncio.wait_for`` itself is
-#: deliberately absent: it is the fix, not the hazard.
+#: Await targets that block on a peer, a pipe, or a queue — the *raw
+#: transport primitives* that hang forever when the other side dies.
+#: ``asyncio.wait_for`` itself is deliberately absent: it is the fix, not
+#: the hazard.  Generic method names (``join``, ``wait``) are also absent
+#: — their blocking forms are the whole-program ASYNC001 tier's scope
+#: (rescoped in PR 7 so no line is ever reported by both tiers).
 _BLOCKING_AWAITS = frozenset({
-    "accept", "connect", "drain", "get", "join", "open_connection",
+    "accept", "connect", "drain", "get", "open_connection",
     "put", "read", "readexactly", "readline", "readuntil", "recv",
-    "recv_into", "send", "sendall", "wait", "wait_closed",
+    "recv_into", "send", "sendall", "wait_closed",
 })
 
 
@@ -187,10 +193,10 @@ class UnboundedServiceAwait(Rule):
     name = "CON003"
     severity = Severity.ERROR
     description = (
-        "await on a socket/stream/queue primitive in repro.service without "
-        "a deadline; wrap it in asyncio.wait_for (or an asyncio.timeout "
-        "block) or pass a timeout=/deadline= argument so one half-dead "
-        "peer cannot park the coroutine forever"
+        "await on a raw socket/stream/queue transport primitive in "
+        "repro.service without a deadline; wrap it in asyncio.wait_for "
+        "(or an asyncio.timeout block) or pass a timeout=/deadline= "
+        "argument so one half-dead peer cannot park the coroutine forever"
     )
     packages = ("service",)
 

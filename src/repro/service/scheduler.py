@@ -253,7 +253,11 @@ class JobScheduler:
             if not batch:
                 continue
             if self.store_chaos is not None:
-                self.store_chaos.maybe_damage()
+                # Chaos rounds tear cache shards and truncate the journal
+                # on disk — synchronous IO that must not run on the event
+                # loop (ASYNC001): a slow disk would stall every connected
+                # client, not just this batch.
+                await asyncio.to_thread(self.store_chaos.maybe_damage)
             await self._dispatch(batch)
         for item in self.admission.drain_all():
             record: JobRecord = item

@@ -81,10 +81,16 @@ class EvaluationServer:
         config: "ServerConfig | None" = None,
         store_chaos: "StoreChaos | None" = None,
     ) -> None:
-        self.runtime = runtime if runtime is not None else EvaluationRuntime()
         self.config = config if config is not None else ServerConfig()
-        self.scheduler = JobScheduler(
-            self.runtime, self.config.scheduler, store_chaos=store_chaos
+        self._store_chaos = store_chaos
+        # A default runtime is materialized lazily in start(): constructing
+        # one opens the journal and cache on disk, which must never happen
+        # on the event loop (ASYNC001) — start() hops it through a thread.
+        self.runtime = runtime
+        self.scheduler = (
+            JobScheduler(runtime, self.config.scheduler, store_chaos=store_chaos)
+            if runtime is not None
+            else None
         )
         self._traces: "dict[str, Trace]" = {}
         self._server: "asyncio.Server | None" = None
@@ -96,6 +102,12 @@ class EvaluationServer:
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
         """Bind the socket and start the dispatch loop."""
+        if self.runtime is None:
+            self.runtime = await asyncio.to_thread(EvaluationRuntime)
+        if self.scheduler is None:
+            self.scheduler = JobScheduler(
+                self.runtime, self.config.scheduler, store_chaos=self._store_chaos
+            )
         self._server = await asyncio.start_server(
             self._handle,
             host=self.config.host,
@@ -107,6 +119,8 @@ class EvaluationServer:
 
     async def stop(self) -> None:
         """Drain the scheduler, answer waiters, close the socket."""
+        if self.scheduler is None:  # never started
+            return
         await self.scheduler.drain(timeout_s=self.config.drain_timeout_s)
         if self._server is not None:
             self._server.close()

@@ -1,6 +1,6 @@
-"""Golden SARIF snapshot of a ``lint --program`` run over a seeded fixture.
+"""Golden SARIF snapshots of ``lint --program`` runs over seeded fixtures.
 
-Pins the exact SARIF 2.1.0 document the CI pipeline uploads, so format
+Pins the exact SARIF 2.1.0 documents the CI pipeline uploads, so format
 drift (rule metadata, location shape, baseline states) shows up as a
 reviewable diff.  Refresh, like the CLI goldens, with::
 
@@ -10,36 +10,55 @@ reviewable diff.  Refresh, like the CLI goldens, with::
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.cli import main
 from repro.lint.sarif import validate_sarif
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 REPO_ROOT = GOLDEN_DIR.parents[1]
-GOLDEN_PATH = GOLDEN_DIR / "lint_program_race_bad.sarif.json"
-FIXTURE = Path("tests") / "lint" / "fixtures" / "program" / "race_bad"
+FIXTURES = Path("tests") / "lint" / "fixtures"
+
+#: name -> (fixture path, comma-joined rule selection).
+CASES = {
+    "lint_program_race_bad": (
+        FIXTURES / "program" / "race_bad",
+        "RACE001,RACE002",
+    ),
+    # The whole async fixture tree: every ASYNC rule plus RACE003 fires
+    # once (the *_clean packages contribute nothing), pinning the async
+    # tier's SARIF rendering end to end.
+    "lint_program_async_bad": (
+        FIXTURES / "async",
+        "ASYNC001,ASYNC002,ASYNC003,ASYNC004,RACE003",
+    ),
+}
 
 
-def test_program_sarif_golden(capsys, request, monkeypatch):
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_program_sarif_golden(name, capsys, request, monkeypatch):
     monkeypatch.chdir(REPO_ROOT)  # fixture paths and baseline are repo-relative
+    fixture, rules = CASES[name]
     code = main([
         "lint", "--program", "--format", "sarif",
-        "--rules", "RACE001,RACE002", str(FIXTURE),
+        "--rules", rules, str(fixture),
     ])
     out = capsys.readouterr().out
-    assert code == 1  # the seeded fixture must gate
+    assert code == 1  # the seeded fixtures must gate
     doc = json.loads(out)
     assert validate_sarif(doc) == []
 
+    golden_path = GOLDEN_DIR / f"{name}.sarif.json"
     normalized = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     if request.config.getoption("--update-goldens"):
-        GOLDEN_PATH.write_text(normalized, encoding="utf-8")
+        golden_path.write_text(normalized, encoding="utf-8")
         return
-    assert GOLDEN_PATH.exists(), (
-        f"missing golden {GOLDEN_PATH.name}; create it with "
+    assert golden_path.exists(), (
+        f"missing golden {golden_path.name}; create it with "
         "pytest tests/golden --update-goldens"
     )
-    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    expected = golden_path.read_text(encoding="utf-8")
     assert normalized == expected, (
-        f"SARIF output drifted from {GOLDEN_PATH.name}; if the change is "
+        f"SARIF output drifted from {golden_path.name}; if the change is "
         "intended, refresh with pytest tests/golden --update-goldens"
     )

@@ -1,0 +1,7 @@
+"""Coroutine entry: loop context propagates into block_bad.store."""
+
+from block_bad.store import load_state
+
+
+async def handle():
+    return load_state()

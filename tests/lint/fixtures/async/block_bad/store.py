@@ -1,0 +1,8 @@
+"""Seeded ASYNC001 true positive: sync disk IO on the coroutine path."""
+
+
+def load_state():
+    # ASYNC001: open() runs on the event loop — the coroutine in
+    # server.py calls this helper with no executor hop in between.
+    with open("state.json") as fh:
+        return fh.read()

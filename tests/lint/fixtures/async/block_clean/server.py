@@ -1,0 +1,9 @@
+"""Coroutine entry: the executor hop breaks loop-context propagation."""
+
+import asyncio
+
+from block_clean.store import load_state
+
+
+async def handle():
+    return await asyncio.to_thread(load_state)

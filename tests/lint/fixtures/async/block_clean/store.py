@@ -1,0 +1,8 @@
+"""Clean negative for ASYNC001: same IO, reached only through a hop."""
+
+
+def load_state():
+    # Identical blocking body to block_bad — but server.py ships it off
+    # the loop with asyncio.to_thread, so it is thread context, not loop.
+    with open("state.json") as fh:
+        return fh.read()

@@ -1,0 +1,14 @@
+"""Seeded ASYNC002 true positive: a sync lock held across an await."""
+
+import asyncio
+import threading
+
+_STATE_LOCK = threading.Lock()
+
+
+async def update(value):
+    with _STATE_LOCK:
+        # ASYNC002: the thread lock stays held for the whole suspension;
+        # anyone else wanting it then blocks the loop thread itself.
+        await asyncio.sleep(0.01)
+        return value

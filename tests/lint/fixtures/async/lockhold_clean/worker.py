@@ -1,0 +1,11 @@
+"""Clean negative for ASYNC002: an asyncio lock under ``async with``."""
+
+import asyncio
+
+_STATE_LOCK = asyncio.Lock()
+
+
+async def update(value):
+    async with _STATE_LOCK:
+        await asyncio.sleep(0.01)
+        return value

@@ -1,0 +1,20 @@
+"""Seeded ASYNC003 true positive: opposite lock acquisition orders."""
+
+import asyncio
+
+_ALPHA = asyncio.Lock()
+_BETA = asyncio.Lock()
+
+
+async def forward():
+    async with _ALPHA:
+        async with _BETA:
+            return "ab"
+
+
+async def backward():
+    # ASYNC003: _BETA before _ALPHA here, _ALPHA before _BETA above —
+    # two tasks can each hold one and wait forever on the other.
+    async with _BETA:
+        async with _ALPHA:
+            return "ba"

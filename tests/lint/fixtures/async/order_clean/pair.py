@@ -1,0 +1,18 @@
+"""Clean negative for ASYNC003: one global acquisition order."""
+
+import asyncio
+
+_ALPHA = asyncio.Lock()
+_BETA = asyncio.Lock()
+
+
+async def forward():
+    async with _ALPHA:
+        async with _BETA:
+            return "ab"
+
+
+async def also_forward():
+    async with _ALPHA:
+        async with _BETA:
+            return "ab2"

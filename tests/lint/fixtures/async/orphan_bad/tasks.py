@@ -1,0 +1,18 @@
+"""Seeded ASYNC004 true positives: dropped coroutines, untracked tasks."""
+
+import asyncio
+
+
+async def refresh():
+    await asyncio.sleep(0.01)
+
+
+async def main():
+    # ASYNC004: coroutine object created and dropped; the body never runs.
+    refresh()
+    # ASYNC004: fire-and-forget task; nothing keeps a reference, so it can
+    # be garbage-collected mid-flight and its exception is swallowed.
+    asyncio.create_task(refresh())
+    # ASYNC004: assigned, but no use of ``pending`` is ever reached.
+    pending = asyncio.create_task(refresh())
+    return None

@@ -1,0 +1,13 @@
+"""Clean negative for ASYNC004: every coroutine awaited or tracked."""
+
+import asyncio
+
+
+async def refresh():
+    await asyncio.sleep(0.01)
+
+
+async def main():
+    await refresh()
+    task = asyncio.create_task(refresh())
+    return await task

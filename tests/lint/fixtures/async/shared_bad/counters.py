@@ -1,0 +1,22 @@
+"""Seeded RACE003 true positive: one global, loop- and thread-side writes."""
+
+import asyncio
+
+_COMPLETED = 0
+
+
+def note_loop_side():
+    global _COMPLETED
+    _COMPLETED += 1
+
+
+def note_thread_side():
+    global _COMPLETED
+    _COMPLETED += 1
+
+
+async def drive():
+    # note_loop_side runs on the loop; note_thread_side runs on an
+    # executor thread — the unguarded read-modify-writes interleave.
+    note_loop_side()
+    await asyncio.to_thread(note_thread_side)

@@ -1,0 +1,24 @@
+"""Clean negative for RACE003: both writers hold the same thread lock."""
+
+import asyncio
+import threading
+
+_COMPLETED = 0
+_COMPLETED_LOCK = threading.Lock()
+
+
+def note_loop_side():
+    global _COMPLETED
+    with _COMPLETED_LOCK:
+        _COMPLETED += 1
+
+
+def note_thread_side():
+    global _COMPLETED
+    with _COMPLETED_LOCK:
+        _COMPLETED += 1
+
+
+async def drive():
+    note_loop_side()
+    await asyncio.to_thread(note_thread_side)

@@ -275,14 +275,24 @@ class TestCON003:
         )
         assert rules_hit(src, SERVICE, "CON003") == ["CON003"]
 
-    def test_flags_queue_and_event_waits(self):
+    def test_flags_queue_primitives(self):
         src = (
-            "async def pump(queue, event):\n"
+            "async def pump(queue, out):\n"
             "    item = await queue.get()\n"
-            "    await event.wait()\n"
+            "    await out.put(item)\n"
             "    return item\n"
         )
         assert len(lint_source(src, SERVICE, rules=["CON003"])) == 2
+
+    def test_join_and_wait_left_to_async_tier(self):
+        # Rescoped in PR 7: the generic join/wait shapes belong to the
+        # whole-program ASYNC001 analysis, not the per-file primitive rule.
+        src = (
+            "async def settle(queue, event):\n"
+            "    await queue.join()\n"
+            "    await event.wait()\n"
+        )
+        assert lint_source(src, SERVICE, rules=["CON003"]) == []
 
     def test_wait_for_wrapper_accepted(self):
         src = (
@@ -302,9 +312,9 @@ class TestCON003:
     def test_timeout_context_accepted(self):
         src = (
             "import asyncio\n\n"
-            "async def handle(event):\n"
+            "async def handle(queue):\n"
             "    async with asyncio.timeout(2.0):\n"
-            "        await event.wait()\n"
+            "        await queue.get()\n"
         )
         assert lint_source(src, SERVICE, rules=["CON003"]) == []
 
@@ -313,10 +323,10 @@ class TestCON003:
         # an outer function that defines the coroutine.
         src = (
             "import asyncio\n\n"
-            "def make(event):\n"
+            "def make(queue):\n"
             "    async with asyncio.timeout(2.0):\n"
             "        async def inner():\n"
-            "            await event.wait()\n"
+            "            await queue.get()\n"
         )
         assert rules_hit(src, SERVICE, "CON003") == ["CON003"]
 
