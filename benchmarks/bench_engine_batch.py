@@ -1,0 +1,73 @@
+"""Batch-kernel throughput benchmark (true timing benchmark, not an experiment).
+
+Times a design-space sweep both ways — N scalar fast-path simulators
+versus one :class:`~repro.sim.batch.BatchHierarchySimulator` stepping all
+N configurations per kernel call — on the same compute-heavy synthetic
+workload the CI gate uses (``lpm-batch-gate``: 12 KB working set, 8
+compute ops per access).  Their ratio is the machine-independent quantity
+CI gates via ``python -m repro bench compare --kind batch`` (see
+``baseline_batch_perf.json``); this module tracks the same two timings
+under pytest-benchmark statistics at reduced scale.
+"""
+
+from repro.obs.bench import measure_batch_throughput
+from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+from repro.sim.batch import BatchHierarchySimulator
+from repro.workloads.generators import working_set_addresses
+from repro.workloads.trace import Trace
+
+N_ACCESSES = 4_000
+N_CONFIGS = 16
+
+
+def _gate_trace():
+    addrs = working_set_addresses(N_ACCESSES, footprint_bytes=12 * 1024, seed=7)
+    return Trace.from_memory_addresses(
+        addrs, compute_per_access=8, load_fraction=0.7,
+        name="lpm-batch-gate", seed=7,
+    )
+
+
+def _knob_slice():
+    return [
+        DEFAULT_MACHINE.with_knobs(issue_width=iw, iw_size=w, rob_size=rob,
+                                   name=f"c{iw}-{w}-{rob}")
+        for iw in (2, 4, 6, 8)
+        for w in (32, 64, 96, 128)
+        for rob in (48, 96, 128, 192)
+    ][:N_CONFIGS]
+
+
+def test_batch_sweep_throughput(benchmark):
+    trace = _gate_trace()
+    configs = _knob_slice()
+
+    def run():
+        sim = BatchHierarchySimulator(configs, seed=0)
+        sim.warm_caches(trace)
+        return sim.run(trace)
+
+    results = benchmark(run)
+    assert len(results) == N_CONFIGS
+
+
+def test_scalar_sweep_throughput(benchmark):
+    trace = _gate_trace()
+    configs = _knob_slice()
+
+    def run():
+        out = []
+        for config in configs:
+            sim = HierarchySimulator(config, seed=0, engine="fast")
+            sim.warm_caches(trace)
+            out.append(sim.run(trace))
+        return out
+
+    results = benchmark(run)
+    assert len(results) == N_CONFIGS
+
+
+def test_batch_record_is_bit_identical():
+    record = measure_batch_throughput(n_configs=8, accesses=2_000, rounds=1)
+    assert record["identical"]
+    assert record["speedup"] > 0

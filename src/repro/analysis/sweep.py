@@ -6,7 +6,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.sim.params import MachineConfig
-from repro.sim.stats import HierarchyStats, simulate_and_measure
+from repro.sim.stats import (
+    HierarchyStats,
+    simulate_and_measure,
+    simulate_and_measure_batch,
+)
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,12 +50,23 @@ def sweep_configs(
     seed: int = 0,
     warm: bool = True,
     runtime: "EvaluationRuntime | None" = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """Measure one trace across several machine configurations.
 
     With a *runtime*, the sweep points are evaluated through the supervised
-    pool as one batch (parallel workers, retries, checkpoint journal).
+    pool; under ``engine="auto"``/``"batch"`` its pending configs dispatch
+    as **one** batch kernel job per trace (:meth:`EvaluationRuntime.
+    evaluate_batch`) instead of N scalar jobs.  Without a runtime,
+    ``"auto"`` steps every batch-eligible config per kernel call and falls
+    back to scalar for the rest; ``"batch"`` raises
+    :class:`~repro.runtime.errors.ConfigError` on any ineligible config;
+    ``"scalar"`` forces the per-config path.  All engines are bit-identical.
     """
+    if engine not in ("auto", "batch", "scalar"):
+        raise ValueError(
+            f"engine must be 'auto', 'batch' or 'scalar', got {engine!r}"
+        )
     result = SweepResult()
     if runtime is not None:
         from repro.runtime.evaluate import EvaluationRequest
@@ -60,16 +75,33 @@ def sweep_configs(
             f"{trace.name}|seed={seed}|warm={warm}|{config.cache_key()}"
             for config in configs
         ]
-        measured = runtime.evaluate_many([
+        requests = [
             EvaluationRequest(key=key, config=config, trace=trace,
                               seed=seed, warm=warm)
             for key, config in zip(keys, configs)
-        ])
+        ]
+        if engine == "scalar" or (
+            engine == "auto"
+            and (runtime.faults is not None or runtime.job_fn is not None)
+        ):
+            # The chaos layer is scalar-only; "auto" degrades gracefully,
+            # explicit "batch" lets evaluate_batch() refuse loudly.
+            measured = runtime.evaluate_many(requests)
+        else:
+            measured = runtime.evaluate_batch(requests)
         for key, config in zip(keys, configs):
             result.add(config.name, measured[key])
         return result
-    for config in configs:
-        _, stats = simulate_and_measure(config, trace, seed=seed, warm=warm)
+    if engine == "scalar":
+        for config in configs:
+            _, stats = simulate_and_measure(config, trace, seed=seed, warm=warm)
+            result.add(config.name, stats)
+        return result
+    pairs = simulate_and_measure_batch(
+        configs, trace, seed=seed, warm=warm,
+        require_eligible=engine == "batch",
+    )
+    for config, (_, stats) in zip(configs, pairs):
         result.add(config.name, stats)
     return result
 
@@ -82,10 +114,12 @@ def sweep_l1_sizes(
     seed: int = 0,
     warm: bool = True,
     runtime: "EvaluationRuntime | None" = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """Measure one trace across private L1 sizes (the Fig. 6/7 sweep)."""
     configs = [
         base.with_knobs(l1_size_bytes=size, name=f"L1-{size // 1024}KB")
         for size in l1_sizes
     ]
-    return sweep_configs(configs, trace, seed=seed, warm=warm, runtime=runtime)
+    return sweep_configs(configs, trace, seed=seed, warm=warm,
+                         runtime=runtime, engine=engine)

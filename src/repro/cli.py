@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=3)
     sweep.add_argument("--sizes", default="4,16,32,64",
                        help="comma-separated L1 sizes in KB")
+    sweep.add_argument("--engine", choices=("auto", "batch", "scalar"),
+                       default="auto",
+                       help="'auto' steps every batch-eligible config per "
+                            "kernel call, 'batch' requires all configs "
+                            "eligible, 'scalar' forces per-config runs "
+                            "(all bit-identical)")
 
     sched = sub.add_parser("schedule", parents=[obs, cache_p],
                            help="the Fig. 8 scheduling comparison")
@@ -149,12 +155,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="fast-vs-reference engine throughput A/B (run / compare)",
+        help="engine throughput A/B: fast-vs-reference or batch-vs-scalar "
+             "(run / compare)",
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bcommon = argparse.ArgumentParser(add_help=False)
-    bcommon.add_argument("--benchmark", default="403.gcc")
+    bcommon.add_argument("--kind", choices=("engine", "batch"),
+                         default="engine",
+                         help="'engine' = fast vs reference on one config; "
+                              "'batch' = batch kernel vs N scalar fast "
+                              "paths on a Table I knob slice")
+    bcommon.add_argument("--benchmark", default="403.gcc",
+                         help="SPEC profile for --kind engine (--kind batch "
+                              "always uses the synthetic lpm-batch-gate "
+                              "workload)")
     bcommon.add_argument("--accesses", type=int, default=10_000)
+    bcommon.add_argument("--configs", type=int, default=64, dest="n_configs",
+                         help="design-space slice size for --kind batch")
     bcommon.add_argument("--rounds", type=int, default=3,
                          help="timing repetitions; each engine keeps its best")
     brun = bench_sub.add_parser(
@@ -169,11 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="A/B the current tree against a recorded baseline; exit 1 on "
              "regression past the tolerance",
     )
-    bcmp.add_argument("--baseline", default="benchmarks/baseline_engine_perf.json",
-                      metavar="PATH")
+    bcmp.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline record (default: benchmarks/"
+                           "baseline_engine_perf.json or "
+                           "baseline_batch_perf.json per --kind)")
     bcmp.add_argument("--tolerance", type=float, default=0.2,
                       help="allowed fractional speedup regression "
                            "(default 0.2 = 20%%)")
+    bcmp.add_argument("--min-speedup", type=float, default=0.0,
+                      dest="min_speedup",
+                      help="absolute speedup floor on top of the relative "
+                           "tolerance (e.g. 4.0 for the batch gate)")
     bcmp.add_argument("--out", default=None, metavar="PATH",
                       help="write the comparison record to PATH; default: "
                            "the next free BENCH_<n>.json beside the baseline")
@@ -312,21 +335,32 @@ def _cmd_walk(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis import sweep_l1_sizes
+    from repro.analysis import sweep_configs
     from repro.core import render_table
     from repro.sched import NUCAMachine
+    from repro.sim.batch import partition_eligible
     from repro.workloads import get_benchmark
 
     sizes_kb = [int(s) for s in args.sizes.split(",") if s]
     trace = get_benchmark(args.benchmark).trace(args.accesses, seed=args.seed)
     base = NUCAMachine().base_config
+    configs = [
+        base.with_knobs(l1_size_bytes=kb * KB, name=f"L1-{kb}KB")
+        for kb in sizes_kb
+    ]
     runtime = None
     if args.eval_cache is not None:
         from repro.runtime import EvaluationRuntime
 
         runtime = EvaluationRuntime(cache=args.eval_cache)
-    result = sweep_l1_sizes(base, trace, [kb * KB for kb in sizes_kb], seed=0,
-                            runtime=runtime)
+    if args.engine == "scalar":
+        print(f"engine: scalar ({len(configs)} per-config simulations)")
+    else:
+        eligible, fallback = partition_eligible(configs)
+        print(f"engine: {args.engine} ({len(configs)}-lane batch: "
+              f"{len(eligible)} eligible, {len(fallback)} scalar fallback)")
+    result = sweep_configs(configs, trace, seed=0, runtime=runtime,
+                           engine=args.engine)
     rows = [
         (label, st.apc1, st.apc2, st.mr1_conventional, st.ipc)
         for label, st in zip(result.labels, result.stats)
@@ -537,12 +571,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         compare_benchmarks,
         format_bench_record,
+        measure_batch_throughput,
         measure_engine_throughput,
     )
 
-    record = measure_engine_throughput(
-        args.benchmark, accesses=args.accesses, rounds=args.rounds
-    )
+    if args.kind == "batch":
+        record = measure_batch_throughput(
+            n_configs=args.n_configs, accesses=args.accesses,
+            rounds=args.rounds,
+        )
+    else:
+        record = measure_engine_throughput(
+            args.benchmark, accesses=args.accesses, rounds=args.rounds
+        )
     if args.bench_command == "run":
         print(format_bench_record(record))
         if args.json_path is not None:
@@ -551,9 +592,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             print(f"\nwrote {args.json_path}")
         return 0 if record["identical"] else 2
-    baseline_path = Path(args.baseline)
+    baseline_default = (
+        "benchmarks/baseline_batch_perf.json" if args.kind == "batch"
+        else "benchmarks/baseline_engine_perf.json"
+    )
+    baseline_path = Path(args.baseline or baseline_default)
     baseline = json.loads(baseline_path.read_text())
-    ok, lines = compare_benchmarks(record, baseline, tolerance=args.tolerance)
+    ok, lines = compare_benchmarks(record, baseline, tolerance=args.tolerance,
+                                   min_speedup=args.min_speedup)
     print(format_bench_record(record))
     print()
     print("\n".join(lines))

@@ -390,7 +390,7 @@ def check_report(report: Any) -> Any:
 
 # -- declaration + runtime assertion mode ------------------------------------
 
-_runtime_checks_enabled = False
+_runtime_checks_enabled = False  # repro: noqa[RACE002] -- per-process assertion mode by design: fork workers inherit the flag, spawn workers default to off and simply skip the optional output checks; measured results are identical either way
 
 F = TypeVar("F", bound=Callable[..., Any])
 

@@ -1,17 +1,21 @@
-"""Engine throughput A/B benchmark: fast path versus reference loop.
+"""Engine throughput A/B benchmarks: fast vs reference, batch vs scalar.
 
-The simulator keeps two implementations of its issue loop — the
-specialized fast path and the obviously-correct reference
-(:mod:`repro.sim.engine`).  This module measures both on the same trace
-and reports the machine-*independent* quantity that CI can gate on: the
-fast/reference speedup ratio.  Absolute instructions-per-second numbers
-vary wildly across machines; the ratio of two loops timed back-to-back in
-the same process is stable to within a few percent.
+The simulator keeps three implementations of its issue loop — the
+specialized fast path, the obviously-correct reference
+(:mod:`repro.sim.engine`) and the vectorized batch kernel
+(:mod:`repro.sim.batch`).  This module measures them on the same trace
+and reports the machine-*independent* quantities CI can gate on: the
+fast/reference speedup ratio and the batch/scalar design-space-sweep
+speedup ratio.  Absolute instructions-per-second numbers vary wildly
+across machines; the ratio of two loops timed back-to-back in the same
+process is stable to within a few percent.
 
-``python -m repro bench run`` produces a JSON record;
+``python -m repro bench run [--kind batch]`` produces a JSON record;
 ``python -m repro bench compare`` re-measures the current tree and fails
 when the speedup ratio regressed more than a tolerance below a recorded
-baseline (``benchmarks/baseline_engine_perf.json``).
+baseline (``benchmarks/baseline_engine_perf.json`` /
+``baseline_batch_perf.json``) or, for the batch gate, below an absolute
+``--min-speedup`` floor.
 """
 
 from __future__ import annotations
@@ -23,7 +27,19 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
 
-__all__ = ["measure_engine_throughput", "compare_benchmarks", "format_bench_record"]
+__all__ = [
+    "measure_engine_throughput",
+    "measure_batch_throughput",
+    "compare_benchmarks",
+    "format_bench_record",
+]
+
+#: Access-record fields whose bit-identity every throughput record verifies.
+_IDENTITY_FIELDS = (
+    "l1_hit_start", "l1_hit_end", "l1_miss_start", "l1_miss_end",
+    "l2_hit_start", "l2_hit_end", "l2_miss_start", "l2_miss_end",
+    "mem_start", "mem_end",
+)
 
 
 def measure_engine_throughput(
@@ -61,9 +77,7 @@ def measure_engine_throughput(
     fast_acc, ref_acc = results["fast"].accesses, results["reference"].accesses
     identical = all(
         np.array_equal(getattr(fast_acc, name), getattr(ref_acc, name))
-        for name in ("l1_hit_start", "l1_hit_end", "l1_miss_start", "l1_miss_end",
-                     "l2_hit_start", "l2_hit_end", "l2_miss_start", "l2_miss_end",
-                     "mem_start", "mem_end")
+        for name in _IDENTITY_FIELDS
     )
     n_instr = trace.n_instructions
     return {
@@ -80,18 +94,112 @@ def measure_engine_throughput(
     }
 
 
+def measure_batch_throughput(
+    *,
+    n_configs: int = 64,
+    accesses: int = 10_000,
+    rounds: int = 3,
+    trace_seed: int = 7,
+    sim_seed: int = 0,
+) -> dict:
+    """Time a design-space sweep: batch kernel versus N scalar fast paths.
+
+    The workload is the synthetic ``lpm-batch-gate`` trace — a 12 KB
+    working set with 8 compute ops per access, the compute-heavy
+    high-locality regime where the config axis dominates runtime — swept
+    over a Table I knob slice (issue width x IW size x ROB size,
+    ``n_configs`` points).  Scalar cost is the sum over configs of
+    construct + warm + run on the fast engine; batch cost is one
+    construct + warm + run of the whole slice.  Each side keeps its best
+    of *rounds*.  Every lane's access record is verified bit-identical
+    between the two paths (``identical`` field): a speedup for a wrong
+    kernel is meaningless.
+    """
+    import numpy as np
+
+    from repro.sim import DEFAULT_MACHINE, HierarchySimulator
+    from repro.sim.batch import BatchHierarchySimulator
+    from repro.sim.engine import ENGINE_VERSION
+    from repro.workloads.generators import working_set_addresses
+    from repro.workloads.trace import Trace
+
+    addrs = working_set_addresses(accesses, footprint_bytes=12 * 1024,
+                                  seed=trace_seed)
+    trace = Trace.from_memory_addresses(
+        addrs, compute_per_access=8, load_fraction=0.7,
+        name="lpm-batch-gate", seed=trace_seed,
+    )
+    configs = [
+        DEFAULT_MACHINE.with_knobs(issue_width=iw, iw_size=w, rob_size=rob,
+                                   name=f"c{iw}-{w}-{rob}")
+        for iw in (2, 4, 6, 8)
+        for w in (32, 64, 96, 128)
+        for rob in (48, 96, 128, 192)
+    ][:n_configs]
+
+    t_scalar = math.inf
+    scalar_results = []
+    for _ in range(rounds):
+        results = []
+        t0 = time.perf_counter()
+        for config in configs:
+            sim = HierarchySimulator(config, seed=sim_seed, engine="fast")
+            sim.warm_caches(trace)
+            results.append(sim.run(trace))
+        elapsed = time.perf_counter() - t0
+        if elapsed < t_scalar:
+            t_scalar = elapsed
+            scalar_results = results
+
+    t_batch = math.inf
+    batch_results = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        batch = BatchHierarchySimulator(configs, seed=sim_seed)
+        batch.warm_caches(trace)
+        results = batch.run(trace)
+        elapsed = time.perf_counter() - t0
+        if elapsed < t_batch:
+            t_batch = elapsed
+            batch_results = results
+
+    identical = all(
+        np.array_equal(getattr(res_s.accesses, name),
+                       getattr(res_b.accesses, name))
+        for res_s, res_b in zip(scalar_results, batch_results)
+        for name in _IDENTITY_FIELDS
+    )
+    n_instr = trace.n_instructions
+    return {
+        "kind": "batch_throughput",
+        "benchmark": trace.name,
+        "accesses": accesses,
+        "instructions": n_instr,
+        "n_configs": len(configs),
+        "rounds": rounds,
+        "engine_version": ENGINE_VERSION,
+        "scalar_instr_per_s": n_instr * len(configs) / t_scalar,
+        "batch_instr_per_s": n_instr * len(configs) / t_batch,
+        "speedup": t_scalar / t_batch,
+        "identical": identical,
+    }
+
+
 def compare_benchmarks(
-    current: dict, baseline: dict, *, tolerance: float = 0.2
+    current: dict, baseline: dict, *, tolerance: float = 0.2,
+    min_speedup: float = 0.0,
 ) -> "tuple[bool, list[str]]":
-    """Gate *current* against *baseline* on the fast/reference speedup.
+    """Gate *current* against *baseline* on the recorded speedup ratio.
 
     Returns ``(ok, report_lines)``.  The gate trips when the current
     speedup falls more than ``tolerance`` (fractional) below the
-    baseline's, or when the fast path stopped being bit-identical.
-    Absolute throughput is reported for context but never gated on.
+    baseline's, below the absolute ``min_speedup`` floor, or when the
+    optimized path stopped being bit-identical.  Absolute throughput is
+    reported for context but never gated on.
     """
-    floor = baseline["speedup"] * (1.0 - tolerance)
-    ok = current["speedup"] >= floor and current.get("identical", True)
+    floor = max(baseline["speedup"] * (1.0 - tolerance), min_speedup)
+    same_kind = current.get("kind") == baseline.get("kind")
+    ok = same_kind and current["speedup"] >= floor and current.get("identical", True)
     lines = [
         f"baseline speedup: {baseline['speedup']:.3f}x "
         f"(engine v{baseline.get('engine_version', '?')}, "
@@ -99,15 +207,35 @@ def compare_benchmarks(
         f"current speedup:  {current['speedup']:.3f}x "
         f"(engine v{current.get('engine_version', '?')}, "
         f"{current['accesses']} accesses)",
-        f"gate floor:       {floor:.3f}x (tolerance {tolerance:.0%})",
-        f"fast == reference: {current.get('identical', True)}",
-        "PASS" if ok else "FAIL: fast-path speedup regressed below the gate",
+        f"gate floor:       {floor:.3f}x (tolerance {tolerance:.0%}"
+        + (f", absolute minimum {min_speedup:.1f}x)" if min_speedup > 0 else ")"),
+        f"bit-identical:    {current.get('identical', True)}",
     ]
+    if not same_kind:
+        lines.append(
+            f"FAIL: record kind {current.get('kind')!r} does not match "
+            f"baseline kind {baseline.get('kind')!r}"
+        )
+    else:
+        lines.append("PASS" if ok
+                     else "FAIL: speedup regressed below the gate")
     return ok, lines
 
 
 def format_bench_record(record: dict) -> str:
     """Human-oriented rendering of one throughput record."""
+    if record.get("kind") == "batch_throughput":
+        return "\n".join([
+            f"workload:   {record['benchmark']} ({record['accesses']} accesses, "
+            f"{record['instructions']} instructions, best of {record['rounds']})",
+            f"slice:      {record['n_configs']} configurations "
+            f"(Table I knob cross-product)",
+            f"scalar:     {record['scalar_instr_per_s']:,.0f} lane-instr/s",
+            f"batch:      {record['batch_instr_per_s']:,.0f} lane-instr/s",
+            f"speedup:    {record['speedup']:.3f}x "
+            f"(engine v{record['engine_version']})",
+            f"identical:  {record['identical']}",
+        ])
     return "\n".join([
         f"benchmark:  {record['benchmark']} ({record['accesses']} accesses, "
         f"{record['instructions']} instructions, best of {record['rounds']})",

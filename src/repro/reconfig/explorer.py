@@ -15,9 +15,10 @@ Fig. 3 algorithm over architecture configurations:
   intractable 10^6-point exploration into a short guided walk.
 
 Both backends measure with the same trace and re-use
-:func:`repro.sim.stats.simulate_and_measure`, so each step is a full
+:func:`repro.sim.stats.simulate_and_measure_batch`, so each step is a full
 simulation + C-AMAT analysis of the running application — the "online
-measurement" of the paper scaled to trace-driven simulation.
+measurement" of the paper scaled to trace-driven simulation, with every
+batch-eligible candidate of a step stepped in one kernel call.
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ from typing import TYPE_CHECKING
 from repro.core.lpm import LPMRReport
 from repro.reconfig.space import L1_KNOBS, L2_KNOBS, DesignPoint, DesignSpace
 from repro.sim.params import MachineConfig
-from repro.sim.stats import HierarchyStats, simulate_and_measure
+from repro.sim.stats import HierarchyStats
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -105,13 +106,19 @@ class _SimulatingBackend:
         if fresh and self.runtime is not None:
             from repro.runtime.evaluate import EvaluationRequest
 
-            measured = self.runtime.evaluate_many([
+            requests = [
                 EvaluationRequest(
                     key=self._journal_key(config), config=config,
                     trace=self.trace, seed=self.seed, warm=self.warm,
                 )
                 for config in fresh.values()
-            ])
+            ]
+            if self.runtime.faults is None and self.runtime.job_fn is None:
+                # One batch kernel job for the whole ladder/walk step; the
+                # chaos layer stays on the scalar per-config path.
+                measured = self.runtime.evaluate_batch(requests)
+            else:
+                measured = self.runtime.evaluate_many(requests)
             sources = self.runtime.last_sources
             for key, config in fresh.items():
                 jkey = self._journal_key(config)
@@ -121,10 +128,13 @@ class _SimulatingBackend:
                 else:
                     self.log.record_cached(config.name)
         elif fresh:
-            for key, config in fresh.items():
-                _, stats = simulate_and_measure(
-                    config, self.trace, seed=self.seed, warm=self.warm
-                )
+            from repro.sim.stats import simulate_and_measure_batch
+
+            fresh_configs = list(fresh.values())
+            pairs = simulate_and_measure_batch(
+                fresh_configs, self.trace, seed=self.seed, warm=self.warm
+            )
+            for key, config, (_, stats) in zip(fresh, fresh_configs, pairs):
                 self._cache[key] = stats
                 self.log.record(config.name)
         return [self._cache[config.cache_key()] for config in configs]

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime import trace_store
+from repro.runtime.errors import ConfigError
 from repro.runtime.evalcache import EvaluationCache, evaluation_cache_key
 from repro.runtime.faults import FaultConfig, FaultInjector
 from repro.runtime.guards import ensure_finite_stats
@@ -141,6 +142,31 @@ def _simulate_job(
     return stats
 
 
+def _simulate_batch_job(
+    configs: "list[MachineConfig]",
+    trace: "Trace | str",
+    seed: int,
+    warm: bool,
+) -> "list[HierarchyStats]":
+    """Worker-side batch job body: one vectorized kernel call per batch.
+
+    Module-level so it pickles across process boundaries; *trace* follows
+    the :func:`_simulate_job` digest convention.  Ineligible configs fall
+    back to scalar simulation inside :func:`simulate_and_measure_batch`,
+    so the caller never has to split the batch itself.
+    """
+    from repro.sim.stats import simulate_and_measure_batch
+
+    if isinstance(trace, str):
+        trace = trace_store.resolve(trace)
+    pairs = simulate_and_measure_batch(configs, trace, seed=seed, warm=warm)
+    stats_list = []
+    for _, stats in pairs:
+        ensure_finite_stats(stats, expected_instructions=trace.n_instructions)
+        stats_list.append(stats)
+    return stats_list
+
+
 class EvaluationRuntime:
     """Pool + journal + faults composed into one evaluation service."""
 
@@ -198,6 +224,94 @@ class EvaluationRuntime:
             if error is not None:
                 raise error
         return {key: outcome.stats for key, outcome in outcomes.items()}
+
+    def evaluate_batch(
+        self, requests: "list[EvaluationRequest]"
+    ) -> "dict[str, HierarchyStats]":
+        """Like :meth:`evaluate_many`, but one *batch job* per shared trace.
+
+        The journal/cache pre-pass is identical to :meth:`evaluate_many`
+        (and cache keys are shared with the scalar path — the batch kernel
+        is bit-identical, so a scalar result satisfies a batch request and
+        vice versa).  The remaining misses are grouped by
+        ``(trace, seed, warm)`` and each group dispatches **one** pool job
+        that steps the whole design-space slice per kernel call, instead
+        of N scalar jobs.  Fault injection and custom job bodies are a
+        scalar-path feature; batch dispatch refuses them loudly.
+        """
+        from repro.sim.stats import HierarchyStats
+
+        if self.faults is not None or self.job_fn is not None:
+            raise ConfigError(
+                "evaluate_batch() does not support fault injection or a "
+                "custom job_fn; use evaluate_many() for the chaos layer"
+            )
+        results: "dict[str, HierarchyStats]" = {}
+        todo: "list[EvaluationRequest]" = []
+        self.last_sources = {}
+        cache_keys: "dict[str, str]" = {}
+        with obs_trace.span("runtime.evaluate_batch", requests=len(requests)):
+            for req in requests:
+                if req.key in results or any(t.key == req.key for t in todo):
+                    continue
+                if self.journal is not None and req.key in self.journal:
+                    results[req.key] = HierarchyStats.from_dict(
+                        self.journal.get(req.key)
+                    )
+                    self.counters.journal_hits += 1
+                    self.last_sources[req.key] = "journal"
+                    continue
+                if self.cache is not None:
+                    ckey = evaluation_cache_key(
+                        req.trace, req.config, req.seed, req.warm
+                    )
+                    cache_keys[req.key] = ckey
+                    cached = self.cache.get(ckey)
+                    if cached is not None:
+                        results[req.key] = HierarchyStats.from_dict(cached)
+                        self.counters.cache_hits += 1
+                        self.last_sources[req.key] = "cache"
+                        if self.journal is not None:
+                            self.journal.put(req.key, cached)
+                        continue
+                todo.append(req)
+            if not todo:
+                return results
+            groups: "dict[tuple, list[EvaluationRequest]]" = {}
+            setup: "list[tuple]" = []
+            for req in todo:
+                digest = req.trace.content_digest()
+                group_key = (digest, req.seed, req.warm)
+                if group_key not in groups:
+                    trace_store.register(req.trace, digest)
+                    setup.append((trace_store.register, (req.trace, digest)))
+                groups.setdefault(group_key, []).append(req)
+            self._pool.worker_setup = (
+                setup if self._pool.effective_start_method() == "spawn" else []
+            )
+            jobs = [
+                Job(
+                    key=f"batch|{digest}|seed={seed}|warm={warm}",
+                    fn=_simulate_batch_job,
+                    args=([r.config for r in grp], digest, seed, warm),
+                )
+                for (digest, seed, warm), grp in groups.items()
+            ]
+            pool_results = self._pool.run(jobs, on_error="keep")
+            for job, ((_, _, _), grp) in zip(jobs, groups.items()):
+                outcome = pool_results[job.key]
+                if not outcome.ok:
+                    raise outcome.error
+                for req, stats in zip(grp, outcome.value):
+                    results[req.key] = stats
+                    self.counters.simulations += 1
+                    self.last_sources[req.key] = "simulated"
+                    stats_dict = stats.to_dict()
+                    if self.journal is not None:
+                        self.journal.put(req.key, stats_dict)
+                    if self.cache is not None and req.key in cache_keys:
+                        self.cache.put(cache_keys[req.key], stats_dict)
+        return results
 
     def evaluate_many_detailed(
         self, requests: "list[EvaluationRequest]"

@@ -35,6 +35,7 @@ import heapq
 import math
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -57,15 +58,21 @@ from repro.sim.records import AccessRecords, InstructionRecords
 from repro.util.validation import check_int
 from repro.workloads.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.batch import BatchHierarchySimulator
+
 __all__ = ["ENGINE_VERSION", "HierarchySimulator", "SimulationResult"]
 
-#: Timing-model version.  Bump whenever a change alters simulated timing or
-#: any measured statistic; the persistent evaluation cache
-#: (:mod:`repro.runtime.evalcache`) keys entries on it, so a bump invalidates
-#: every cached measurement taken under the old model.  Pure-speed changes
-#: that are bit-identical (like the fast-path issue loop, which the
-#: equivalence suite pins to the reference loop) do NOT bump it.
-ENGINE_VERSION = 1
+#: Engine-family version.  Bump whenever a change alters simulated timing or
+#: any measured statistic, *and* whenever a new issue-loop implementation
+#: starts feeding the persistent evaluation cache
+#: (:mod:`repro.runtime.evalcache`) — even a bit-identical one.  Cached
+#: measurements are keyed on this number, so versioning by implementation
+#: generation means a latent kernel defect can be purged from the cache by
+#: version alone, without auditing which engine produced which entry.
+#: v2: the vectorized batch engine (:mod:`repro.sim.batch`) joined the
+#: fast/reference pair.
+ENGINE_VERSION = 2
 
 
 @dataclass
@@ -98,6 +105,95 @@ class SimulationResult:
         return 1.0 / cpi if cpi else 0.0
 
 
+def build_simulation_result(
+    *,
+    config: MachineConfig,
+    trace_name: str,
+    executed: int,
+    dispatch,
+    complete,
+    retire,
+    is_mem,
+    l1_hit_start,
+    l1_hit_end,
+    l1_miss_start,
+    l1_miss_end,
+    l1_is_miss,
+    l1_is_secondary,
+    l1_complete,
+    l2_index,
+    l2_hit_start,
+    l2_hit_end,
+    l2_miss_start,
+    l2_miss_end,
+    l2_is_miss,
+    l2_is_secondary,
+    mem_index,
+    mem_start,
+    mem_end,
+    component_stats: dict,
+    l3_index=None,
+    l3_records=None,
+) -> SimulationResult:
+    """Coerce one engine run's raw record columns into a result.
+
+    Every issue-loop implementation — reference, fast, and the vectorized
+    batch kernel (:mod:`repro.sim.batch`) — finishes here, so column dtypes
+    and the derived quantities (``total_cycles``/``cpi``/``ipc``, which the
+    record classes compute from these arrays) cannot drift between engines:
+    one coercion, one validation path, one set of formulas.
+
+    *l3_records* is the 7-tuple of L3 record columns (hit/miss intervals,
+    miss/secondary flags, memory cross-reference) collected by the reference
+    loop when a third level is configured; ``None`` means "no L3".
+    """
+    if l3_records is None:
+        l3_records = ((), (), (), (), (), (), ())
+    accesses = AccessRecords(
+        l1_hit_start=np.asarray(l1_hit_start, dtype=np.int64),
+        l1_hit_end=np.asarray(l1_hit_end, dtype=np.int64),
+        l1_miss_start=np.asarray(l1_miss_start, dtype=np.int64),
+        l1_miss_end=np.asarray(l1_miss_end, dtype=np.int64),
+        l1_is_miss=np.asarray(l1_is_miss, dtype=bool),
+        l1_is_secondary=np.asarray(l1_is_secondary, dtype=bool),
+        complete=np.asarray(l1_complete, dtype=np.int64),
+        l2_index=np.asarray(l2_index, dtype=np.int64),
+        l2_hit_start=np.asarray(l2_hit_start, dtype=np.int64),
+        l2_hit_end=np.asarray(l2_hit_end, dtype=np.int64),
+        l2_miss_start=np.asarray(l2_miss_start, dtype=np.int64),
+        l2_miss_end=np.asarray(l2_miss_end, dtype=np.int64),
+        l2_is_miss=np.asarray(l2_is_miss, dtype=bool),
+        l2_is_secondary=np.asarray(l2_is_secondary, dtype=bool),
+        mem_index=np.asarray(mem_index, dtype=np.int64),
+        mem_start=np.asarray(mem_start, dtype=np.int64),
+        mem_end=np.asarray(mem_end, dtype=np.int64),
+        l3_index=np.asarray(
+            l3_index if l3_index is not None else (), dtype=np.int64
+        ),
+        l3_hit_start=np.asarray(l3_records[0], dtype=np.int64),
+        l3_hit_end=np.asarray(l3_records[1], dtype=np.int64),
+        l3_miss_start=np.asarray(l3_records[2], dtype=np.int64),
+        l3_miss_end=np.asarray(l3_records[3], dtype=np.int64),
+        l3_is_miss=np.asarray(l3_records[4], dtype=bool),
+        l3_is_secondary=np.asarray(l3_records[5], dtype=bool),
+        l3_mem_index=np.asarray(l3_records[6], dtype=np.int64),
+    )
+    instructions = InstructionRecords(
+        dispatch=np.asarray(dispatch, dtype=np.int64),
+        complete=np.asarray(complete, dtype=np.int64),
+        retire=np.asarray(retire, dtype=np.int64),
+        is_mem=np.array(is_mem, dtype=bool),
+    )
+    return SimulationResult(
+        config=config,
+        trace_name=trace_name,
+        accesses=accesses,
+        instructions=instructions,
+        component_stats=component_stats,
+        instructions_executed=executed,
+    )
+
+
 class _FillQueue:
     """Pending cache fills applied lazily in arrival order."""
 
@@ -127,16 +223,19 @@ class HierarchySimulator:
     def __init__(
         self, config: MachineConfig, *, seed: int = 0, engine: str = "auto"
     ) -> None:
-        if engine not in ("auto", "fast", "reference"):
+        if engine not in ("auto", "fast", "reference", "batch"):
             raise ConfigError(
-                f"engine must be 'auto', 'fast' or 'reference', got {engine!r}"
+                "engine must be 'auto', 'fast', 'reference' or 'batch', "
+                f"got {engine!r}"
             )
         self.config = config
         self.seed = seed
         #: Issue-loop selection: ``auto`` takes the specialized fast loop
         #: whenever the configuration is eligible, ``reference`` always runs
         #: the obviously-correct loop, ``fast`` demands the fast loop and
-        #: raises when the configuration cannot use it.
+        #: raises when the configuration cannot use it, ``batch`` routes
+        #: through the vectorized batch kernel (:mod:`repro.sim.batch`) as
+        #: a single-lane batch and raises eagerly on ineligible configs.
         self.engine = engine
         self.reset()
         if engine == "fast":
@@ -191,12 +290,22 @@ class HierarchySimulator:
                     f"got {type(cfg.l1_bypass).__name__}"
                 )
             self.bypass = StreamDetector(cfg.l1_bypass, cfg.l1.line_bytes)
+        # Single-lane delegate for engine="batch"; its constructor raises
+        # ConfigError eagerly when the config is ineligible for batching.
+        self._batch: "BatchHierarchySimulator | None" = None
+        if self.engine == "batch":
+            from repro.sim.batch import BatchHierarchySimulator
+
+            self._batch = BatchHierarchySimulator([cfg], seed=self.seed)
 
     def warm_caches(self, trace: Trace) -> None:
         """Touch the trace's addresses functionally (no timing, no stats).
 
         Used to measure steady-state behaviour without cold-start misses.
         """
+        if self._batch is not None:
+            self._batch.warm_caches(trace)
+            return
         addresses = trace.memory_addresses
         caches = [self.l1_cache, self.l2_cache]
         if self.l3_cache is not None:
@@ -215,6 +324,11 @@ class HierarchySimulator:
         resize the caches).  In-flight timing at the boundary is carried by
         the next :meth:`run` call's ``start_cycle``.
         """
+        if self._batch is not None:
+            raise ConfigError(
+                "engine='batch' does not support reconfigure(); use the "
+                "auto/fast/reference engines for online reconfiguration"
+            )
         if config.l1 != self.config.l1 or config.l2 != self.config.l2:
             raise ConfigError("reconfigure() cannot change cache geometry")
         old = self.config
@@ -266,7 +380,12 @@ class HierarchySimulator:
         per-instruction loop itself is never instrumented, so the disabled
         fast path costs two boolean checks per run.
         """
-        impl = self._run_impl_fast if self._use_fast_path() else self._run_impl
+        if self._batch is not None:
+            impl = self._run_impl_batch
+        elif self._use_fast_path():
+            impl = self._run_impl_fast
+        else:
+            impl = self._run_impl
         if not (obs_trace.tracing_enabled() or obs_metrics.metrics_enabled()):
             return impl(
                 trace, perfect=perfect, start_cycle=start_cycle,
@@ -339,6 +458,29 @@ class HierarchySimulator:
             reg.counter("sim.l3.hits").inc(n_l3 - l3_miss)
             reg.counter("sim.l3.misses").inc(l3_miss)
         reg.counter("sim.mem.accesses").inc(len(acc.mem_start))
+
+    def _run_impl_batch(
+        self,
+        trace: Trace,
+        *,
+        perfect: bool = False,
+        start_cycle: int = 0,
+        stop_cycle: "int | None" = None,
+        resume: bool = False,
+    ) -> SimulationResult:
+        """Route one run through the vectorized kernel as a 1-lane batch."""
+        batch = self._batch
+        if batch is None:  # pragma: no cover - run() dispatches here only then
+            raise ConfigError("batch delegate not initialised")
+        if resume:
+            raise ConfigError(
+                "engine='batch' does not support resume=True; use the "
+                "auto/fast/reference engines for quantum continuation"
+            )
+        return batch.run(
+            trace, perfect=perfect, start_cycle=start_cycle,
+            stop_cycle=stop_cycle,
+        )[0]
 
     def _run_impl(
         self,
@@ -534,37 +676,6 @@ class HierarchySimulator:
             l1_ms, l1_me = l1_ms[:mem_i], l1_me[:mem_i]
             l1_miss, l1_sec = l1_miss[:mem_i], l1_sec[:mem_i]
             l1_complete, l2_index = l1_complete[:mem_i], l2_index[:mem_i]
-        accesses = AccessRecords(
-            l1_hit_start=l1_hs, l1_hit_end=l1_he,
-            l1_miss_start=l1_ms, l1_miss_end=l1_me,
-            l1_is_miss=l1_miss, l1_is_secondary=l1_sec,
-            complete=l1_complete, l2_index=l2_index,
-            l2_hit_start=np.asarray(l2_hs, dtype=np.int64),
-            l2_hit_end=np.asarray(l2_he, dtype=np.int64),
-            l2_miss_start=np.asarray(l2_ms, dtype=np.int64),
-            l2_miss_end=np.asarray(l2_me, dtype=np.int64),
-            l2_is_miss=np.asarray(l2_miss, dtype=bool),
-            l2_is_secondary=np.asarray(l2_sec, dtype=bool),
-            mem_index=np.asarray(mem_index, dtype=np.int64),
-            mem_start=np.asarray(mem_s, dtype=np.int64),
-            mem_end=np.asarray(mem_e, dtype=np.int64),
-            l3_index=(
-                np.asarray(self._l2_l3_index, dtype=np.int64)
-                if self.l3_cache is not None
-                else np.zeros(0, dtype=np.int64)
-            ),
-            l3_hit_start=np.asarray(self._l3_rec[0], dtype=np.int64),
-            l3_hit_end=np.asarray(self._l3_rec[1], dtype=np.int64),
-            l3_miss_start=np.asarray(self._l3_rec[2], dtype=np.int64),
-            l3_miss_end=np.asarray(self._l3_rec[3], dtype=np.int64),
-            l3_is_miss=np.asarray(self._l3_rec[4], dtype=bool),
-            l3_is_secondary=np.asarray(self._l3_rec[5], dtype=bool),
-            l3_mem_index=np.asarray(self._l3_rec[6], dtype=np.int64),
-        )
-        instructions = InstructionRecords(
-            dispatch=dispatch, complete=complete, retire=retire,
-            is_mem=np.asarray(is_mem, dtype=bool).copy(),
-        )
         stats = {
             "l1_port_mean_wait": self.l1_ports.mean_wait,
             "l2_bank_mean_wait": self.l2_banks.mean_wait,
@@ -589,13 +700,22 @@ class HierarchySimulator:
         if profile_phases:
             stats["phase_issue_loop_s"] = t_loop_end - t_loop_start
             stats["phase_fill_drain_s"] = perf_counter() - t_loop_end
-        return SimulationResult(
+        return build_simulation_result(
             config=cfg,
             trace_name=trace.name,
-            accesses=accesses,
-            instructions=instructions,
+            executed=executed,
+            dispatch=dispatch, complete=complete, retire=retire, is_mem=is_mem,
+            l1_hit_start=l1_hs, l1_hit_end=l1_he,
+            l1_miss_start=l1_ms, l1_miss_end=l1_me,
+            l1_is_miss=l1_miss, l1_is_secondary=l1_sec,
+            l1_complete=l1_complete, l2_index=l2_index,
+            l2_hit_start=l2_hs, l2_hit_end=l2_he,
+            l2_miss_start=l2_ms, l2_miss_end=l2_me,
+            l2_is_miss=l2_miss, l2_is_secondary=l2_sec,
+            mem_index=mem_index, mem_start=mem_s, mem_end=mem_e,
             component_stats=stats,
-            instructions_executed=executed,
+            l3_index=self._l2_l3_index if self.l3_cache is not None else None,
+            l3_records=self._l3_rec,
         )
 
     # ------------------------------------------------------------------
@@ -1128,43 +1248,6 @@ class HierarchySimulator:
             l1_ms, l1_me = l1_ms[:mem_i], l1_me[:mem_i]
             l1_miss, l1_sec = l1_miss[:mem_i], l1_sec[:mem_i]
             l1_complete, l2_index = l1_complete[:mem_i], l2_index[:mem_i]
-        accesses = AccessRecords(
-            l1_hit_start=np.asarray(l1_hs, dtype=np.int64),
-            l1_hit_end=np.asarray(l1_he, dtype=np.int64),
-            l1_miss_start=np.asarray(l1_ms, dtype=np.int64),
-            l1_miss_end=np.asarray(l1_me, dtype=np.int64),
-            l1_is_miss=np.asarray(l1_miss, dtype=bool),
-            l1_is_secondary=np.asarray(l1_sec, dtype=bool),
-            complete=np.asarray(l1_complete, dtype=np.int64),
-            l2_index=np.asarray(l2_index, dtype=np.int64),
-            l2_hit_start=np.asarray(l2_hs, dtype=np.int64),
-            l2_hit_end=np.asarray(l2_he, dtype=np.int64),
-            l2_miss_start=np.asarray(l2_ms, dtype=np.int64),
-            l2_miss_end=np.asarray(l2_me, dtype=np.int64),
-            l2_is_miss=np.asarray(l2_miss, dtype=bool),
-            l2_is_secondary=np.asarray(l2_sec, dtype=bool),
-            mem_index=np.asarray(mem_index, dtype=np.int64),
-            mem_start=np.asarray(mem_s, dtype=np.int64),
-            mem_end=np.asarray(mem_e, dtype=np.int64),
-            l3_index=(
-                np.asarray(self._l2_l3_index, dtype=np.int64)
-                if self.l3_cache is not None
-                else np.zeros(0, dtype=np.int64)
-            ),
-            l3_hit_start=np.asarray(self._l3_rec[0], dtype=np.int64),
-            l3_hit_end=np.asarray(self._l3_rec[1], dtype=np.int64),
-            l3_miss_start=np.asarray(self._l3_rec[2], dtype=np.int64),
-            l3_miss_end=np.asarray(self._l3_rec[3], dtype=np.int64),
-            l3_is_miss=np.asarray(self._l3_rec[4], dtype=bool),
-            l3_is_secondary=np.asarray(self._l3_rec[5], dtype=bool),
-            l3_mem_index=np.asarray(self._l3_rec[6], dtype=np.int64),
-        )
-        instructions = InstructionRecords(
-            dispatch=np.asarray(dispatch_l, dtype=np.int64),
-            complete=np.asarray(complete_l, dtype=np.int64),
-            retire=np.asarray(retire_l, dtype=np.int64),
-            is_mem=np.asarray(trace.is_mem[:executed], dtype=bool).copy(),
-        )
         stats = {
             "l1_port_mean_wait": self.l1_ports.mean_wait,
             "l2_bank_mean_wait": self.l2_banks.mean_wait,
@@ -1177,13 +1260,23 @@ class HierarchySimulator:
         if profile_phases:
             stats["phase_issue_loop_s"] = t_loop_end - t_loop_start
             stats["phase_fill_drain_s"] = perf_counter() - t_loop_end
-        return SimulationResult(
+        return build_simulation_result(
             config=cfg,
             trace_name=trace.name,
-            accesses=accesses,
-            instructions=instructions,
+            executed=executed,
+            dispatch=dispatch_l, complete=complete_l, retire=retire_l,
+            is_mem=trace.is_mem[:executed],
+            l1_hit_start=l1_hs, l1_hit_end=l1_he,
+            l1_miss_start=l1_ms, l1_miss_end=l1_me,
+            l1_is_miss=l1_miss, l1_is_secondary=l1_sec,
+            l1_complete=l1_complete, l2_index=l2_index,
+            l2_hit_start=l2_hs, l2_hit_end=l2_he,
+            l2_miss_start=l2_ms, l2_miss_end=l2_me,
+            l2_is_miss=l2_miss, l2_is_secondary=l2_sec,
+            mem_index=mem_index, mem_start=mem_s, mem_end=mem_e,
             component_stats=stats,
-            instructions_executed=executed,
+            l3_index=self._l2_l3_index if self.l3_cache is not None else None,
+            l3_records=self._l3_rec,
         )
 
     def _l2_miss_walk(

@@ -35,7 +35,12 @@ from repro.sim.params import MachineConfig
 from repro.util.validation import safe_ratio
 from repro.workloads.trace import Trace
 
-__all__ = ["HierarchyStats", "measure_hierarchy", "simulate_and_measure"]
+__all__ = [
+    "HierarchyStats",
+    "measure_hierarchy",
+    "simulate_and_measure",
+    "simulate_and_measure_batch",
+]
 
 #: Overlap ratios are capped strictly below 1 so threshold formulas stay
 #: finite; a measured 1.0 means "no observable stall at all".
@@ -273,3 +278,46 @@ def simulate_and_measure(
     result = sim.run(trace)
     stats = measure_hierarchy(result, cpi_exe=perfect.cpi)
     return result, stats
+
+
+def simulate_and_measure_batch(
+    configs: "list[MachineConfig]",
+    trace: Trace,
+    *,
+    seed: int = 0,
+    warm: bool = True,
+    require_eligible: bool = False,
+) -> "list[tuple[SimulationResult, HierarchyStats]]":
+    """:func:`simulate_and_measure` for N configs in two batch kernel calls.
+
+    Batch-eligible configs run on the vectorized kernel (one perfect pass
+    for CPI_exe, one warmed real pass — the same fresh-simulator semantics
+    as the scalar path, so results are bit-identical to it); ineligible
+    configs fall back to per-config scalar evaluation.  Results come back
+    in input order.  With ``require_eligible=True`` an ineligible config
+    raises :class:`~repro.runtime.errors.ConfigError` instead of falling
+    back (the ``engine="batch"`` contract).
+    """
+    from repro.sim.batch import BatchHierarchySimulator, partition_eligible
+
+    eligible, fallback = partition_eligible(configs)
+    if require_eligible and fallback:
+        # Delegate the error (with names) to the batch constructor's gate.
+        BatchHierarchySimulator([configs[i] for i in fallback], seed=seed)
+    out: "list[tuple[SimulationResult, HierarchyStats] | None]" = [None] * len(configs)
+    if eligible:
+        batch_configs = [configs[i] for i in eligible]
+        perfect = BatchHierarchySimulator(batch_configs, seed=seed).run(
+            trace, perfect=True
+        )
+        sim = BatchHierarchySimulator(batch_configs, seed=seed)
+        if warm:
+            sim.warm_caches(trace)
+        results = sim.run(trace)
+        for idx, pres, res in zip(eligible, perfect, results):
+            out[idx] = (res, measure_hierarchy(res, cpi_exe=pres.cpi))
+    for idx in fallback:
+        out[idx] = simulate_and_measure(
+            configs[idx], trace, seed=seed, warm=warm
+        )
+    return out  # type: ignore[return-value]

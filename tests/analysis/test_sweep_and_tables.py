@@ -36,6 +36,50 @@ class TestSweeps:
         assert 0.0 <= mr[0] <= 1.0
 
 
+class TestSweepEngines:
+    """The engine knob changes how a sweep runs, never what it measures."""
+
+    def test_all_engines_agree(self, trace):
+        configs = [table1_config("A"), table1_config("C")]
+        per_engine = {
+            engine: sweep_configs(configs, trace, seed=1, engine=engine)
+            for engine in ("auto", "batch", "scalar")
+        }
+        base = per_engine["scalar"]
+        for engine in ("auto", "batch"):
+            assert per_engine[engine].labels == base.labels
+            assert per_engine[engine].stats == base.stats
+
+    def test_unknown_engine_rejected(self, trace):
+        with pytest.raises(ValueError):
+            sweep_configs([table1_config("A")], trace, engine="turbo")
+
+    def test_engine_batch_rejects_ineligible(self, trace):
+        import dataclasses
+
+        from repro.runtime.errors import ConfigError
+        from repro.sim.prefetch import PrefetchConfig
+
+        bad = dataclasses.replace(
+            DEFAULT_MACHINE, prefetch=PrefetchConfig(), name="prefetching"
+        )
+        with pytest.raises(ConfigError):
+            sweep_configs([table1_config("A"), bad], trace, engine="batch")
+        # "auto" degrades that lane to the scalar path instead.
+        result = sweep_configs([table1_config("A"), bad], trace, seed=1)
+        assert result.labels == ["A", "prefetching"]
+
+    def test_runtime_sweep_uses_batch_path(self, trace):
+        from repro.runtime.evaluate import EvaluationRuntime
+
+        rt = EvaluationRuntime()
+        configs = [table1_config("A"), table1_config("C")]
+        via_runtime = sweep_configs(configs, trace, seed=1, runtime=rt)
+        assert rt.counters.simulations == 2
+        inline = sweep_configs(configs, trace, seed=1)
+        assert via_runtime.stats == inline.stats
+
+
 class TestRenderTable:
     def test_basic_layout(self):
         text = render_table(["a", "bb"], [[1, 2.5], [3, 4.25]])

@@ -84,7 +84,10 @@ class TestWalkReconstruction:
 
     def test_simulations_nest_under_their_iteration(self, walk_steps):
         records, steps = walk_steps
-        sim_runs = [r for r in records if r.get("name") == "sim.run"]
+        # Ladder measurements run through the batch kernel (sim.run_batch);
+        # scalar-engine fallbacks would appear as sim.run.
+        sim_runs = [r for r in records
+                    if r.get("name") in ("sim.run", "sim.run_batch")]
         assert sim_runs, "walk must trace its simulations"
         step_ids = {s["span_id"] for s in steps}
         # Every measurement simulation belongs to exactly one LPM iteration.

@@ -131,6 +131,77 @@ class TestPooledEvaluate:
         assert pooled == inline
 
 
+class TestBatchEvaluate:
+    def test_matches_evaluate_many_bit_for_bit(self, trace):
+        scalar = EvaluationRuntime().evaluate_many(_requests(trace, "ABC"))
+        rt = EvaluationRuntime()
+        batch = rt.evaluate_batch(_requests(trace, "ABC"))
+        assert batch == scalar
+        assert rt.counters.simulations == 3
+        assert all(v == "simulated" for v in rt.last_sources.values())
+
+    def test_groups_by_seed_and_warm(self, trace):
+        # Mixed (seed, warm) groups dispatch as separate batch jobs but a
+        # single call; every result must match its scalar counterpart.
+        requests = [
+            EvaluationRequest(
+                key=f"{label}|s{seed}|w{warm}", config=table1_config(label),
+                trace=trace, seed=seed, warm=warm,
+            )
+            for label in "AB" for seed, warm in [(0, True), (1, False)]
+        ]
+        out = EvaluationRuntime().evaluate_batch(requests)
+        for req in requests:
+            _, direct = simulate_and_measure(
+                req.config, trace, seed=req.seed, warm=req.warm
+            )
+            assert out[req.key] == direct
+
+    def test_journal_hits_skip_simulation(self, trace, tmp_path):
+        path = tmp_path / "j.jsonl"
+        EvaluationRuntime(journal=path).evaluate_batch(_requests(trace))
+
+        rt = EvaluationRuntime(journal=path)
+        rt.evaluate_batch(_requests(trace))
+        assert rt.counters.simulations == 0
+        assert rt.counters.journal_hits == 2
+        assert all(v == "journal" for v in rt.last_sources.values())
+
+    def test_cache_keys_shared_with_scalar_path(self, trace, tmp_path):
+        # The batch kernel is bit-identical to the scalar engines, so both
+        # paths share one persistent cache namespace: scalar fills, batch
+        # recalls (and vice versa).
+        cache = tmp_path / "cache"
+        EvaluationRuntime(cache=cache).evaluate_many(_requests(trace))
+        rt = EvaluationRuntime(cache=cache)
+        rt.evaluate_batch(_requests(trace))
+        assert rt.counters.simulations == 0
+        assert rt.counters.cache_hits == 2
+
+        EvaluationRuntime(cache=cache).evaluate_batch(_requests(trace, "C"))
+        rt2 = EvaluationRuntime(cache=cache)
+        rt2.evaluate_many(_requests(trace, "C"))
+        assert rt2.counters.simulations == 0
+        assert rt2.counters.cache_hits == 1
+
+    def test_pooled_batch_matches_inline(self, trace):
+        inline = EvaluationRuntime().evaluate_batch(_requests(trace))
+        pooled = EvaluationRuntime(
+            pool=PoolConfig(max_workers=2, timeout_s=240)
+        ).evaluate_batch(_requests(trace))
+        assert pooled == inline
+
+    def test_refuses_chaos_layer(self, trace):
+        from repro.runtime.errors import ConfigError
+
+        rt = EvaluationRuntime(faults=FaultConfig.uniform(0.1, seed=1))
+        with pytest.raises(ConfigError):
+            rt.evaluate_batch(_requests(trace, "A"))
+        rt = EvaluationRuntime(job_fn=lambda *a, **k: None)
+        with pytest.raises(ConfigError):
+            rt.evaluate_batch(_requests(trace, "A"))
+
+
 class TestFaultyEvaluate:
     def test_ten_percent_faults_converge_to_clean_results(self, trace):
         clean = EvaluationRuntime().evaluate_many(_requests(trace, "ABCDE"))

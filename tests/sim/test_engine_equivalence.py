@@ -1,13 +1,18 @@
-"""Bit-for-bit equivalence of the engine fast path and the reference loop.
+"""Bit-for-bit equivalence of the fast, batch and reference engines.
 
-The fast path (`engine="fast"`) is a specialization of the reference issue
-loop, not an approximation: on every eligible workload/machine pair it must
-produce byte-identical access records, instruction records and component
-statistics.  This suite sweeps the workload-generator matrix (strided /
-working-set / zipf / pointer-chase), warm and cold caches, and the Table I
-machines; it also pins down the eligibility gate (prefetch or non-LRU
-replacement fall back to the reference loop under `engine="auto"` and
-reject `engine="fast"` outright).
+The fast path (`engine="fast"`) and the vectorized batch kernel
+(`engine="batch"`, :mod:`repro.sim.batch`) are specializations of the
+reference issue loop, not approximations: on every eligible
+workload/machine pair they must produce byte-identical access records,
+instruction records and component statistics.  This suite sweeps the
+workload-generator matrix (strided / working-set / zipf / pointer-chase),
+warm and cold caches, and the Table I machines three ways; the batch
+kernel additionally runs *multi-lane* — one kernel call stepping a
+heterogeneous config slice — against per-config reference runs, with
+failure diffs that name the config lane, the divergent field and the
+first divergent row.  The eligibility gates are pinned down too (prefetch
+or non-LRU replacement fall back under `engine="auto"`, reject
+`engine="fast"`/`engine="batch"` outright).
 """
 
 import dataclasses
@@ -17,6 +22,7 @@ import pytest
 
 from repro.runtime.errors import ConfigError
 from repro.sim import DEFAULT_MACHINE, HierarchySimulator, table1_config
+from repro.sim.batch import BatchHierarchySimulator, partition_eligible
 from repro.sim.params import MachineConfig
 from repro.sim.prefetch import PrefetchConfig
 from repro.workloads.generators import (
@@ -29,6 +35,16 @@ from repro.workloads.trace import Trace
 
 N = 4_000
 FOOTPRINT = 256 * 1024  # larger than L1, smaller than L2: exercises both
+
+#: A small heterogeneous design-space slice: Table I cores plus an
+#: undersized-L1 variant so lanes disagree on geometry, not just knobs.
+BATCH_SLICE = [
+    DEFAULT_MACHINE,
+    table1_config("A"),
+    table1_config("C"),
+    table1_config("E"),
+    DEFAULT_MACHINE.with_knobs(l1_size_bytes=16 * 1024, name="L1-16KB"),
+]
 
 
 def _make_trace(kind: str) -> Trace:
@@ -52,23 +68,40 @@ def _make_trace(kind: str) -> Trace:
     )
 
 
-def _assert_identical(res_fast, res_ref) -> None:
-    for f in dataclasses.fields(res_ref.accesses):
-        a = getattr(res_fast.accesses, f.name)
-        b = getattr(res_ref.accesses, f.name)
-        assert a.dtype == b.dtype, f.name
-        assert np.array_equal(a, b), f.name
-    for f in dataclasses.fields(res_ref.instructions):
-        a = getattr(res_fast.instructions, f.name)
-        b = getattr(res_ref.instructions, f.name)
-        assert a.dtype == b.dtype, f.name
-        assert np.array_equal(a, b), f.name
-    assert res_fast.component_stats == res_ref.component_stats
+def _field_diff(name: str, got, want, *, lane: str) -> str:
+    """A failure message naming the lane, field and first divergent row."""
+    got = np.asarray(got)
+    want = np.asarray(want)
+    if got.shape != want.shape:
+        return f"{lane}: field {name!r} shape {got.shape} != {want.shape}"
+    bad = np.nonzero(got != want)[0]
+    first = int(bad[0])
+    return (
+        f"{lane}: field {name!r} diverges first at row {first} "
+        f"(got {got[first]!r}, want {want[first]!r}; "
+        f"{bad.size}/{got.size} rows differ)"
+    )
 
 
-def _run_both(config: MachineConfig, trace: Trace, *, warm: bool):
+def _assert_identical(res_got, res_ref, *, lane: str = "single") -> None:
+    for rec_name in ("accesses", "instructions"):
+        got_rec = getattr(res_got, rec_name)
+        ref_rec = getattr(res_ref, rec_name)
+        for f in dataclasses.fields(ref_rec):
+            a = getattr(got_rec, f.name)
+            b = getattr(ref_rec, f.name)
+            assert a.dtype == b.dtype, f"{lane}: {f.name} dtype {a.dtype} != {b.dtype}"
+            if not np.array_equal(a, b):
+                pytest.fail(_field_diff(f.name, a, b, lane=lane))
+    assert res_got.component_stats == res_ref.component_stats, (
+        f"{lane}: component_stats differ"
+    )
+
+
+def _run_both(config: MachineConfig, trace: Trace, *, warm: bool,
+              engines=("fast", "reference")):
     results = []
-    for engine in ("fast", "reference"):
+    for engine in engines:
         sim = HierarchySimulator(config, seed=0, engine=engine)
         if warm:
             sim.run(trace)
@@ -78,35 +111,152 @@ def _run_both(config: MachineConfig, trace: Trace, *, warm: bool):
     return results
 
 
+def _reference_runs(configs, trace, *, warm: bool, perfect: bool = False,
+                    stop_cycle=None):
+    out = []
+    for config in configs:
+        sim = HierarchySimulator(config, seed=0, engine="reference")
+        if warm:
+            sim.run(trace)
+        out.append(sim.run(trace, perfect=perfect, stop_cycle=stop_cycle))
+    return out
+
+
+def _batch_runs(configs, trace, *, warm: bool, perfect: bool = False,
+                stop_cycle=None):
+    sim = BatchHierarchySimulator(configs, seed=0)
+    if warm:
+        sim.run(trace)
+    return sim.run(trace, perfect=perfect, stop_cycle=stop_cycle)
+
+
+def _assert_batch_matches_reference(configs, trace, *, warm: bool,
+                                    perfect: bool = False, stop_cycle=None):
+    ref = _reference_runs(configs, trace, warm=warm, perfect=perfect,
+                          stop_cycle=stop_cycle)
+    got = _batch_runs(configs, trace, warm=warm, perfect=perfect,
+                      stop_cycle=stop_cycle)
+    assert len(got) == len(configs)
+    for idx, (config, res_ref, res_batch) in enumerate(zip(configs, ref, got)):
+        _assert_identical(res_batch, res_ref, lane=f"lane {idx} ({config.name})")
+
+
 class TestGeneratorMatrix:
     @pytest.mark.parametrize("kind", ["strided", "working_set", "zipf",
                                       "pointer_chase"])
     @pytest.mark.parametrize("warm", [False, True])
     def test_bit_identical(self, kind, warm):
-        res_fast, res_ref = _run_both(DEFAULT_MACHINE, _make_trace(kind),
-                                      warm=warm)
-        _assert_identical(res_fast, res_ref)
+        res_fast, res_batch, res_ref = _run_both(
+            DEFAULT_MACHINE, _make_trace(kind), warm=warm,
+            engines=("fast", "batch", "reference"),
+        )
+        _assert_identical(res_fast, res_ref, lane="fast")
+        _assert_identical(res_batch, res_ref, lane="batch")
 
     @pytest.mark.parametrize("label", ["A", "C", "E"])
     def test_table1_machines(self, label):
-        res_fast, res_ref = _run_both(table1_config(label),
-                                      _make_trace("working_set"), warm=False)
-        _assert_identical(res_fast, res_ref)
+        res_fast, res_batch, res_ref = _run_both(
+            table1_config(label), _make_trace("working_set"), warm=False,
+            engines=("fast", "batch", "reference"),
+        )
+        _assert_identical(res_fast, res_ref, lane="fast")
+        _assert_identical(res_batch, res_ref, lane="batch")
 
     def test_benchmark_profile_trace(self):
         from repro.workloads.spec import get_benchmark
 
         trace = get_benchmark("403.gcc").trace(3_000, seed=1)
-        res_fast, res_ref = _run_both(DEFAULT_MACHINE, trace, warm=False)
-        _assert_identical(res_fast, res_ref)
+        res_fast, res_batch, res_ref = _run_both(
+            DEFAULT_MACHINE, trace, warm=False,
+            engines=("fast", "batch", "reference"),
+        )
+        _assert_identical(res_fast, res_ref, lane="fast")
+        _assert_identical(res_batch, res_ref, lane="batch")
 
     def test_stop_cycle_truncation(self):
         trace = _make_trace("working_set")
         sims = [HierarchySimulator(DEFAULT_MACHINE, seed=0, engine=e)
-                for e in ("fast", "reference")]
-        res_fast, res_ref = (s.run(trace, stop_cycle=5_000) for s in sims)
+                for e in ("fast", "batch", "reference")]
+        res_fast, res_batch, res_ref = (
+            s.run(trace, stop_cycle=5_000) for s in sims
+        )
         assert res_fast.instructions.n_instructions < trace.n_instructions
-        _assert_identical(res_fast, res_ref)
+        _assert_identical(res_fast, res_ref, lane="fast")
+        _assert_identical(res_batch, res_ref, lane="batch")
+
+
+class TestBatchMultiLane:
+    """One kernel call stepping a heterogeneous slice == N reference runs."""
+
+    @pytest.mark.parametrize("kind", ["strided", "working_set", "zipf",
+                                      "pointer_chase"])
+    @pytest.mark.parametrize("warm", [False, True])
+    def test_slice_bit_identical(self, kind, warm):
+        _assert_batch_matches_reference(BATCH_SLICE, _make_trace(kind),
+                                        warm=warm)
+
+    def test_perfect_mode(self):
+        _assert_batch_matches_reference(BATCH_SLICE, _make_trace("zipf"),
+                                        warm=False, perfect=True)
+
+    @pytest.mark.parametrize("stop", [500, 5_000])
+    def test_stop_cycle_per_lane_early_exit(self, stop):
+        _assert_batch_matches_reference(BATCH_SLICE,
+                                        _make_trace("working_set"),
+                                        warm=False, stop_cycle=stop)
+
+    def test_l3_configured_lane(self):
+        from repro.sim.params import CacheGeometry
+
+        l3_config = dataclasses.replace(
+            DEFAULT_MACHINE,
+            l3=CacheGeometry(2 * 1024 * 1024, line_bytes=64,
+                             associativity=16, replacement="lru"),
+            name="with-L3",
+        )
+        _assert_batch_matches_reference([DEFAULT_MACHINE, l3_config],
+                                        _make_trace("zipf"), warm=True)
+
+    def test_sequential_runs_carry_warm_state(self):
+        # Two runs on one batch instance == two runs on each reference
+        # instance: cache/DRAM/port state carries across runs per lane.
+        trace = _make_trace("working_set")
+        batch = BatchHierarchySimulator(BATCH_SLICE, seed=0)
+        refs = [HierarchySimulator(c, seed=0, engine="reference")
+                for c in BATCH_SLICE]
+        for round_no in range(2):
+            got = batch.run(trace)
+            for idx, (config, ref) in enumerate(zip(BATCH_SLICE, refs)):
+                _assert_identical(
+                    got[idx], ref.run(trace),
+                    lane=f"round {round_no}, lane {idx} ({config.name})",
+                )
+
+
+SPEC_PROFILES_16 = [
+    "400.perlbench", "401.bzip2", "403.gcc", "410.bwaves", "416.gamess",
+    "429.mcf", "433.milc", "434.zeusmp", "435.gromacs", "436.cactusADM",
+    "437.leslie3d", "444.namd", "445.gobmk", "450.soplex", "456.hmmer",
+    "458.sjeng",
+]
+
+
+class TestSpecProfileSweep:
+    """Equivalence-matrix sweep over the 16 SPEC-profile generators.
+
+    Reduced scale (1.5k accesses, two-lane slice) keeps the sweep under
+    test-suite budget while still touching every profile's kernel mixture;
+    a kernel regression is diagnosable from the failure message alone
+    (config lane, field, first divergent row).
+    """
+
+    @pytest.mark.parametrize("profile", SPEC_PROFILES_16)
+    def test_profile_bit_identical(self, profile):
+        from repro.workloads.spec import get_benchmark
+
+        trace = get_benchmark(profile).trace(1_500, seed=1)
+        configs = [DEFAULT_MACHINE, table1_config("C")]
+        _assert_batch_matches_reference(configs, trace, warm=True)
 
 
 class TestEligibilityGate:
@@ -149,3 +299,45 @@ class TestEligibilityGate:
         res_auto = HierarchySimulator(config, seed=0).run(trace)
         res_ref = HierarchySimulator(config, seed=0, engine="reference").run(trace)
         _assert_identical(res_auto, res_ref)
+
+
+class TestBatchEligibilityGate:
+    def _prefetch_config(self) -> MachineConfig:
+        return dataclasses.replace(
+            DEFAULT_MACHINE, prefetch=PrefetchConfig(), name="prefetching"
+        )
+
+    def test_constructor_rejects_ineligible_lane_eagerly(self):
+        configs = [DEFAULT_MACHINE, self._prefetch_config(), table1_config("A")]
+        with pytest.raises(ConfigError, match="prefetching"):
+            BatchHierarchySimulator(configs, seed=0)
+
+    def test_constructor_rejects_empty_batch(self):
+        with pytest.raises(ConfigError):
+            BatchHierarchySimulator([], seed=0)
+
+    def test_engine_batch_rejects_ineligible_scalar(self):
+        with pytest.raises(ConfigError):
+            HierarchySimulator(self._prefetch_config(), seed=0, engine="batch")
+
+    def test_engine_batch_matches_reference_single_lane(self):
+        trace = _make_trace("zipf")
+        res_batch = HierarchySimulator(
+            DEFAULT_MACHINE, seed=0, engine="batch"
+        ).run(trace)
+        res_ref = HierarchySimulator(
+            DEFAULT_MACHINE, seed=0, engine="reference"
+        ).run(trace)
+        _assert_identical(res_batch, res_ref, lane="batch")
+
+    def test_partition_eligible_splits_by_gate(self):
+        non_lru = dataclasses.replace(
+            DEFAULT_MACHINE,
+            l1=dataclasses.replace(DEFAULT_MACHINE.l1, replacement="fifo"),
+            name="fifo-l1",
+        )
+        configs = [DEFAULT_MACHINE, self._prefetch_config(),
+                   table1_config("C"), non_lru]
+        ok, fallback = partition_eligible(configs)
+        assert ok == [0, 2]
+        assert fallback == [1, 3]
