@@ -1,0 +1,84 @@
+"""Tier-0 surrogate speedup benchmark (true timing benchmark, not an experiment).
+
+Times the same design-space sweep at two fidelities — every point
+simulated by the engine versus surrogate-ranked with only the top-K /
+margin frontier escalated (:func:`repro.analysis.sweep.sweep_configs`) —
+plus the pure tier-0 ranking throughput (configs/sec through
+:func:`repro.analysis.surrogate.predict_many`).  The wall-clock ratio
+and the frontier-agreement rate are the quantities CI gates via
+``python -m repro bench compare --kind surrogate`` (see
+``baseline_surrogate_perf.json``); this module tracks the same timings
+under pytest-benchmark statistics at reduced scale.
+"""
+
+from repro.analysis.surrogate import predict_many, select_frontier
+from repro.analysis.sweep import sweep_configs
+from repro.sim import DEFAULT_MACHINE
+from repro.workloads.generators import working_set_addresses
+from repro.workloads.locality import profile_trace
+from repro.workloads.trace import Trace
+
+N_ACCESSES = 4_000
+N_CONFIGS = 16
+TOP_K = 8
+MARGIN = 0.05
+
+
+def _gate_trace():
+    addrs = working_set_addresses(N_ACCESSES, footprint_bytes=12 * 1024, seed=7)
+    return Trace.from_memory_addresses(
+        addrs, compute_per_access=8, load_fraction=0.7,
+        name="lpm-batch-gate", seed=7,
+    )
+
+
+def _knob_slice():
+    return [
+        DEFAULT_MACHINE.with_knobs(issue_width=iw, iw_size=w, rob_size=rob,
+                                   name=f"c{iw}-{w}-{rob}")
+        for iw in (2, 4, 6, 8)
+        for w in (32, 64, 96, 128)
+        for rob in (48, 96, 128, 192)
+    ][:N_CONFIGS]
+
+
+def test_engine_sweep_throughput(benchmark):
+    trace = _gate_trace()
+    configs = _knob_slice()
+
+    result = benchmark(
+        lambda: sweep_configs(configs, trace, seed=0, fidelity="engine")
+    )
+    assert len(result) == N_CONFIGS
+    assert result.n_predicted == 0
+
+
+def test_multi_fidelity_sweep_throughput(benchmark):
+    trace = _gate_trace()
+    configs = _knob_slice()
+
+    result = benchmark(
+        lambda: sweep_configs(configs, trace, seed=0, fidelity="multi",
+                              top_k=TOP_K, margin=MARGIN)
+    )
+    assert len(result) == N_CONFIGS
+    # The frontier attains the engine-only optimum on the gate workload.
+    full = sweep_configs(configs, trace, seed=0, fidelity="engine")
+    engine_best = min(s.cpi for s in full.stats)
+    escalated = [
+        s for s, src in zip(result.stats, result.sources) if src != "predicted"
+    ]
+    assert min(s.cpi for s in escalated) == engine_best
+
+
+def test_surrogate_ranking_throughput(benchmark):
+    trace = _gate_trace()
+    configs = _knob_slice()
+    profile = profile_trace(trace, line_bytes=configs[0].l1.line_bytes)
+
+    def rank():
+        predictions = predict_many(profile, configs)
+        return select_frontier(predictions, top_k=TOP_K, margin=MARGIN)
+
+    frontier = benchmark(rank)
+    assert 0 < len(frontier) <= N_CONFIGS

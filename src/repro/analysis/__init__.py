@@ -1,4 +1,4 @@
-"""Sweep helpers and experiment table rendering."""
+"""Sweep helpers, the tier-0 surrogate, and experiment table rendering."""
 
 from repro.analysis.export import (
     rows_to_csv,
@@ -7,11 +7,27 @@ from repro.analysis.export import (
     sweep_to_csv,
     write_sweep_csv,
 )
+from repro.analysis.surrogate import (
+    SurrogatePrediction,
+    format_validation_report,
+    predict,
+    predict_many,
+    select_frontier,
+    validate_benchmarks,
+    validate_trace,
+)
 from repro.analysis.sweep import SweepResult, sweep_configs, sweep_l1_sizes
 from repro.analysis.tables import apc_sweep_text, hsp_text, stall_walk_text, table1_text
 
 __all__ = [
+    "SurrogatePrediction",
     "SweepResult",
+    "format_validation_report",
+    "predict",
+    "predict_many",
+    "select_frontier",
+    "validate_benchmarks",
+    "validate_trace",
     "apc_sweep_text",
     "hsp_text",
     "rows_to_csv",

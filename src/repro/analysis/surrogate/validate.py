@@ -1,0 +1,232 @@
+"""Calibration/validation harness: surrogate error vs the engine.
+
+Runs the cycle-accurate engine and the tier-0 predictor on the same
+trace + configuration and quantifies the disagreement per quantity
+(MR1, MR2, C-AMAT1, LPMR1, CPI).  ``repro surrogate validate`` runs it
+over the 16 SPEC profiles; docs/PERFORMANCE.md records the measured
+table.  The errors here are what justify (or veto) the multi-fidelity
+escalation margin — a margin below the observed CPI ranking error means
+the engine-optimal configuration can be pruned away.
+
+Pure module: trace generation, simulation, and prediction are all
+deterministic functions of their arguments; rendering returns a string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.surrogate.predictor import SurrogatePrediction, predict
+from repro.sim.params import DEFAULT_MACHINE, MachineConfig
+from repro.sim.stats import HierarchyStats, simulate_and_measure
+from repro.util.validation import safe_ratio
+from repro.workloads.locality import LocalityProfile, profile_trace
+from repro.workloads.spec import SELECTED_16, get_benchmark
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "ValidationRow",
+    "ValidationReport",
+    "validate_trace",
+    "validate_benchmarks",
+    "format_validation_report",
+]
+
+
+def _rel_error(predicted: float, measured: float) -> float:
+    """|pred - meas| / |meas|, falling back to absolute error near zero."""
+    if abs(measured) < 1e-9:
+        return abs(predicted - measured)
+    return abs(predicted - measured) / abs(measured)
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """Engine-vs-surrogate comparison for one (trace, config) pair."""
+
+    name: str
+    mr1_engine: float
+    mr1_pred: float
+    mr2_engine: float
+    mr2_pred: float
+    camat1_engine: float
+    camat1_pred: float
+    lpmr1_engine: float
+    lpmr1_pred: float
+    cpi_engine: float
+    cpi_pred: float
+
+    @property
+    def mr1_error(self) -> float:
+        """Absolute MR1 error (miss ratios compare additively)."""
+        return abs(self.mr1_pred - self.mr1_engine)
+
+    @property
+    def mr2_error(self) -> float:
+        """Absolute conditional-MR2 error."""
+        return abs(self.mr2_pred - self.mr2_engine)
+
+    @property
+    def camat1_error(self) -> float:
+        """Relative C-AMAT1 error."""
+        return _rel_error(self.camat1_pred, self.camat1_engine)
+
+    @property
+    def lpmr1_error(self) -> float:
+        """Relative LPMR1 error."""
+        return _rel_error(self.lpmr1_pred, self.lpmr1_engine)
+
+    @property
+    def cpi_error(self) -> float:
+        """Relative CPI error — the quantity multi-fidelity ranking uses."""
+        return _rel_error(self.cpi_pred, self.cpi_engine)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (fields plus derived errors)."""
+        return {
+            "name": self.name,
+            "mr1_engine": self.mr1_engine, "mr1_pred": self.mr1_pred,
+            "mr2_engine": self.mr2_engine, "mr2_pred": self.mr2_pred,
+            "camat1_engine": self.camat1_engine, "camat1_pred": self.camat1_pred,
+            "lpmr1_engine": self.lpmr1_engine, "lpmr1_pred": self.lpmr1_pred,
+            "cpi_engine": self.cpi_engine, "cpi_pred": self.cpi_pred,
+            "mr1_error": self.mr1_error, "mr2_error": self.mr2_error,
+            "camat1_error": self.camat1_error, "lpmr1_error": self.lpmr1_error,
+            "cpi_error": self.cpi_error,
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Per-workload rows plus the aggregate error statistics."""
+
+    rows: "tuple[ValidationRow, ...]"
+    config_name: str
+    n_accesses: int
+    seed: int
+    warm: bool
+
+    def _mean(self, attr: str) -> float:
+        return safe_ratio(sum(getattr(r, attr) for r in self.rows), len(self.rows))
+
+    def _worst(self, attr: str) -> "ValidationRow | None":
+        return max(self.rows, key=lambda r: getattr(r, attr), default=None)
+
+    @property
+    def mean_mr1_error(self) -> float:
+        """Mean absolute MR1 error across workloads."""
+        return self._mean("mr1_error")
+
+    @property
+    def mean_camat1_error(self) -> float:
+        """Mean relative C-AMAT1 error across workloads."""
+        return self._mean("camat1_error")
+
+    @property
+    def mean_lpmr1_error(self) -> float:
+        """Mean relative LPMR1 error across workloads."""
+        return self._mean("lpmr1_error")
+
+    @property
+    def mean_cpi_error(self) -> float:
+        """Mean relative CPI error across workloads."""
+        return self._mean("cpi_error")
+
+    @property
+    def worst_cpi_row(self) -> "ValidationRow | None":
+        """The workload the surrogate ranks least faithfully."""
+        return self._worst("cpi_error")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "config_name": self.config_name,
+            "n_accesses": self.n_accesses,
+            "seed": self.seed,
+            "warm": self.warm,
+            "rows": [row.to_dict() for row in self.rows],
+            "mean_mr1_error": self.mean_mr1_error,
+            "mean_camat1_error": self.mean_camat1_error,
+            "mean_lpmr1_error": self.mean_lpmr1_error,
+            "mean_cpi_error": self.mean_cpi_error,
+        }
+
+
+def validate_trace(
+    trace: Trace,
+    config: MachineConfig = DEFAULT_MACHINE,
+    *,
+    seed: int = 0,
+    warm: bool = True,
+    profile: "LocalityProfile | None" = None,
+    name: "str | None" = None,
+) -> ValidationRow:
+    """One engine run + one prediction, compared quantity by quantity."""
+    if profile is None:
+        profile = profile_trace(trace, line_bytes=config.l1.line_bytes, warm=warm)
+    stats: HierarchyStats
+    _, stats = simulate_and_measure(config, trace, seed=seed, warm=warm)
+    pred: SurrogatePrediction = predict(profile, config)
+    report = stats.lpmr_report()
+    return ValidationRow(
+        name=name if name is not None else trace.name,
+        mr1_engine=report.mr1, mr1_pred=pred.mr1,
+        mr2_engine=report.mr2, mr2_pred=pred.mr2,
+        camat1_engine=report.camat1, camat1_pred=pred.camat1,
+        lpmr1_engine=report.lpmr1, lpmr1_pred=pred.lpmr1,
+        cpi_engine=stats.cpi, cpi_pred=pred.cpi,
+    )
+
+
+def validate_benchmarks(
+    names: "tuple[str, ...] | list[str]" = SELECTED_16,
+    config: MachineConfig = DEFAULT_MACHINE,
+    *,
+    n_accesses: int = 20_000,
+    seed: int = 3,
+    warm: bool = True,
+) -> ValidationReport:
+    """Surrogate error over the SPEC profile set on one configuration."""
+    rows = []
+    for name in names:
+        trace = get_benchmark(name).trace(n_accesses, seed=seed)
+        rows.append(validate_trace(trace, config, seed=seed, warm=warm, name=name))
+    return ValidationReport(
+        rows=tuple(rows), config_name=config.name,
+        n_accesses=n_accesses, seed=seed, warm=warm,
+    )
+
+
+def format_validation_report(report: ValidationReport) -> str:
+    """Fixed-width text table of the report, CLI- and docs-ready."""
+    header = (
+        f"{'benchmark':<16} {'MR1 eng':>8} {'MR1 sur':>8} {'|dMR1|':>7} "
+        f"{'C-AMAT1 eng':>11} {'sur':>8} {'err%':>6} "
+        f"{'LPMR1 eng':>9} {'sur':>8} {'err%':>6} "
+        f"{'CPI eng':>8} {'sur':>8} {'err%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in report.rows:
+        lines.append(
+            f"{r.name:<16} {r.mr1_engine:>8.4f} {r.mr1_pred:>8.4f} "
+            f"{r.mr1_error:>7.4f} "
+            f"{r.camat1_engine:>11.3f} {r.camat1_pred:>8.3f} "
+            f"{100 * r.camat1_error:>5.1f}% "
+            f"{r.lpmr1_engine:>9.3f} {r.lpmr1_pred:>8.3f} "
+            f"{100 * r.lpmr1_error:>5.1f}% "
+            f"{r.cpi_engine:>8.3f} {r.cpi_pred:>8.3f} "
+            f"{100 * r.cpi_error:>5.1f}%"
+        )
+    lines.append("-" * len(header))
+    worst = report.worst_cpi_row
+    lines.append(
+        f"mean |dMR1|={report.mean_mr1_error:.4f}  "
+        f"mean C-AMAT1 err={100 * report.mean_camat1_error:.1f}%  "
+        f"mean LPMR1 err={100 * report.mean_lpmr1_error:.1f}%  "
+        f"mean CPI err={100 * report.mean_cpi_error:.1f}%"
+    )
+    if worst is not None:
+        lines.append(
+            f"worst CPI error: {worst.name} ({100 * worst.cpi_error:.1f}%)"
+        )
+    return "\n".join(lines)

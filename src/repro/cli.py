@@ -12,6 +12,12 @@ Python:
 
 ``python -m repro sweep --benchmark 403.gcc``
     APC1/APC2 across private L1 sizes (one row of Figs. 6/7).
+    ``--fidelity surrogate|multi`` ranks with the tier-0 analytical
+    surrogate instead of (or before) the engine.
+
+``python -m repro surrogate validate``
+    Calibration report: tier-0 predictions vs the cycle-accurate engine
+    across the SPEC profile set (docs/PERFORMANCE.md, "Multi-fidelity").
 
 ``python -m repro schedule``
     The Fig. 8 experiment: profile the 16 benchmarks on the NUCA machine
@@ -80,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(keyed on trace content + config + seed + "
                               "engine version)")
 
+    # Multi-fidelity knobs shared by the exploration commands.
+    fid_p = argparse.ArgumentParser(add_help=False)
+    fid_p.add_argument("--fidelity", choices=("engine", "surrogate", "multi"),
+                       default="engine",
+                       help="'engine' simulates everything; 'surrogate' "
+                            "predicts everything with the tier-0 model; "
+                            "'multi' ranks with the surrogate and escalates "
+                            "only the top-K/margin frontier to the engine")
+    fid_p.add_argument("--top-k", type=int, default=8, dest="top_k",
+                       help="tie classes escalated under --fidelity multi")
+    fid_p.add_argument("--margin", type=float, default=0.05,
+                       help="also escalate every class within this fraction "
+                            "of the best prediction (error-margin awareness)")
+
     sim = sub.add_parser("simulate", parents=[obs],
                          help="simulate one benchmark on one configuration")
     sim.add_argument("--benchmark", default="410.bwaves",
@@ -90,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="memory accesses to generate")
     sim.add_argument("--seed", type=int, default=7)
 
-    walk = sub.add_parser("walk", parents=[obs, cache_p],
+    walk = sub.add_parser("walk", parents=[obs, cache_p, fid_p],
                           help="run the LPM algorithm over the A..E ladder")
     walk.add_argument("--benchmark", default="410.bwaves")
     walk.add_argument("--delta", type=float, default=140.0,
@@ -105,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the fault-injection RNG")
 
-    sweep = sub.add_parser("sweep", parents=[obs, cache_p],
+    sweep = sub.add_parser("sweep", parents=[obs, cache_p, fid_p],
                            help="APC1/APC2 across private L1 sizes")
     sweep.add_argument("--benchmark", default="403.gcc")
     sweep.add_argument("--accesses", type=int, default=20_000)
@@ -160,15 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bcommon = argparse.ArgumentParser(add_help=False)
-    bcommon.add_argument("--kind", choices=("engine", "batch"),
+    bcommon.add_argument("--kind", choices=("engine", "batch", "surrogate"),
                          default="engine",
                          help="'engine' = fast vs reference on one config; "
                               "'batch' = batch kernel vs N scalar fast "
-                              "paths on a Table I knob slice")
+                              "paths on a Table I knob slice; 'surrogate' = "
+                              "tier-0 multi-fidelity sweep vs engine-only on "
+                              "the same slice (speedup + frontier agreement)")
     bcommon.add_argument("--benchmark", default="403.gcc",
-                         help="SPEC profile for --kind engine (--kind batch "
-                              "always uses the synthetic lpm-batch-gate "
-                              "workload)")
+                         help="SPEC profile for --kind engine (--kind "
+                              "batch/surrogate always use the synthetic "
+                              "lpm-batch-gate workload)")
     bcommon.add_argument("--accesses", type=int, default=10_000)
     bcommon.add_argument("--configs", type=int, default=64, dest="n_configs",
                          help="design-space slice size for --kind batch")
@@ -238,6 +260,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="overall budget for submit + wait, seconds")
 
     sub.add_parser("benchmarks", help="list available benchmark profiles")
+
+    surr = sub.add_parser(
+        "surrogate",
+        help="tier-0 analytical surrogate tooling (validate)",
+    )
+    surr_sub = surr.add_subparsers(dest="surrogate_command", required=True)
+    sval = surr_sub.add_parser(
+        "validate", parents=[obs],
+        help="calibrate the tier-0 predictor against the cycle-accurate "
+             "engine across the SPEC profile set",
+    )
+    sval.add_argument("--benchmarks", default=None,
+                      help="comma-separated profile names "
+                           "(default: the selected 16)")
+    sval.add_argument("--config", default="default",
+                      help="Table I configuration label A..E, or 'default'")
+    sval.add_argument("--accesses", type=int, default=20_000)
+    sval.add_argument("--seed", type=int, default=3)
+    sval.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the structured report as JSON")
 
     lint = sub.add_parser(
         "lint",
@@ -320,12 +362,15 @@ def _cmd_walk(args: argparse.Namespace) -> int:
         [table1_config(c) for c in "ABCD"], trace,
         deprovision_configs=[table1_config("E")],
         runtime=runtime,
+        fidelity=args.fidelity, top_k=args.top_k, margin=args.margin,
     )
     algo = LPMAlgorithm(delta_percent=args.delta, delta_slack_fraction=0.5,
                         max_steps=10)
     result = algo.run(backend, allow_deprovision=not args.no_trim)
     print(format_run_result(result))
     print(f"\nsimulations spent: {backend.log.evaluations}")
+    if backend.log.predicted:
+        print(f"pruned by tier-0 surrogate: {backend.log.predicted}")
     if args.eval_cache is not None:
         print(f"recalled from cache/journal: {backend.log.cached}")
     if runtime is not None and args.fault_rate > 0.0:
@@ -353,14 +398,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.runtime import EvaluationRuntime
 
         runtime = EvaluationRuntime(cache=args.eval_cache)
-    if args.engine == "scalar":
+    if args.fidelity == "surrogate":
+        print(f"fidelity: surrogate ({len(configs)} tier-0 predictions, "
+              "no simulation)")
+    elif args.engine == "scalar":
         print(f"engine: scalar ({len(configs)} per-config simulations)")
     else:
         eligible, fallback = partition_eligible(configs)
         print(f"engine: {args.engine} ({len(configs)}-lane batch: "
               f"{len(eligible)} eligible, {len(fallback)} scalar fallback)")
     result = sweep_configs(configs, trace, seed=0, runtime=runtime,
-                           engine=args.engine)
+                           engine=args.engine, fidelity=args.fidelity,
+                           top_k=args.top_k, margin=args.margin)
     rows = [
         (label, st.apc1, st.apc2, st.mr1_conventional, st.ipc)
         for label, st in zip(result.labels, result.stats)
@@ -369,6 +418,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ["L1 size", "APC1", "APC2", "MR1", "IPC"], rows, float_fmt="{:.4f}",
         title=f"{args.benchmark}: L1-size sweep (Figs. 6/7 quantities)",
     ))
+    if result.n_predicted:
+        print(f"\nfidelity {args.fidelity}: {result.n_simulated} simulated, "
+              f"{result.n_predicted} predicted by the tier-0 surrogate")
     if runtime is not None:
         print(f"\nevaluations: {runtime.counters.simulations} simulated, "
               f"{runtime.counters.cache_hits} recalled from cache")
@@ -580,6 +632,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             n_configs=args.n_configs, accesses=args.accesses,
             rounds=args.rounds,
         )
+    elif args.kind == "surrogate":
+        from repro.obs.bench import measure_surrogate_throughput
+
+        record = measure_surrogate_throughput(
+            n_configs=args.n_configs, accesses=args.accesses,
+            rounds=args.rounds,
+        )
     else:
         record = measure_engine_throughput(
             args.benchmark, accesses=args.accesses, rounds=args.rounds
@@ -592,10 +651,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             print(f"\nwrote {args.json_path}")
         return 0 if record["identical"] else 2
-    baseline_default = (
-        "benchmarks/baseline_batch_perf.json" if args.kind == "batch"
-        else "benchmarks/baseline_engine_perf.json"
-    )
+    baseline_default = {
+        "batch": "benchmarks/baseline_batch_perf.json",
+        "surrogate": "benchmarks/baseline_surrogate_perf.json",
+    }.get(args.kind, "benchmarks/baseline_engine_perf.json")
     baseline_path = Path(args.baseline or baseline_default)
     baseline = json.loads(baseline_path.read_text())
     ok, lines = compare_benchmarks(record, baseline, tolerance=args.tolerance,
@@ -707,6 +766,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if ok else 2
 
 
+def _cmd_surrogate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import format_validation_report, validate_benchmarks
+    from repro.sim import DEFAULT_MACHINE, table1_config
+    from repro.workloads import SELECTED_16
+
+    config = (
+        DEFAULT_MACHINE if args.config.lower() == "default"
+        else table1_config(args.config)
+    )
+    names = (
+        [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        if args.benchmarks else list(SELECTED_16)
+    )
+    report = validate_benchmarks(
+        names, config, n_accesses=args.accesses, seed=args.seed
+    )
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_validation_report(report))
+    return 0
+
+
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     from repro.workloads import BENCHMARKS
 
@@ -726,6 +810,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "surrogate": _cmd_surrogate,
     "benchmarks": _cmd_benchmarks,
     "lint": _cmd_lint,
 }

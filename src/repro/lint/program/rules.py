@@ -233,6 +233,7 @@ _MEASUREMENT_MODULES = (
     ("core", "lpm"),
     ("core", "stall"),
     ("sim", "stats"),
+    ("analysis", "surrogate"),
 )
 
 

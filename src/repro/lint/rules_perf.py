@@ -56,7 +56,7 @@ class SpanInHotLoop(Rule):
         "with tracing_enabled() (per call or hoisted around the loop) so "
         "the per-instruction path pays one boolean check at most"
     )
-    packages = ("sim", "core")
+    packages = ("sim", "core", "analysis")
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):

@@ -21,7 +21,9 @@ off.
 from repro.obs.bench import (
     compare_benchmarks,
     format_bench_record,
+    measure_batch_throughput,
     measure_engine_throughput,
+    measure_surrogate_throughput,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -83,7 +85,9 @@ __all__ = [
     "span",
     "event",
     "read_trace",
+    "measure_batch_throughput",
     "measure_engine_throughput",
+    "measure_surrogate_throughput",
     "compare_benchmarks",
     "format_bench_record",
 ]

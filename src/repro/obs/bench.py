@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "measure_engine_throughput",
     "measure_batch_throughput",
+    "measure_surrogate_throughput",
     "compare_benchmarks",
     "format_bench_record",
 ]
@@ -185,6 +186,118 @@ def measure_batch_throughput(
     }
 
 
+def measure_surrogate_throughput(
+    *,
+    n_configs: int = 64,
+    accesses: int = 10_000,
+    rounds: int = 3,
+    trace_seed: int = 7,
+    sim_seed: int = 0,
+    top_k: int = 8,
+    margin: float = 0.05,
+) -> dict:
+    """Time a design-space sweep: multi-fidelity versus engine-only.
+
+    The workload is the synthetic ``lpm-batch-gate`` trace swept over the
+    same Table I knob slice as :func:`measure_batch_throughput`, so the
+    two gates bracket the same design-space walk: ``batch`` measures how
+    fast the engine evaluates every point, ``surrogate`` measures how
+    few points the tier-0 model lets the engine evaluate at all.
+
+    Reported quantities CI can gate on:
+
+    * ``speedup`` — wall-clock engine-only sweep / multi-fidelity sweep.
+    * ``engine_sim_reduction`` — configurations per engine escalation.
+    * ``frontier_agreement`` — the escalated frontier attains the
+      engine-only optimum (same minimum CPI, bit-equal).
+
+    ``identical`` folds frontier agreement and the 20x reduction floor
+    so :func:`compare_benchmarks` gates on them unchanged: a fast prune
+    that drops the optimum (or stops pruning) is meaningless.
+    """
+    from repro.analysis.sweep import sweep_configs
+    from repro.sim import DEFAULT_MACHINE
+    from repro.sim.engine import ENGINE_VERSION
+    from repro.workloads.generators import working_set_addresses
+    from repro.workloads.locality import profile_trace
+    from repro.workloads.trace import Trace
+
+    addrs = working_set_addresses(accesses, footprint_bytes=12 * 1024,
+                                  seed=trace_seed)
+    trace = Trace.from_memory_addresses(
+        addrs, compute_per_access=8, load_fraction=0.7,
+        name="lpm-batch-gate", seed=trace_seed,
+    )
+    configs = [
+        DEFAULT_MACHINE.with_knobs(issue_width=iw, iw_size=w, rob_size=rob,
+                                   name=f"c{iw}-{w}-{rob}")
+        for iw in (2, 4, 6, 8)
+        for w in (32, 64, 96, 128)
+        for rob in (48, 96, 128, 192)
+    ][:n_configs]
+
+    t_engine = math.inf
+    engine_result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = sweep_configs(configs, trace, seed=sim_seed, engine="auto")
+        elapsed = time.perf_counter() - t0
+        if elapsed < t_engine:
+            t_engine = elapsed
+            engine_result = result
+
+    t_multi = math.inf
+    multi_result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = sweep_configs(configs, trace, seed=sim_seed, engine="auto",
+                               fidelity="multi", top_k=top_k, margin=margin)
+        elapsed = time.perf_counter() - t0
+        if elapsed < t_multi:
+            t_multi = elapsed
+            multi_result = result
+
+    # Pure tier-0 ranking throughput: profile once, predict the slice.
+    from repro.analysis.surrogate import predict_many
+
+    profile = profile_trace(trace, line_bytes=configs[0].l1.line_bytes)
+    t_predict = math.inf
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        predict_many(profile, configs)
+        t_predict = min(t_predict, time.perf_counter() - t0)
+
+    engine_best = min(s.cpi for s in engine_result.stats)
+    escalated = [
+        s for s, src in zip(multi_result.stats, multi_result.sources)
+        if src != "predicted"
+    ]
+    frontier_agreement = bool(
+        escalated and min(s.cpi for s in escalated) == engine_best
+    )
+    reduction = len(configs) / max(len(escalated), 1)
+    n_instr = trace.n_instructions
+    return {
+        "kind": "surrogate_throughput",
+        "benchmark": trace.name,
+        "accesses": accesses,
+        "instructions": n_instr,
+        "n_configs": len(configs),
+        "rounds": rounds,
+        "top_k": top_k,
+        "margin": margin,
+        "engine_version": ENGINE_VERSION,
+        "engine_configs_per_s": len(configs) / t_engine,
+        "multi_configs_per_s": len(configs) / t_multi,
+        "surrogate_configs_per_s": len(configs) / t_predict,
+        "n_escalated": len(escalated),
+        "engine_sim_reduction": reduction,
+        "frontier_agreement": frontier_agreement,
+        "speedup": t_engine / t_multi,
+        "identical": frontier_agreement and reduction >= 20.0,
+    }
+
+
 def compare_benchmarks(
     current: dict, baseline: dict, *, tolerance: float = 0.2,
     min_speedup: float = 0.0,
@@ -224,6 +337,24 @@ def compare_benchmarks(
 
 def format_bench_record(record: dict) -> str:
     """Human-oriented rendering of one throughput record."""
+    if record.get("kind") == "surrogate_throughput":
+        return "\n".join([
+            f"workload:   {record['benchmark']} ({record['accesses']} accesses, "
+            f"{record['instructions']} instructions, best of {record['rounds']})",
+            f"slice:      {record['n_configs']} configurations "
+            f"(top_k={record['top_k']}, margin={record['margin']})",
+            f"engine:     {record['engine_configs_per_s']:,.1f} configs/s "
+            f"(every point simulated)",
+            f"multi:      {record['multi_configs_per_s']:,.1f} configs/s "
+            f"({record['n_escalated']} escalated, "
+            f"{record['engine_sim_reduction']:.1f}x fewer engine sims)",
+            f"tier-0:     {record['surrogate_configs_per_s']:,.0f} configs/s "
+            f"(pure prediction)",
+            f"speedup:    {record['speedup']:.3f}x "
+            f"(engine v{record['engine_version']})",
+            f"frontier:   agreement={record['frontier_agreement']}",
+            f"identical:  {record['identical']}",
+        ])
     if record.get("kind") == "batch_throughput":
         return "\n".join([
             f"workload:   {record['benchmark']} ({record['accesses']} accesses, "

@@ -44,12 +44,16 @@ class ExplorationLog:
 
     ``evaluations`` counts only *fresh* simulations — the paper's "search
     cost" currency.  Design points recalled from the checkpoint journal or
-    the persistent evaluation cache are tallied under ``cached`` instead,
-    so a resumed or cache-backed exploration reports zero duplicate work.
+    the persistent evaluation cache are tallied under ``cached``, and
+    candidates ranked by the tier-0 surrogate without ever reaching the
+    engine under ``predicted`` — three disjoint sources, so a summary
+    never passes off a prediction (or a recalled result) as fresh engine
+    work.
     """
 
     evaluations: int = 0
     cached: int = 0
+    predicted: int = 0
     visited: list[str] = field(default_factory=list)
 
     def record(self, label: str) -> None:
@@ -60,6 +64,10 @@ class ExplorationLog:
     def record_cached(self, label: str) -> None:
         """Count one evaluation recalled from a journal or cache."""
         self.cached += 1
+
+    def record_predicted(self, label: str) -> None:
+        """Count one candidate settled by a tier-0 prediction alone."""
+        self.predicted += 1
 
 
 class _SimulatingBackend:
@@ -82,13 +90,69 @@ class _SimulatingBackend:
         seed: int = 0,
         warm: bool = True,
         runtime: "EvaluationRuntime | None" = None,
+        fidelity: str = "engine",
+        top_k: int = 8,
+        margin: float = 0.05,
     ) -> None:
+        if fidelity not in ("engine", "multi"):
+            raise ValueError(
+                f"fidelity must be 'engine' or 'multi', got {fidelity!r}"
+            )
         self.trace = trace
         self.seed = seed
         self.warm = warm
         self.runtime = runtime
+        self.fidelity = fidelity
+        self.top_k = top_k
+        self.margin = margin
         self.log = ExplorationLog()
         self._cache: dict[str, HierarchyStats] = {}
+        self._profiles: dict[int, object] = {}
+
+    def _locality_profile(self, line_bytes: int):
+        """The trace's locality profile, computed once per line size."""
+        profile = self._profiles.get(line_bytes)
+        if profile is None:
+            from repro.workloads.locality import profile_trace
+
+            profile = profile_trace(self.trace, line_bytes=line_bytes,
+                                    warm=self.warm)
+            self._profiles[line_bytes] = profile
+        return profile
+
+    def _prune_candidates(
+        self, configs: "list[MachineConfig]", objective: str = "lpmr1"
+    ) -> "list[MachineConfig]":
+        """Tier-0 ranking of a candidate batch; keeps the escalation frontier.
+
+        Engine fidelity (or a batch already within ``top_k``) keeps every
+        candidate.  In ``"multi"`` mode the candidates the surrogate rules
+        out are tallied as ``predicted`` in the log — they cost arithmetic,
+        not simulations.  Already-measured candidates always survive (they
+        are free — served from the in-memory cache).
+        """
+        if self.fidelity != "multi" or len(configs) <= self.top_k:
+            return configs
+        from repro.analysis.surrogate import predict_many, select_frontier
+        from repro.obs import metrics as obs_metrics
+
+        profile = self._locality_profile(configs[0].l1.line_bytes)
+        predictions = predict_many(profile, configs)
+        keep = set(select_frontier(predictions, top_k=self.top_k,
+                                   margin=self.margin, objective=objective))
+        keep.update(
+            i for i, config in enumerate(configs)
+            if config.cache_key() in self._cache
+        )
+        if obs_metrics.metrics_enabled():
+            registry = obs_metrics.get_registry()
+            registry.counter("surrogate.predict").inc(len(configs))
+            registry.counter("surrogate.escalated").inc(len(keep))
+            registry.counter("surrogate.pruned").inc(len(configs) - len(keep))
+        for i, config in enumerate(configs):
+            if i not in keep:
+                self.log.record_predicted(config.name)
+        return [config for i, config in enumerate(configs) if i in keep]
 
     def _journal_key(self, config: MachineConfig) -> str:
         return f"{self.trace.name}|seed={self.seed}|warm={self.warm}|{config.cache_key()}"
@@ -158,8 +222,12 @@ class LadderBackend(_SimulatingBackend):
         seed: int = 0,
         warm: bool = True,
         runtime: "EvaluationRuntime | None" = None,
+        fidelity: str = "engine",
+        top_k: int = 8,
+        margin: float = 0.05,
     ) -> None:
-        super().__init__(trace, seed=seed, warm=warm, runtime=runtime)
+        super().__init__(trace, seed=seed, warm=warm, runtime=runtime,
+                         fidelity=fidelity, top_k=top_k, margin=margin)
         if not configs:
             raise ValueError("need at least one configuration")
         self.configs = list(configs)
@@ -218,8 +286,12 @@ class GreedyReconfigBackend(_SimulatingBackend):
         warm: bool = True,
         delta_percent: float = 10.0,
         runtime: "EvaluationRuntime | None" = None,
+        fidelity: str = "engine",
+        top_k: int = 8,
+        margin: float = 0.05,
     ) -> None:
-        super().__init__(trace, seed=seed, warm=warm, runtime=runtime)
+        super().__init__(trace, seed=seed, warm=warm, runtime=runtime,
+                         fidelity=fidelity, top_k=top_k, margin=margin)
         self.space = space
         self.point = start if start is not None else space.minimum_point()
         space.validate(self.point)
@@ -251,15 +323,24 @@ class GreedyReconfigBackend(_SimulatingBackend):
         candidates = self.space.upgrade_candidates(self.point, self._allowed_knobs(l1, l2))
         if not candidates:
             return False
-        # One batch covering the incumbent and every candidate: with a
-        # pooled runtime attached the candidate simulations run in parallel.
+        configs = [self.space.to_machine(candidate) for _, candidate in candidates]
+        kept_keys = {
+            config.cache_key() for config in self._prune_candidates(configs)
+        }
+        survivors = [
+            (candidate, config)
+            for (_, candidate), config in zip(candidates, configs)
+            if config.cache_key() in kept_keys
+        ]
+        # One batch covering the incumbent and every surviving candidate:
+        # with a pooled runtime attached the simulations run in parallel.
         measured = self._measure_many(
             [self.space.to_machine(self.point)]
-            + [self.space.to_machine(candidate) for _, candidate in candidates]
+            + [config for _, config in survivors]
         )
         current_lpmr1 = measured[0].lpmr1
         best: tuple[float, DesignPoint] | None = None
-        for (_, candidate), stats in zip(candidates, measured[1:]):
+        for (candidate, _), stats in zip(survivors, measured[1:]):
             if best is None or stats.lpmr1 < best[0]:
                 best = (stats.lpmr1, candidate)
         if best is None or best[0] >= current_lpmr1:

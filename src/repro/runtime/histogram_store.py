@@ -1,0 +1,172 @@
+"""Persistent content-addressed cache of trace locality profiles.
+
+The tier-0 surrogate's profiling pass (:func:`repro.workloads.locality.
+profile_trace`) is the only non-trivial cost of analytical prediction —
+one Fenwick-tree sweep over the trace.  It depends solely on the trace
+*content*, the line granularity, and the warm/cold convention, so its
+result is cacheable across every configuration, exploration, and process
+that shares the trace — the same economics as the PR 4 evaluation cache,
+with a histogram payload instead of a measurement.
+
+Key derivation: ``sha256`` over ``(trace content digest, line_bytes,
+warm, HISTOGRAM_VERSION)``.  The version stamp invalidates every entry at
+once when the histogram definition changes, mirroring the
+``ENGINE_VERSION`` discipline of :mod:`repro.runtime.evalcache`.
+
+Storage follows the evalcache idiom exactly: two-level sharded JSON
+(``root/ab/abcdef....json``), temp-file + ``os.replace`` atomic writes,
+and corrupt-shard quarantine (torn/malformed entries are moved to a
+``.corrupt`` sibling and reported as misses, never served).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs import metrics as obs_metrics
+from repro.workloads.locality import (
+    HISTOGRAM_VERSION,
+    LocalityProfile,
+    profile_trace,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.trace import Trace
+
+__all__ = ["HistogramStore", "histogram_cache_key", "cached_locality_profile"]
+
+
+def histogram_cache_key(trace_digest: str, line_bytes: int, warm: bool) -> str:
+    """Content-addressed key for one locality-profiling pass."""
+    material = "|".join(
+        (
+            trace_digest,
+            f"line={line_bytes}",
+            f"warm={warm}",
+            f"hist_v{HISTOGRAM_VERSION}",
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class HistogramStore:
+    """Directory-backed ``key -> LocalityProfile dict`` store."""
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def get(self, key: str) -> "LocalityProfile | None":
+        """The cached profile for *key*, or None on miss.
+
+        Entries from another :data:`HISTOGRAM_VERSION` count as misses
+        and stay on disk for auditing; torn or malformed shards are
+        quarantined to a ``.corrupt`` sibling and reported as misses.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._record(hit=False)
+            return None
+        try:
+            entry = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, "torn")
+            return None
+        if not isinstance(entry, dict) or "profile" not in entry:
+            self._quarantine(path, "malformed")
+            return None
+        if entry.get("histogram_version") != HISTOGRAM_VERSION:
+            self._record(hit=False)
+            return None
+        try:
+            profile = LocalityProfile.from_dict(entry["profile"])
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path, "malformed")
+            return None
+        self._record(hit=True)
+        return profile
+
+    def put(self, key: str, profile: LocalityProfile) -> None:
+        """Store one profile atomically (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"histogram_version": HISTOGRAM_VERSION, "profile": profile.to_dict()},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Racing reader already moved it; a miss is still right.
+            pass
+        self.quarantined += 1
+        if obs_metrics.metrics_enabled():
+            reg = obs_metrics.get_registry()
+            reg.counter("histstore.corrupt_quarantined").inc()
+            reg.counter(f"histstore.corrupt.{reason}").inc()
+        self._record(hit=False)
+
+    def _record(self, *, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if obs_metrics.metrics_enabled():
+            obs_metrics.get_registry().counter(
+                "histstore.hits" if hit else "histstore.misses"
+            ).inc()
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def cached_locality_profile(
+    trace: "Trace",
+    *,
+    line_bytes: int = 64,
+    warm: bool = True,
+    store: "HistogramStore | str | os.PathLike[str] | None" = None,
+) -> LocalityProfile:
+    """Profile *trace*, recalling the result from *store* when possible.
+
+    Without a store this is exactly :func:`profile_trace`; with one, the
+    pass runs at most once per (trace content, line size, warm) on this
+    machine.
+    """
+    if store is None:
+        return profile_trace(trace, line_bytes=line_bytes, warm=warm)
+    if not isinstance(store, HistogramStore):
+        store = HistogramStore(store)
+    key = histogram_cache_key(trace.content_digest(), line_bytes, warm)
+    profile = store.get(key)
+    if profile is None:
+        profile = profile_trace(trace, line_bytes=line_bytes, warm=warm)
+        store.put(key, profile)
+    return profile

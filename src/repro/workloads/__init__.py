@@ -1,5 +1,12 @@
 """Synthetic SPEC-like workload generation (the SPEC CPU2006 substitute)."""
 
+from repro.workloads.locality import (
+    HISTOGRAM_VERSION,
+    LocalityProfile,
+    ReuseHistogram,
+    profile_trace,
+    reuse_histogram,
+)
 from repro.workloads.generators import (
     KernelSpec,
     MixtureResult,
@@ -36,10 +43,13 @@ __all__ = [
     "BENCHMARKS",
     "BenchmarkProfile",
     "Burst",
+    "HISTOGRAM_VERSION",
     "IntervalDetector",
     "KernelSpec",
+    "LocalityProfile",
     "MachineProfile",
     "MixtureResult",
+    "ReuseHistogram",
     "SELECTED_16",
     "Trace",
     "bandwidth_probe",
@@ -53,6 +63,8 @@ __all__ = [
     "mlp_probe",
     "mixture_addresses",
     "pointer_chase_addresses",
+    "profile_trace",
+    "reuse_histogram",
     "strided_addresses",
     "working_set_addresses",
     "zipf_addresses",

@@ -1,0 +1,280 @@
+"""Tier-0 surrogate: contracts, ranking, frontier selection, multi-fidelity.
+
+Three layers of guarantees:
+
+* the predictor's output satisfies the same Eq. 9-11 contracts as the
+  engine's measured reports (checked live under ``runtime_checks``);
+* frontier selection never drops a configuration the engine could still
+  distinguish (Pareto-maximal tie handling);
+* the multi-fidelity sweep on the CI gate slice reaches the engine-only
+  optimum with >= 20x fewer engine simulations — the PR's acceptance
+  criterion, asserted, not documented.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.surrogate import (
+    SurrogatePrediction,
+    predict,
+    predict_many,
+    select_frontier,
+    validate_trace,
+)
+from repro.analysis.sweep import sweep_configs
+from repro.lint.contracts import runtime_checks
+from repro.obs import metrics as obs_metrics
+from repro.runtime.errors import ConfigError
+from repro.sim import DEFAULT_MACHINE
+from repro.workloads.generators import working_set_addresses
+from repro.workloads.locality import profile_trace
+from repro.workloads.spec import get_benchmark
+from repro.workloads.trace import Trace
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def gcc_profile():
+    trace = get_benchmark("403.gcc").trace(4_000, seed=3)
+    return profile_trace(trace)
+
+
+@st.composite
+def random_machine(draw):
+    return DEFAULT_MACHINE.with_knobs(
+        issue_width=draw(st.sampled_from([1, 2, 4, 8])),
+        iw_size=draw(st.sampled_from([2, 8, 32, 128])),
+        rob_size=draw(st.sampled_from([4, 16, 64, 256])),
+        l1_ports=draw(st.sampled_from([1, 2, 4])),
+        mshr_count=draw(st.sampled_from([1, 4, 16])),
+        l2_banks=draw(st.sampled_from([2, 8])),
+        l1_size_bytes=draw(st.sampled_from([4 * KB, 16 * KB, 64 * KB])),
+    )
+
+
+class TestPredictionContracts:
+    @given(random_machine())
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_and_contracts(self, gcc_profile, machine):
+        with runtime_checks():
+            pred = predict(gcc_profile, machine)
+            pred.lpmr_report()  # Eq. 9-11 contracts re-checked on the report
+        assert 0.0 <= pred.mr1 <= 1.0
+        assert 0.0 <= pred.mr2 <= 1.0
+        assert 0.0 <= pred.overlap_ratio_cm < 1.0
+        assert 0.0 <= pred.eta_combined <= 1.0
+        assert pred.cpi >= pred.cpi_exe > 0.0
+        for name in ("lpmr1", "lpmr2", "lpmr3", "camat1", "camat2", "camat3",
+                     "cpi", "ipc", "apc1", "apc2"):
+            assert math.isfinite(getattr(pred, name)), name
+
+    @given(random_machine())
+    @settings(max_examples=40, deadline=None)
+    def test_lpmr_defining_ratios(self, gcc_profile, machine):
+        """Eq. 9-11 hold exactly on the predicted quantities."""
+        p = predict(gcc_profile, machine)
+        assert p.lpmr1 == pytest.approx(p.camat1 * p.f_mem / p.cpi_exe)
+        assert p.lpmr2 == pytest.approx(p.camat2 * p.f_mem * p.mr1 / p.cpi_exe)
+        assert p.lpmr3 == pytest.approx(
+            p.camat3 * p.f_mem * p.mr1 * p.mr2 / p.cpi_exe
+        )
+
+    def test_mr1_monotone_in_l1_size(self, gcc_profile):
+        sizes = [2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB]
+        mrs = [
+            predict(gcc_profile, DEFAULT_MACHINE.with_knobs(l1_size_bytes=s)).mr1
+            for s in sizes
+        ]
+        assert all(a >= b for a, b in zip(mrs, mrs[1:]))
+
+    def test_line_size_mismatch_raises(self):
+        trace = get_benchmark("403.gcc").trace(500, seed=3)
+        profile_128 = profile_trace(trace, line_bytes=128)
+        with pytest.raises(ConfigError):
+            predict(profile_128, DEFAULT_MACHINE.with_knobs())
+
+    def test_l3_configs_are_rejected(self, gcc_profile):
+        from dataclasses import replace
+
+        from repro.sim.params import CacheGeometry
+
+        config = replace(
+            DEFAULT_MACHINE.with_knobs(),
+            l3=CacheGeometry(size_bytes=1024 * KB, line_bytes=64,
+                             associativity=16),
+        )
+        with pytest.raises(ConfigError):
+            predict(gcc_profile, config)
+
+
+def _pred(cpi, resources=(), score=0.0, name=""):
+    """Hand-built prediction with only ranking-relevant fields."""
+    return SurrogatePrediction(
+        lpmr1=cpi, lpmr2=0.1, lpmr3=0.01, camat1=1.0, camat2=1.0, camat3=1.0,
+        mr1=0.1, mr2=0.1, f_mem=0.3, cpi_exe=0.25, cpi=cpi,
+        overlap_ratio_cm=0.5, eta_combined=0.5, hit_time1=3.0,
+        hit_concurrency1=1.0, config_name=name,
+        resource_score=score, resources=resources,
+    )
+
+
+class TestSelectFrontier:
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            select_frontier([_pred(1.0)], top_k=0)
+        with pytest.raises(ValueError):
+            select_frontier([_pred(1.0)], margin=-0.1)
+        assert select_frontier([]) == []
+
+    def test_top_k_and_margin_union(self):
+        preds = [_pred(1.0), _pred(1.04), _pred(2.0), _pred(3.0)]
+        assert select_frontier(preds, top_k=1, margin=0.0) == [0]
+        # margin pulls in the near-tie even past top_k.
+        assert select_frontier(preds, top_k=1, margin=0.05) == [0, 1]
+        assert select_frontier(preds, top_k=3, margin=0.0) == [0, 1, 2]
+
+    def test_tie_class_with_dominating_member_costs_one(self):
+        # A saturated-knob subgrid: (4,64,...) dominates both others.
+        preds = [
+            _pred(1.0, resources=(2, 32, 64, 1, 4, 4)),
+            _pred(1.0, resources=(4, 32, 64, 1, 4, 4)),
+            _pred(1.0, resources=(4, 64, 64, 1, 4, 4)),
+        ]
+        assert select_frontier(preds, top_k=1, margin=0.0) == [2]
+
+    def test_tie_class_antichain_escalates_every_member(self):
+        # Single-knob upgrades of a common base: mutually incomparable, so
+        # the engine could still tell them apart — none may be dropped.
+        preds = [
+            _pred(1.0, resources=(4, 64, 32, 1, 4, 4)),
+            _pred(1.0, resources=(2, 128, 32, 1, 4, 4)),
+            _pred(1.0, resources=(2, 64, 64, 1, 4, 4)),
+            _pred(2.0, resources=(2, 64, 32, 1, 4, 4)),
+        ]
+        assert select_frontier(preds, top_k=1, margin=0.0) == [0, 1, 2]
+
+    def test_fallback_to_resource_score_without_knob_vectors(self):
+        preds = [_pred(1.0, score=1.0), _pred(1.0, score=3.0), _pred(1.0, score=2.0)]
+        assert select_frontier(preds, top_k=1, margin=0.0) == [1]
+
+    def test_objective_selects_the_ranked_quantity(self):
+        a = _pred(1.0)
+        b = SurrogatePrediction(
+            lpmr1=0.1, lpmr2=0.1, lpmr3=0.01, camat1=1.0, camat2=1.0,
+            camat3=1.0, mr1=0.1, mr2=0.1, f_mem=0.3, cpi_exe=0.25, cpi=2.0,
+            overlap_ratio_cm=0.5, eta_combined=0.5, hit_time1=3.0,
+            hit_concurrency1=1.0,
+        )
+        assert select_frontier([a, b], top_k=1, margin=0.0) == [0]
+        assert select_frontier([a, b], top_k=1, margin=0.0,
+                               objective="lpmr1") == [1]
+
+
+def _gate_trace(accesses=4_000):
+    addrs = working_set_addresses(accesses, footprint_bytes=12 * KB, seed=7)
+    return Trace.from_memory_addresses(
+        addrs, compute_per_access=8, load_fraction=0.7,
+        name="lpm-batch-gate", seed=7,
+    )
+
+
+def _gate_slice(n=64):
+    return [
+        DEFAULT_MACHINE.with_knobs(issue_width=iw, iw_size=w, rob_size=rob,
+                                   name=f"c{iw}-{w}-{rob}")
+        for iw in (2, 4, 6, 8)
+        for w in (32, 64, 96, 128)
+        for rob in (48, 96, 128, 192)
+    ][:n]
+
+
+class TestSweepFidelities:
+    def test_rejects_unknown_fidelity(self):
+        with pytest.raises(ValueError):
+            sweep_configs([], _gate_trace(200), fidelity="psychic")
+
+    def test_surrogate_mode_never_simulates(self):
+        configs = _gate_slice(6)
+        result = sweep_configs(configs, _gate_trace(600), fidelity="surrogate")
+        assert result.n_predicted == len(configs)
+        assert result.n_simulated == 0
+        assert all(isinstance(s, SurrogatePrediction) for s in result.stats)
+        # Ranking-facing series work on prediction rows.
+        assert len(result.series("cpi")) == len(configs)
+
+    def test_multi_mode_source_accounting(self):
+        configs = _gate_slice(16)
+        result = sweep_configs(configs, _gate_trace(1_000), fidelity="multi",
+                               top_k=2, margin=0.0)
+        assert len(result) == len(configs)
+        assert result.n_simulated >= 1
+        assert result.n_predicted >= 1
+        assert result.n_simulated + result.n_predicted == len(configs)
+        assert set(result.sources) <= {"simulated", "cached", "predicted"}
+
+    def test_multi_mode_counters(self):
+        configs = _gate_slice(16)
+        obs_metrics.set_metrics_enabled(True)
+        try:
+            obs_metrics.get_registry().snapshot_and_reset()
+            sweep_configs(configs, _gate_trace(1_000), fidelity="multi",
+                          top_k=2, margin=0.0)
+            snap = obs_metrics.get_registry().snapshot_and_reset()
+        finally:
+            obs_metrics.set_metrics_enabled(False)
+        counters = snap["counters"]
+        assert counters["surrogate.predict"] == len(configs)
+        assert counters["surrogate.escalated"] >= 1
+        assert (counters["surrogate.escalated"]
+                + counters["surrogate.pruned"]) == len(configs)
+
+    def test_acceptance_gate_slice_reduction_and_agreement(self):
+        """>= 20x fewer engine sims AND the frontier contains the optimum."""
+        configs = _gate_slice(64)
+        trace = _gate_trace(4_000)
+        full = sweep_configs(configs, trace, seed=0, fidelity="engine")
+        multi = sweep_configs(configs, trace, seed=0, fidelity="multi",
+                              top_k=8, margin=0.05)
+        engine_best = min(s.cpi for s in full.stats)
+        escalated = [
+            s for s, src in zip(multi.stats, multi.sources)
+            if src != "predicted"
+        ]
+        assert len(configs) / len(escalated) >= 20.0
+        assert min(s.cpi for s in escalated) == engine_best
+
+
+class TestValidationHarness:
+    def test_validate_trace_rows_are_finite(self):
+        trace = get_benchmark("403.gcc").trace(3_000, seed=3)
+        row = validate_trace(trace, seed=0)
+        assert row.name == trace.name
+        for name in ("mr1_error", "mr2_error", "camat1_error",
+                     "lpmr1_error", "cpi_error"):
+            value = getattr(row, name)
+            assert math.isfinite(value) and value >= 0.0
+        assert 0.0 <= row.mr1_pred <= 1.0
+
+    def test_validation_report_renders_and_serializes(self):
+        from repro.analysis import format_validation_report, validate_benchmarks
+
+        report = validate_benchmarks(["403.gcc", "429.mcf"], n_accesses=2_000,
+                                     seed=3)
+        text = format_validation_report(report)
+        assert "403.gcc" in text and "429.mcf" in text
+        payload = report.to_dict()
+        assert len(payload["rows"]) == 2
+        assert math.isfinite(payload["mean_cpi_error"])
+
+
+class TestPredictMany:
+    def test_matches_scalar_predict(self, gcc_profile):
+        configs = _gate_slice(5)
+        many = predict_many(gcc_profile, configs)
+        for config, got in zip(configs, many):
+            assert got == predict(gcc_profile, config)

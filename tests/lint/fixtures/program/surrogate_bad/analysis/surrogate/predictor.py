@@ -1,0 +1,19 @@
+"""Seeded PURE001 true positive: an impure tier-0 predictor.
+
+``analysis.surrogate`` modules are measurement producers — their public
+functions feed the same contract pipeline as the engine's measured
+reports, so they must be transitively pure.  This fixture caches a
+prediction into module state, the classic way a surrogate silently
+becomes order-dependent across a sweep.
+"""
+
+_LAST_PREDICTION = {}
+
+
+def predict(histogram, capacity):
+    # PURE001: a measurement producer writing module state.
+    miss = sum(c for d, c in histogram if d >= capacity) / max(
+        sum(c for _, c in histogram), 1
+    )
+    _LAST_PREDICTION["miss"] = miss
+    return miss

@@ -59,6 +59,17 @@ class TestPureRules:
         result = lint_fixture("pure_clean")
         assert result.ok, [v.format() for v in result.violations]
 
+    def test_surrogate_predictor_is_a_measurement_producer(self):
+        # analysis.surrogate public functions are held to the purity
+        # contract even without a @satisfies decorator.
+        result = lint_fixture("surrogate_bad")
+        impure = [v for v in result.violations if v.rule == "PURE001"]
+        assert any(
+            "predict" in v.message
+            and v.path.endswith("surrogate_bad/analysis/surrogate/predictor.py")
+            for v in impure
+        ), [v.format() for v in result.violations]
+
     def test_satisfies_decorated_function_is_held_to_purity(self, tmp_path):
         root = write_tree(tmp_path, {
             "pkg/__init__.py": "",

@@ -455,7 +455,7 @@ class TestPERF001:
         )
         assert lint_source(src, SIM, rules=["PERF001"]) == []
 
-    def test_scoped_to_sim_and_core(self):
+    def test_scoped_to_sim_core_and_analysis(self):
         src = (
             "from repro.obs.trace import event\n\n"
             "def run(instrs):\n"
@@ -463,6 +463,9 @@ class TestPERF001:
             "        event('issue')\n"
         )
         assert lint_source(src, RUNTIME, rules=["PERF001"]) == []
+        # analysis is a hot package too: predict_many runs per-config.
+        analysis = "src/repro/analysis/surrogate/mod.py"
+        assert rules_hit(src, analysis, "PERF001") == ["PERF001"]
 
 
 class TestCTR001:

@@ -151,3 +151,57 @@ class TestGreedyBackend:
                                  LPMStatus.STEP_LIMIT)
         # Guided search must visit a tiny fraction of the design space.
         assert backend.log.evaluations < space.size() / 100
+
+
+class TestMultiFidelityWalk:
+    """Tier-0 surrogate pruning inside the greedy walk.
+
+    The load-bearing property is *identity*: the multi-fidelity walk
+    must land on the same final configuration as the engine-only walk —
+    pruning may only remove candidates the engine would not have
+    chosen.  This holds even at ``top_k=1, margin=0.0`` (maximum
+    pruning) because exact-tie classes escalate every Pareto-maximal
+    member instead of betting on a single representative.
+    """
+
+    @pytest.fixture(scope="class")
+    def memory_bound_trace(self):
+        from repro.workloads.generators import working_set_addresses
+        from repro.workloads.trace import Trace
+
+        addrs = working_set_addresses(2_500, footprint_bytes=256 * 1024, seed=7)
+        return Trace.from_memory_addresses(
+            addrs, compute_per_access=2, load_fraction=0.7,
+            name="lpm-surrogate-gate", seed=7,
+        )
+
+    def _walk(self, trace, **backend_kwargs):
+        backend = GreedyReconfigBackend(
+            DesignSpace(), trace, seed=3, **backend_kwargs
+        )
+        algo = LPMAlgorithm(delta_percent=10.0, delta_slack_fraction=0.5,
+                            max_steps=10)
+        algo.run(backend)
+        return backend
+
+    def test_rejects_unknown_fidelity(self, memory_bound_trace):
+        with pytest.raises(ValueError):
+            GreedyReconfigBackend(
+                DesignSpace(), memory_bound_trace, seed=3, fidelity="psychic"
+            )
+
+    def test_engine_fidelity_never_predicts(self, memory_bound_trace):
+        backend = self._walk(memory_bound_trace, fidelity="engine")
+        assert backend.log.predicted == 0
+
+    def test_multi_fidelity_reaches_engine_final_config(self, memory_bound_trace):
+        engine = self._walk(memory_bound_trace, fidelity="engine")
+        multi = self._walk(memory_bound_trace, fidelity="multi",
+                           top_k=1, margin=0.0)
+        assert multi.describe() == engine.describe()
+        # Pruning must actually save engine work, and the disjoint
+        # source accounting must cover every considered candidate.
+        assert multi.log.evaluations < engine.log.evaluations
+        assert multi.log.predicted > 0
+        assert (multi.measure().lpmr1
+                == pytest.approx(engine.measure().lpmr1))

@@ -1,0 +1,114 @@
+"""HistogramStore: round-trips, version discipline, corruption quarantine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.histogram_store import (
+    HistogramStore,
+    cached_locality_profile,
+    histogram_cache_key,
+)
+from repro.workloads.locality import HISTOGRAM_VERSION, profile_trace
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(11)
+    addrs = rng.integers(0, 256, 400) * 64
+    return Trace.from_memory_addresses(
+        addrs, compute_per_access=2, load_fraction=0.7, name="hs", seed=11
+    )
+
+
+class TestKeying:
+    def test_key_dimensions(self, trace):
+        digest = trace.content_digest()
+        base = histogram_cache_key(digest, 64, True)
+        assert base != histogram_cache_key(digest, 128, True)
+        assert base != histogram_cache_key(digest, 64, False)
+        assert base != histogram_cache_key("other", 64, True)
+        assert base == histogram_cache_key(digest, 64, True)
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path, trace):
+        store = HistogramStore(tmp_path / "hist")
+        profile = profile_trace(trace)
+        key = histogram_cache_key(trace.content_digest(), 64, True)
+        assert store.get(key) is None
+        store.put(key, profile)
+        assert key in store
+        assert len(store) == 1
+        again = store.get(key)
+        assert again is not None
+        assert again.trace_digest == profile.trace_digest
+        assert np.array_equal(again.histogram.counts, profile.histogram.counts)
+        for capacity in (1, 16, 256):
+            assert again.histogram.miss_fraction(capacity) == (
+                profile.histogram.miss_fraction(capacity)
+            )
+        assert store.hits == 1 and store.misses == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path, trace):
+        store = HistogramStore(tmp_path / "hist")
+        profile = profile_trace(trace)
+        key = histogram_cache_key(trace.content_digest(), 64, True)
+        store.put(key, profile)
+        path = store._path(key)
+        entry = json.loads(path.read_text())
+        entry["histogram_version"] = HISTOGRAM_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert store.get(key) is None
+        assert path.exists(), "stale versions stay on disk for auditing"
+
+    def test_torn_shard_is_quarantined(self, tmp_path, trace):
+        store = HistogramStore(tmp_path / "hist")
+        profile = profile_trace(trace)
+        key = histogram_cache_key(trace.content_digest(), 64, True)
+        store.put(key, profile)
+        path = store._path(key)
+        path.write_text('{"histogram_version": 1, "profile": {tor')
+        assert store.get(key) is None
+        assert store.quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        # A re-put heals the shard.
+        store.put(key, profile)
+        assert store.get(key) is not None
+
+    def test_malformed_payload_is_quarantined(self, tmp_path, trace):
+        store = HistogramStore(tmp_path / "hist")
+        key = histogram_cache_key(trace.content_digest(), 64, True)
+        path = store._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"histogram_version": HISTOGRAM_VERSION,
+                                    "profile": {"nope": 1}}))
+        assert store.get(key) is None
+        assert store.quarantined == 1
+
+
+class TestCachedLocalityProfile:
+    def test_no_store_is_pure_profiling(self, trace):
+        profile = cached_locality_profile(trace)
+        assert profile.trace_digest == trace.content_digest()
+
+    def test_store_path_computes_once(self, tmp_path, trace):
+        root = tmp_path / "hist"
+        first = cached_locality_profile(trace, store=root)
+        store = HistogramStore(root)
+        assert len(store) == 1
+        second = cached_locality_profile(trace, store=store)
+        assert store.hits == 1
+        assert np.array_equal(
+            first.histogram.counts, second.histogram.counts
+        )
+
+    def test_distinct_settings_get_distinct_entries(self, tmp_path, trace):
+        store = HistogramStore(tmp_path / "hist")
+        cached_locality_profile(trace, store=store)
+        cached_locality_profile(trace, line_bytes=128, store=store)
+        cached_locality_profile(trace, warm=False, store=store)
+        assert len(store) == 3
