@@ -158,9 +158,10 @@ def predict(profile: LocalityProfile, config: MachineConfig) -> SurrogatePredict
     # dependent load pays the L1 hit time even under a perfect cache).
     h1 = float(config.l1_hit_time)
     w = config.core.issue_width
+    alu_latency = 1.0  # the compute dependency term pays one ALU cycle
     dep_path = (
         f_mem * profile.dep_frac_mem * h1
-        + (1.0 - f_mem) * profile.dep_frac_compute
+        + (1.0 - f_mem) * profile.dep_frac_compute * alu_latency
     )
     cpi_exe = max(1.0 / w, dep_path, 1e-12)
 

@@ -1,0 +1,296 @@
+"""The value-analysis rule packs: VAL001/VAL002, UNIT001, DRIFT001.
+
+These consume the abstract-interpretation results of
+:mod:`repro.lint.program.values` (built once per run through
+:meth:`ProgramContext.value_analysis`):
+
+* **VAL001** — a ``/``, ``//`` or ``%`` whose denominator *interval*
+  provably contains zero.  A ⊤ denominator is left to the per-file
+  NUM001 heuristics (this rule only speaks when the analysis actually
+  knows something); ``safe_ratio`` calls are the sanctioned form and
+  are never flagged.
+* **VAL002** — a subscript index that is possibly negative: either its
+  interval is known mixed-sign, or it is an ``x - y`` gather with both
+  operands non-negative and the difference unproven — the PR-8
+  hetero-ROB bug shape.  Deliberate ``a[-1]`` literal indexing is
+  exempt.
+* **UNIT001** — arithmetic mixing two concrete dimensions (cycles +
+  ratio, comparing a count against a latency, ...), including a
+  ``@satisfies``-decorated producer returning the wrong unit in a
+  report field.
+* **DRIFT001** — cross-implementation drift of model constants: the
+  per-role readings of :func:`extract_model_constants` disagree, or a
+  constant is declared in one sibling implementation but missing from
+  another.  DRIFT001 is *never* baselinable — drift is exactly the
+  grandfathered divergence the rule exists to prevent.
+
+Errors lean the same way as the rest of the program tier: unresolved
+calls and unmodeled expressions evaluate to ⊤, which silences VAL/UNIT
+rather than guessing — so every finding is backed by a concrete
+interval or unit derivation, reported in the violation's ``detail``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import replace
+
+from repro.lint.engine import Severity, Violation
+from repro.lint.program.rules import (
+    ProgramContext,
+    ProgramRule,
+    register_program,
+)
+from repro.lint.program.values import (
+    MODEL_CONSTANT_ROLES,
+    RoleReading,
+    extract_model_constants,
+)
+
+__all__ = [
+    "PossibleZeroDivision",
+    "PossiblyNegativeIndex",
+    "UnitMismatch",
+    "ModelConstantDrift",
+]
+
+
+def _with_detail(violation: Violation, **payload: object) -> Violation:
+    return replace(violation, detail=payload)
+
+
+@register_program
+class PossibleZeroDivision(ProgramRule):
+    """VAL001: denominator interval contains zero."""
+
+    name = "VAL001"
+    severity = Severity.ERROR
+    description = (
+        "possible division by zero: the denominator's value range contains 0 "
+        "and no guard, clamp or safe_ratio() excludes it"
+    )
+
+    def check(self, pctx: ProgramContext) -> Iterator[Violation]:
+        va = pctx.value_analysis()
+        for res in va.iter_results():
+            info = pctx.module_for(res.func)
+            for site in res.divisions:
+                iv = site.denom.interval
+                if iv.is_top or not iv.contains_zero():
+                    continue
+                v = self.violation(
+                    info,
+                    site.node,
+                    f"possible division by zero in {res.func.qualname}: "
+                    f"denominator {site.denom_text!r} has range {iv}; guard "
+                    "the branch, clamp with max(..., eps) or use safe_ratio()",
+                )
+                yield _with_detail(
+                    v,
+                    function=res.func.ref,
+                    denominator=site.denom_text,
+                    interval=iv.bounds(),
+                )
+
+
+@register_program
+class PossiblyNegativeIndex(ProgramRule):
+    """VAL002: possibly-negative index/gather into an array."""
+
+    name = "VAL002"
+    severity = Severity.ERROR
+    description = (
+        "possibly-negative array index: the index interval admits negative "
+        "values (or is an unproven nonneg-minus-nonneg gather, the "
+        "hetero-ROB bug shape); clamp or guard before subscripting"
+    )
+
+    def check(self, pctx: ProgramContext) -> Iterator[Violation]:
+        va = pctx.value_analysis()
+        for res in va.iter_results():
+            info = pctx.module_for(res.func)
+            for site in res.subscripts:
+                if site.literal_negative:
+                    continue
+                iv = site.index.interval
+                mixed = not iv.is_top and iv.lo < 0 and iv.hi >= 0
+                gather = site.sub_nonneg_pair and not iv.nonneg
+                if not mixed and not gather:
+                    continue
+                if mixed:
+                    why = f"index {site.index_text!r} has range {iv}"
+                else:
+                    why = (
+                        f"index {site.index_text!r} subtracts two non-negative "
+                        "quantities but the difference is unproven (clamp with "
+                        "max(..., 0) or guard with `if a >= b:`)"
+                    )
+                v = self.violation(
+                    info,
+                    site.node,
+                    f"possibly-negative index in {res.func.qualname}: {why}",
+                )
+                yield _with_detail(
+                    v,
+                    function=res.func.ref,
+                    index=site.index_text,
+                    interval=iv.bounds(),
+                    gather_shape=site.sub_nonneg_pair,
+                )
+
+
+_CLASH_KINDS = {
+    "add": "adding",
+    "sub": "subtracting",
+    "compare": "comparing",
+    "minmax": "clamping across",
+    "return-field": "returning",
+}
+
+
+@register_program
+class UnitMismatch(ProgramRule):
+    """UNIT001: arithmetic mixing two concrete model dimensions."""
+
+    name = "UNIT001"
+    severity = Severity.ERROR
+    description = (
+        "dimension-mismatched arithmetic: both operands carry concrete "
+        "model units (cycles/instructions/accesses/bytes/ratio) and they "
+        "differ; convert explicitly or fix the formula"
+    )
+
+    def check(self, pctx: ProgramContext) -> Iterator[Violation]:
+        va = pctx.value_analysis()
+        for res in va.iter_results():
+            info = pctx.module_for(res.func)
+            for clash in res.clashes:
+                verb = _CLASH_KINDS.get(clash.kind, clash.kind)
+                if clash.kind == "return-field":
+                    msg = (
+                        f"unit mismatch in {res.func.qualname}: contract "
+                        f"field {clash.field_name!r} expects {clash.left} but "
+                        f"{clash.text!r} has unit {clash.right}"
+                    )
+                else:
+                    msg = (
+                        f"unit mismatch in {res.func.qualname}: {verb} "
+                        f"{clash.left} and {clash.right} in {clash.text!r}"
+                    )
+                v = self.violation(info, clash.node, msg)
+                yield _with_detail(
+                    v,
+                    function=res.func.ref,
+                    kind=clash.kind,
+                    left_unit=clash.left,
+                    right_unit=clash.right,
+                    expression=clash.text,
+                    **(
+                        {"field": clash.field_name}
+                        if clash.field_name is not None
+                        else {}
+                    ),
+                )
+
+
+@register_program
+class ModelConstantDrift(ProgramRule):
+    """DRIFT001: sibling implementations disagree on a model constant."""
+
+    name = "DRIFT001"
+    severity = Severity.ERROR
+    description = (
+        "cross-implementation model-constant drift: sibling implementations "
+        "declare different values for the same symbolic role (or one "
+        "dropped the constant); never baselinable"
+    )
+
+    def check(self, pctx: ProgramContext) -> Iterator[Violation]:
+        readings = extract_model_constants(pctx.model, MODEL_CONSTANT_ROLES)
+        by_role: "dict[str, list[RoleReading]]" = {}
+        for reading in readings:
+            by_role.setdefault(reading.role.role, []).append(reading)
+        for role_name in sorted(by_role):
+            group = by_role[role_name]
+            if len(group) < 2:
+                # Only one sibling present in the analyzed tree: nothing
+                # to cross-check (keeps partial fixture runs quiet).
+                continue
+            present = [r for r in group if r.values]
+            if not present:
+                continue
+            yield from self._intra_site(group)
+            yield from self._cross_site(role_name, group, present)
+
+    def _intra_site(
+        self, group: "list[RoleReading]"
+    ) -> Iterator[Violation]:
+        for reading in group:
+            distinct = sorted(set(reading.values))
+            if len(distinct) <= 1:
+                continue
+            v = self.violation(
+                reading.info,
+                reading.info.ctx.tree,
+                f"model-constant drift within {reading.site.impl}: role "
+                f"{reading.role.role!r} ({reading.role.description}) is "
+                f"declared with multiple values {distinct}",
+            )
+            yield _with_detail(
+                _at(v, reading.lineno),
+                role=reading.role.role,
+                implementation=reading.site.impl,
+                values=distinct,
+            )
+
+    def _cross_site(
+        self,
+        role_name: str,
+        group: "list[RoleReading]",
+        present: "list[RoleReading]",
+    ) -> Iterator[Violation]:
+        distinct = sorted({v for r in present for v in r.values})
+        declared = {r.site.impl: sorted(set(r.values)) for r in present}
+        if len(distinct) > 1:
+            for reading in present:
+                others = {
+                    impl: vs
+                    for impl, vs in declared.items()
+                    if impl != reading.site.impl
+                }
+                v = self.violation(
+                    reading.info,
+                    reading.info.ctx.tree,
+                    f"model-constant drift for role {role_name!r} "
+                    f"({reading.role.description}): {reading.site.impl} "
+                    f"declares {sorted(set(reading.values))} but sibling "
+                    f"implementations declare {others}",
+                )
+                yield _with_detail(
+                    _at(v, reading.lineno),
+                    role=role_name,
+                    implementation=reading.site.impl,
+                    values=sorted(set(reading.values)),
+                    siblings=others,
+                )
+        for reading in group:
+            if reading.values:
+                continue
+            v = self.violation(
+                reading.info,
+                reading.info.ctx.tree,
+                f"model constant for role {role_name!r} "
+                f"({reading.role.description}) is declared by "
+                f"{sorted(declared)} but missing from {reading.site.impl}",
+            )
+            yield _with_detail(
+                _at(v, reading.lineno),
+                role=role_name,
+                implementation=reading.site.impl,
+                missing=True,
+                siblings=declared,
+            )
+
+
+def _at(violation: Violation, lineno: int) -> Violation:
+    return replace(violation, line=lineno)

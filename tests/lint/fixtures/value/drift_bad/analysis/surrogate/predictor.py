@@ -1,0 +1,15 @@
+"""Seeded DRIFT001 sibling B: a drifted overlap cap.
+
+The tier-0 re-derivation quietly loosened the cap to ``1.0 - 1e-6``
+while ``sim.stats`` still declares ``1.0 - 1e-9`` — the silent
+divergence DRIFT001 exists to catch.  The cpi_exe floor agrees across
+both siblings, so only the overlap-cap role fires.
+"""
+
+_MAX_OVERLAP = 1.0 - 1e-6
+
+
+def predict(cpi: float, cpi_exe: float, overlap_ratio_cm: float) -> float:
+    capped = min(overlap_ratio_cm, _MAX_OVERLAP)
+    floor = max(cpi_exe, 1e-12)
+    return capped * cpi / floor

@@ -1,0 +1,13 @@
+"""Seeded DRIFT001 sibling A: the reference overlap cap.
+
+Declares the Eq. 10 overlap cap at its canonical value; the surrogate
+twin in this package perturbs it (``1e-6`` vs ``1e-9``).
+"""
+
+_MAX_OVERLAP = 1.0 - 1e-9
+
+
+def fold(cpi: float, cpi_exe: float, overlap_ratio_cm: float) -> float:
+    capped = min(overlap_ratio_cm, _MAX_OVERLAP)
+    floor = max(cpi_exe, 1e-12)
+    return capped * cpi / floor

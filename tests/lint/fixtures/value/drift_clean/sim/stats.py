@@ -1,0 +1,9 @@
+"""Clean DRIFT001 sibling A: both constants at the canonical values."""
+
+_MAX_OVERLAP = 1.0 - 1e-9
+
+
+def fold(cpi: float, cpi_exe: float, overlap_ratio_cm: float) -> float:
+    capped = min(overlap_ratio_cm, _MAX_OVERLAP)
+    floor = max(cpi_exe, 1e-12)
+    return capped * cpi / floor

@@ -1,0 +1,5 @@
+"""The sibling that dropped the overlap cap (see ``sim/stats.py``)."""
+
+
+def predict(cpi: float, overlap_ratio_cm: float) -> float:
+    return overlap_ratio_cm * cpi

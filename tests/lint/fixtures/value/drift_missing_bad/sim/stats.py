@@ -1,0 +1,13 @@
+"""Seeded DRIFT001 missing-sibling case: only one declaration.
+
+``sim.stats`` declares the overlap cap but the surrogate module dropped
+it entirely — a sibling silently losing a model constant is flagged,
+not treated as agreement.  Neither module declares a cpi_exe floor, so
+the cpi-exe-floor role stays quiet (no present reading at all).
+"""
+
+_MAX_OVERLAP = 1.0 - 1e-9
+
+
+def fold(cpi: float, overlap_ratio_cm: float) -> float:
+    return min(overlap_ratio_cm, _MAX_OVERLAP) * cpi

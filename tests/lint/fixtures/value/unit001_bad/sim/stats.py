@@ -1,0 +1,20 @@
+"""Seeded UNIT001 true positives: dimension-mixing arithmetic.
+
+``camat1`` is a latency (cycles) and ``mr1`` a miss ratio; adding them
+is the Eq. 9 transcription error the rule exists to catch.  The
+``@satisfies`` producer variant returns a ratio into the cycle-valued
+``camat1`` report field.
+"""
+
+from repro.lint.contracts import satisfies
+
+
+def stall_cycles(camat1: float, mr1: float) -> float:
+    # UNIT001: cycles + ratio.
+    return camat1 + mr1
+
+
+@satisfies("lpmr_definitions")
+def snapshot(camat1: float, mr1: float):
+    # UNIT001 (return-field): the camat1 field expects cycles, gets ratio.
+    return dict(camat1=mr1, mr1=mr1)

@@ -1,0 +1,21 @@
+"""Clean twin of ``unit001_bad``: dimensionally consistent arithmetic.
+
+Cycles add to cycles, a ratio *scales* cycles via multiplication (which
+is never a clash), and the producer routes each quantity to the field
+with the matching dimension.
+"""
+
+from repro.lint.contracts import satisfies
+
+
+def total_latency(camat1: float, hit_time1: float) -> float:
+    return camat1 + hit_time1
+
+
+def weighted_latency(camat1: float, mr1: float) -> float:
+    return camat1 * mr1
+
+
+@satisfies("lpmr_definitions")
+def snapshot(camat1: float, mr1: float):
+    return dict(camat1=camat1, mr1=mr1)

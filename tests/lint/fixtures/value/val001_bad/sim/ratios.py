@@ -1,0 +1,12 @@
+"""Seeded VAL001 true positive: a clamp that keeps zero reachable.
+
+``max(accesses, 0.0)`` looks like a guard but only discards *negative*
+inputs — the interval is still ``[0, inf)`` and the division can divide
+by zero on an empty window.
+"""
+
+
+def miss_share(stall: float, accesses: float) -> float:
+    window = max(accesses, 0.0)
+    # VAL001: window has range [0, inf) which contains 0.
+    return stall / window

@@ -1,0 +1,17 @@
+"""Clean twin of ``val001_bad``: both sanctioned denominator shapes.
+
+An epsilon clamp bounds the interval away from zero; an equality guard
+refines it to the open interval ``(0, inf)`` on the surviving branch.
+"""
+
+
+def miss_share(stall: float, accesses: float) -> float:
+    window = max(accesses, 1e-12)
+    return stall / window
+
+
+def guarded_share(stall: float, accesses: float) -> float:
+    window = max(accesses, 0.0)
+    if window == 0.0:
+        return 0.0
+    return stall / window

@@ -1,0 +1,15 @@
+"""Seeded VAL002 true positive: the PR-8 hetero-ROB gather shape.
+
+Reconstructing per-window writeback rows as ``rows[i - rob]`` silently
+wraps to the *end* of the array for the first ``rob`` iterations — both
+operands are non-negative but nothing proves ``i >= rob``.
+"""
+
+
+def reconstruct_writeback(wret_rows, n_window: int, rob_size: int) -> float:
+    rob = max(rob_size, 1)
+    total = 0.0
+    for i in range(n_window):
+        # VAL002: i - rob is negative for the first `rob` iterations.
+        total = total + wret_rows[i - rob]
+    return total

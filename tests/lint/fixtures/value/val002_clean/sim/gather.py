@@ -1,0 +1,28 @@
+"""Clean twin of ``val002_bad``: both sanctioned gather shapes.
+
+The guard form refines ``i - rob`` to ``[0, inf)`` on the taken branch;
+the clamp form pins the index expression itself non-negative.  The
+trailing ``rows[-1]`` is deliberate last-element indexing, which VAL002
+exempts.
+"""
+
+
+def reconstruct_guarded(wret_rows, n_window: int, rob_size: int) -> float:
+    rob = max(rob_size, 1)
+    total = 0.0
+    for i in range(n_window):
+        if i >= rob:
+            total = total + wret_rows[i - rob]
+    return total
+
+
+def reconstruct_clamped(wret_rows, n_window: int, rob_size: int) -> float:
+    rob = max(rob_size, 1)
+    total = 0.0
+    for i in range(n_window):
+        total = total + wret_rows[max(i - rob, 0)]
+    return total
+
+
+def last_row(wret_rows) -> float:
+    return wret_rows[-1]
